@@ -1,0 +1,711 @@
+(* Benchmark harness: regenerates every table and figure in the paper's
+   evaluation, plus the ablations DESIGN.md calls out, plus bechamel
+   microbenchmarks of the tool itself.
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   Sections: figure1 figure3a figure3b figure3c microbench mapping
+             ablations interference nics throughput chains energy partial
+             zoo bechamel   (default: all) *)
+
+module W = Clara_workload
+module L = Clara_lnic
+module Dev = Clara_nicsim.Device
+module Eng = Clara_nicsim.Engine
+module SStats = Clara_nicsim.Stats
+module Map_ = Clara_mapping.Mapping
+module Lat = Clara_predict.Latency
+
+let lnic = L.Netronome.default
+
+let profile ?(payload = W.Dist.Fixed 300) ?(packets = 20_000) ?(flows = 5_000)
+    ?(rate = 60_000.) ?(tcp = 0.8) () =
+  W.Profile.make ~payload ~packets ~flow_count:flows ~rate_pps:rate ~tcp_fraction:tcp ()
+
+let no_flow_cache =
+  { Map_.default_options with Map_.disallowed_accels = [ L.Unit_.Lookup ] }
+
+(* Figure 3a's software match/action variant keeps its rules in DRAM for
+   every sweep point, as the paper's implementation does. *)
+let fig3a_options =
+  { no_flow_cache with Map_.pin_state = [ ("routes", Clara_lnic.Memory.External) ] }
+
+let no_accels =
+  { Map_.default_options with
+    Map_.disallowed_accels = [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto ] }
+
+let analyze_exn ?options src prof =
+  match Clara.analyze_for_profile ?options lnic ~source:src ~profile:prof with
+  | Ok a -> a
+  | Error e -> failwith ("analyze: " ^ e)
+
+let simulate prog prof ~seed =
+  let trace = W.Trace.synthesize ~seed prof in
+  (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles
+
+let predict_and_simulate ?options src prog prof ~seed =
+  let a = analyze_exn ?options src prof in
+  let trace = W.Trace.synthesize ~seed prof in
+  let predicted = (Clara.predict a trace).Lat.mean_cycles in
+  let actual = (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles in
+  (predicted, actual)
+
+let header title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+(* When CLARA_CSV_DIR is set, figure sections also write their series as
+   CSV files for external plotting. *)
+let csv_out name columns rows =
+  match Sys.getenv_opt "CLARA_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (String.concat "," columns ^ "\n");
+          List.iter
+            (fun row ->
+              output_string oc (String.concat "," (List.map string_of_float row) ^ "\n"))
+            rows);
+      Printf.printf "[csv] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: performance variability of five NFs                       *)
+
+let figure1 () =
+  header "Figure 1: NF performance variability (simulator, normalized latency)";
+  Printf.printf
+    "Five NFs, 2-4 variants each with the same core logic; latency normalized\n";
+  Printf.printf "against the fastest variant of each NF (paper: up to 13.8x).\n\n";
+  let base_prof = profile ~packets:10_000 () in
+  let groups =
+    [ ( "NAT",
+        [ ("csum-engine", Clara_nfs.Nat.ported ~checksum_engine:true (), base_prof);
+          ("csum-software", Clara_nfs.Nat.ported ~checksum_engine:false (), base_prof) ] );
+      ( "DPI",
+        [ ("256B packets", Clara_nfs.Dpi.ported (), profile ~packets:10_000 ~payload:(W.Dist.Fixed 256) ());
+          ("512B packets", Clara_nfs.Dpi.ported (), profile ~packets:10_000 ~payload:(W.Dist.Fixed 512) ());
+          ("1024B packets", Clara_nfs.Dpi.ported (), profile ~packets:10_000 ~payload:(W.Dist.Fixed 1024) ()) ] );
+      ( "FW",
+        [ ("state in CTM", Clara_nfs.Firewall.ported ~entries:8192 ~placement:Dev.P_ctm (), base_prof);
+          ("state in IMEM", Clara_nfs.Firewall.ported ~entries:8192 ~placement:Dev.P_imem (), base_prof);
+          ("state in EMEM / skewed flows", Clara_nfs.Firewall.ported ~entries:65536 ~placement:Dev.P_emem (), base_prof);
+          ( "state in EMEM / huge table, uniform flows",
+            Clara_nfs.Firewall.ported ~entries:2_000_000 ~placement:Dev.P_emem (),
+            W.Profile.make ~payload:(W.Dist.Fixed 300) ~packets:10_000
+              ~flow_count:60_000 ~flow_skew:0.0 ~rate_pps:60_000. () ) ] );
+      ( "LPM",
+        [ ("1k rules + flow cache", Clara_nfs.Lpm.ported ~entries:1000 ~use_flow_cache:true (), base_prof);
+          ("1k rules, software", Clara_nfs.Lpm.ported ~entries:1000 ~use_flow_cache:false (), base_prof);
+          ("4k rules + flow cache", Clara_nfs.Lpm.ported ~entries:4000 ~use_flow_cache:true (), base_prof);
+          ("4k rules, software", Clara_nfs.Lpm.ported ~entries:4000 ~use_flow_cache:false (), base_prof) ] );
+      ( "HH",
+        [ ("100 kpps", Clara_nfs.Heavy_hitter.ported (), profile ~packets:10_000 ~rate:100_000. ());
+          ("1 Mpps", Clara_nfs.Heavy_hitter.ported (), profile ~packets:20_000 ~rate:1_000_000. ());
+          ("1.8 Mpps", Clara_nfs.Heavy_hitter.ported (), profile ~packets:20_000 ~rate:1_800_000. ()) ] ) ]
+  in
+  let spread_max = ref 1. in
+  List.iter
+    (fun (nf, variants) ->
+      let lats =
+        List.map (fun (name, prog, prof) -> (name, simulate prog prof ~seed:31L)) variants
+      in
+      let fastest = List.fold_left (fun a (_, l) -> Float.min a l) Float.infinity lats in
+      Printf.printf "%-4s\n" nf;
+      List.iter
+        (fun (name, l) ->
+          Printf.printf "    %-28s %12.0f cyc   %6.2fx\n" name l (l /. fastest))
+        lats;
+      let worst = List.fold_left (fun a (_, l) -> Float.max a l) 0. lats in
+      spread_max := Float.max !spread_max (worst /. fastest))
+    groups;
+  Printf.printf "\nmax variability across NFs: %.1fx (paper reports up to 13.8x)\n" !spread_max
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: prediction accuracy sweeps                                *)
+
+let pct_err p a = 100. *. (p -. a) /. a
+
+let figure3a () =
+  header "Figure 3a: LPM latency vs table entries (predicted vs actual)";
+  Printf.printf "%-10s %14s %14s %8s\n" "entries" "predicted" "actual" "err";
+  let prof = profile ~packets:10_000 () in
+  let rows = ref [] in
+  let errs =
+    List.map
+      (fun entries ->
+        let src = Clara_nfs.Lpm.source ~entries in
+        let a = analyze_exn ~options:fig3a_options src prof in
+        let placement =
+          Option.value ~default:Dev.P_emem (Clara.device_placement_of_state a "routes")
+        in
+        let prog = Clara_nfs.Lpm.ported ~entries ~use_flow_cache:false ~placement () in
+        let trace = W.Trace.synthesize ~seed:31L prof in
+        let predicted = (Clara.predict a trace).Lat.mean_cycles in
+        let actual = (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles in
+        Printf.printf "%-10d %12.0f K %12.0f K %+7.1f%%\n" entries (predicted /. 1000.)
+          (actual /. 1000.) (pct_err predicted actual);
+        rows := [ float_of_int entries; predicted; actual ] :: !rows;
+        Float.abs (pct_err predicted actual))
+      [ 5_000; 10_000; 15_000; 20_000; 25_000; 30_000 ]
+  in
+  csv_out "figure3a" [ "entries"; "predicted_cycles"; "actual_cycles" ] (List.rev !rows);
+  Printf.printf "mean |err| %.1f%% (paper: 12%%)\n"
+    (List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs))
+
+let payload_sweep = [ 200; 400; 600; 800; 1000; 1200; 1400 ]
+
+let figure3b () =
+  header "Figure 3b: VNF chain latency vs payload size (predicted vs actual)";
+  Printf.printf "%-10s %14s %14s %8s\n" "payload" "predicted" "actual" "err";
+  let rows = ref [] in
+  let errs =
+    List.map
+      (fun pay ->
+        let prof = profile ~packets:10_000 ~payload:(W.Dist.Fixed pay) () in
+        let predicted, actual =
+          predict_and_simulate (Clara_nfs.Vnf_chain.source ()) (Clara_nfs.Vnf_chain.ported ())
+            prof ~seed:31L
+        in
+        Printf.printf "%-10d %12.0f K %12.0f K %+7.1f%%\n" pay (predicted /. 1000.)
+          (actual /. 1000.) (pct_err predicted actual);
+        rows := [ float_of_int pay; predicted; actual ] :: !rows;
+        Float.abs (pct_err predicted actual))
+      payload_sweep
+  in
+  csv_out "figure3b" [ "payload_bytes"; "predicted_cycles"; "actual_cycles" ]
+    (List.rev !rows);
+  Printf.printf "mean |err| %.1f%% (paper: 3%%)\n"
+    (List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs))
+
+let figure3c () =
+  header "Figure 3c: NAT latency vs payload size (predicted vs actual)";
+  Printf.printf "%-10s %14s %14s %8s\n" "payload" "predicted" "actual" "err";
+  let rows = ref [] in
+  let errs =
+    List.map
+      (fun pay ->
+        let prof = profile ~packets:10_000 ~payload:(W.Dist.Fixed pay) () in
+        let predicted, actual =
+          predict_and_simulate (Clara_nfs.Nat.source ())
+            (Clara_nfs.Nat.ported ~checksum_engine:true ())
+            prof ~seed:31L
+        in
+        Printf.printf "%-10d %12.0f   %12.0f   %+7.1f%%\n" pay predicted actual
+          (pct_err predicted actual);
+        rows := [ float_of_int pay; predicted; actual ] :: !rows;
+        Float.abs (pct_err predicted actual))
+      payload_sweep
+  in
+  csv_out "figure3c" [ "payload_bytes"; "predicted_cycles"; "actual_cycles" ]
+    (List.rev !rows);
+  Printf.printf "mean |err| %.1f%% (paper: 7%%)\n"
+    (List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs))
+
+(* ------------------------------------------------------------------ *)
+(* Per-packet-type validation (§3.5's example output)                  *)
+
+let packet_types () =
+  header "Per-packet-type latency (§3.5): predicted vs simulated, firewall";
+  let prof = profile ~packets:12_000 ~tcp:0.7 () in
+  let trace = W.Trace.synthesize ~seed:31L prof in
+  match Clara.analyze_for_profile lnic ~source:(Clara_nfs.Firewall.source ()) ~profile:prof with
+  | Error e -> Printf.printf "error: %s
+" e
+  | Ok a ->
+      let p = Clara.predict a trace in
+      let r = Eng.run lnic (Clara_nfs.Firewall.ported ~placement:Dev.P_imem ()) trace in
+      let s = r.Eng.summary in
+      let row name pred act =
+        Printf.printf "%-18s %12.0f %12.0f %+7.1f%%
+" name pred act (pct_err pred act)
+      in
+      Printf.printf "%-18s %12s %12s %8s
+" "packet type" "predicted" "actual" "err";
+      row "tcp (mean)" p.Lat.tcp_mean s.SStats.tcp_mean;
+      row "udp (mean)" p.Lat.udp_mean s.SStats.udp_mean;
+      row "tcp syn (mean)" p.Lat.syn_mean s.SStats.syn_mean;
+      Printf.printf
+        "\nThe §3.5 example, reproduced: SYNs (connection setup: miss + insert)\n\
+         cost more than established-flow packets; UDP takes the drop path.\n"
+
+(* ------------------------------------------------------------------ *)
+(* §3.2: microbenchmark parameter extraction                           *)
+
+let microbench () =
+  header "Microbenchmarks: parameter extraction (paper §3.2/§4)";
+  let c = Clara.Microbench.calibrate lnic in
+  Format.printf "%a" Clara.Microbench.pp_calibration c;
+  Printf.printf "\nreference values (§3.2): parse ~150 cyc software / ~40 engine,\n";
+  Printf.printf "checksum engine 300 cyc @1000B, metadata 2-5 cyc,\n";
+  Printf.printf "EMEM cache 3MB (knee expected between 3MB and 4MB)\n"
+
+(* ------------------------------------------------------------------ *)
+(* §3.4 worked example                                                 *)
+
+let mapping_example () =
+  header "Mapping example (paper §3.4): NAT on the Netronome-like LNIC";
+  let prof = profile () in
+  let a = analyze_exn (Clara_nfs.Nat.source ()) prof in
+  let report = Clara.Report.build ~rate_pps:prof.W.Profile.rate_pps a in
+  Format.printf "%a" Clara.Report.render report
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablations () =
+  header "Ablation: ILP mapping vs greedy first-fit";
+  let prof = profile () in
+  let sizes = Clara.sizes_of_profile prof in
+  let prob = Clara.prob_of_profile prof in
+  List.iter
+    (fun (name, src) ->
+      let df = Clara_dataflow.Build.of_source src in
+      let ilp = Clara_mapping.Encode.map_nf lnic df ~sizes ~prob in
+      let greedy = Clara_mapping.Greedy.map_nf lnic df ~sizes ~prob in
+      match (ilp, greedy) with
+      | Ok i, Ok g ->
+          Printf.printf "%-14s ILP %10.0f cyc   greedy %10.0f cyc   ILP saves %5.1f%%\n" name
+            i.Map_.objective_cycles g.Map_.objective_cycles
+            (100. *. (g.Map_.objective_cycles -. i.Map_.objective_cycles)
+            /. g.Map_.objective_cycles)
+      | Error e, _ | _, Error e -> Printf.printf "%-14s error: %s\n" name e)
+    [ ("nat", Clara_nfs.Nat.source ());
+      ("lpm-10k", Clara_nfs.Lpm.source ~entries:10_000);
+      ("firewall", Clara_nfs.Firewall.source ());
+      ("vnf-chain", Clara_nfs.Vnf_chain.source ());
+      ("heavy-hitter", Clara_nfs.Heavy_hitter.source ()) ];
+
+  header "Ablation: flow cache on/off (LPM, §2.1 'orders of magnitude')";
+  let prof10k = profile ~packets:10_000 () in
+  List.iter
+    (fun entries ->
+      let fc = simulate (Clara_nfs.Lpm.ported ~entries ~use_flow_cache:true ()) prof10k ~seed:31L in
+      let sw = simulate (Clara_nfs.Lpm.ported ~entries ~use_flow_cache:false ()) prof10k ~seed:31L in
+      Printf.printf "%-8d rules: flow cache %8.0f cyc   software %10.0f cyc   %6.1fx\n"
+        entries fc sw (sw /. fc))
+    [ 1_000; 10_000; 30_000 ];
+
+  header "Ablation: checksum engine vs software (NAT, §2.1)";
+  List.iter
+    (fun pay ->
+      let prof = profile ~packets:5_000 ~payload:(W.Dist.Fixed pay) () in
+      let eng = simulate (Clara_nfs.Nat.ported ~checksum_engine:true ()) prof ~seed:31L in
+      let sw = simulate (Clara_nfs.Nat.ported ~checksum_engine:false ()) prof ~seed:31L in
+      Printf.printf "%5dB payload: engine %8.0f cyc   software %8.0f cyc   +%4.0f cyc\n" pay
+        eng sw (sw -. eng))
+    [ 200; 1000; 1400 ];
+
+  header "Ablation: cache-locality sensitivity (the model's free parameter)";
+  Printf.printf
+    "Figure 3a error as the locality discount varies (default 0.85):\n";
+  let saved = !Clara_dataflow.Cost.cache_locality in
+  let fig3a_err () =
+    let prof = profile ~packets:4_000 () in
+    let entries = 20_000 in
+    let src = Clara_nfs.Lpm.source ~entries in
+    let a = analyze_exn ~options:fig3a_options src prof in
+    let placement =
+      Option.value ~default:Dev.P_emem (Clara.device_placement_of_state a "routes")
+    in
+    let prog = Clara_nfs.Lpm.ported ~entries ~use_flow_cache:false ~placement () in
+    let trace = W.Trace.synthesize ~seed:31L prof in
+    let predicted = (Clara.predict a trace).Lat.mean_cycles in
+    let actual = (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles in
+    pct_err predicted actual
+  in
+  List.iter
+    (fun loc ->
+      Clara_dataflow.Cost.cache_locality := loc;
+      Printf.printf "  locality %.2f -> LPM-20k error %+6.1f%%\n" loc (fig3a_err ()))
+    [ 0.5; 0.7; 0.85; 0.95; 1.0 ];
+  Clara_dataflow.Cost.cache_locality := saved;
+
+  header "Ablation: predicted gain of accelerators (mapping objective)";
+  let prof = profile () in
+  List.iter
+    (fun (name, src) ->
+      let with_acc = analyze_exn src prof in
+      let without = analyze_exn ~options:no_accels src prof in
+      Printf.printf "%-14s with accels %10.0f cyc   without %10.0f cyc   %5.1fx\n" name
+        with_acc.Clara.mapping.Map_.objective_cycles
+        without.Clara.mapping.Map_.objective_cycles
+        (without.Clara.mapping.Map_.objective_cycles
+        /. with_acc.Clara.mapping.Map_.objective_cycles))
+    [ ("nat", Clara_nfs.Nat.source ()); ("lpm-10k", Clara_nfs.Lpm.source ~entries:10_000) ]
+
+(* ------------------------------------------------------------------ *)
+(* Interference (§3.5)                                                 *)
+
+let interference () =
+  header "Interference: co-resident NFs on sliced LNIC halves (§3.5)";
+  (* Meaningful rate + large EMEM-resident state on both sides so the
+     cache cross-term and accelerator head-of-line blocking bite, while
+     the combined load stays below the NIC's DMA capacity (~2 Mpps) —
+     beyond it the co-resident system simply saturates. *)
+  let prof = profile ~packets:8_000 ~rate:500_000. () in
+  (match
+     Clara_predict.Interference.analyze_pair lnic
+       ~source_a:(Clara_nfs.Firewall.source ~entries:1_000_000 ())
+       ~source_b:(Clara_nfs.Kv_store.source ())
+       ~profile:prof
+   with
+  | Error e -> Printf.printf "error: %s\n" e
+  | Ok (a, b) ->
+      let pr name (r : Clara_predict.Interference.report) =
+        Printf.printf
+          "%-10s solo %9.0f cyc   half-slice %9.0f cyc   contended %9.0f cyc   slowdown %.2fx\n"
+          name r.Clara_predict.Interference.solo_cycles
+          r.Clara_predict.Interference.sliced_cycles
+          r.Clara_predict.Interference.contended_cycles
+          r.Clara_predict.Interference.slowdown
+      in
+      pr "firewall" a;
+      pr "kv-store" b);
+  (* Validate against genuine co-resident simulation: both ports share
+     one simulator (caches, flow cache, accelerators, DMA lanes). *)
+  let prog_a = Clara_nfs.Firewall.ported ~entries:1_000_000 ~placement:Dev.P_emem () in
+  let prog_b = Clara_nfs.Kv_store.ported ~placement:Dev.P_emem () in
+  let tr_a = W.Trace.synthesize ~seed:31L prof in
+  let tr_b = W.Trace.synthesize ~seed:57L prof in
+  let solo_a = Eng.run lnic prog_a tr_a in
+  let solo_b = Eng.run lnic prog_b tr_b in
+  let co_a, co_b = Eng.run_pair lnic prog_a prog_b tr_a tr_b in
+  let pr name (solo : Eng.result) (co : Eng.result) =
+    Printf.printf
+      "%-10s simulated solo %9.0f cyc   co-resident %9.0f cyc   slowdown %.2fx\n" name
+      solo.Eng.summary.SStats.mean_cycles co.Eng.summary.SStats.mean_cycles
+      (co.Eng.summary.SStats.mean_cycles /. solo.Eng.summary.SStats.mean_cycles)
+  in
+  Printf.printf "\n";
+  pr "firewall" solo_a co_a;
+  pr "kv-store" solo_b co_b
+
+(* ------------------------------------------------------------------ *)
+(* NIC selection (§1/§6 use case)                                      *)
+
+let nic_selection () =
+  header "NIC selection: same NF + workload, three SmartNIC targets";
+  let prof = profile () in
+  let targets =
+    [ ("netronome-like", lnic); ("arm-soc-like", L.Soc_nic.default);
+      ("asic-pipeline", L.Asic_nic.default) ]
+  in
+  List.iter
+    (fun (name, src) ->
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun (tname, target) ->
+          match Clara.analyze_for_profile target ~source:src ~profile:prof with
+          | Error e -> Printf.printf "  %-16s error: %s\n" tname e
+          | Ok a ->
+              let p = Clara.predict_profile a prof in
+              let tp = Clara_predict.Throughput.estimate target a.Clara.df a.Clara.mapping in
+              let freq =
+                match L.Graph.general_cores target with
+                | u :: _ -> u.L.Unit_.freq_mhz
+                | [] -> 1
+              in
+              Printf.printf "  %-16s latency %8.0f cyc (%6.1f us)   tput %10.0f pps\n" tname
+                p.Lat.mean_cycles
+                (p.Lat.mean_cycles /. float_of_int freq)
+                tp.Clara_predict.Throughput.max_pps)
+        targets)
+    [ ("lpm-20k (table-heavy)", Clara_nfs.Lpm.source ~entries:20_000);
+      ("dpi (compute-heavy)", Clara_nfs.Dpi.source) ]
+
+(* ------------------------------------------------------------------ *)
+(* Throughput validation: predicted capacity vs simulator saturation    *)
+
+let throughput_validation () =
+  header "Throughput: predicted capacity vs simulated saturation point";
+  Printf.printf
+    "Predicted max pps is the bottleneck model (§3.5); measured is the lowest
+     offered rate where the simulator drops >1%% or p50 latency doubles.
+
+";
+  let prof_at rate = profile ~packets:12_000 ~rate () in
+  List.iter
+    (fun (name, src, prog) ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile:(prof_at 60_000.) with
+      | Error e -> Printf.printf "%-12s error: %s
+" name e
+      | Ok a ->
+          let tp = Clara_predict.Throughput.estimate lnic a.Clara.df a.Clara.mapping in
+          let base =
+            (Eng.run lnic prog (W.Trace.synthesize ~seed:31L (prof_at 30_000.)))
+              .Eng.summary.SStats.p50_cycles
+          in
+          (* Geometric sweep for the saturation knee. *)
+          let rec sweep rate =
+            if rate > 6.4e6 then None
+            else begin
+              let r = Eng.run lnic prog (W.Trace.synthesize ~seed:31L (prof_at rate)) in
+              let drops =
+                float_of_int r.Eng.summary.SStats.drops
+                /. float_of_int (max 1 (r.Eng.summary.SStats.packets + r.Eng.summary.SStats.drops))
+              in
+              if drops > 0.01 || r.Eng.summary.SStats.p50_cycles > 2 * base then Some rate
+              else sweep (rate *. 1.4)
+            end
+          in
+          (match sweep 100_000. with
+          | Some measured ->
+              Printf.printf "%-12s predicted %10.0f pps   measured knee ~%10.0f pps   ratio %.2f
+"
+                name tp.Clara_predict.Throughput.max_pps measured
+                (tp.Clara_predict.Throughput.max_pps /. measured)
+          | None ->
+              Printf.printf "%-12s predicted %10.0f pps   no saturation below 6.4 Mpps
+" name
+                tp.Clara_predict.Throughput.max_pps))
+    [ ("nat", Clara_nfs.Nat.source (), Clara_nfs.Nat.ported ~checksum_engine:true ());
+      ("tunnel-gw", Clara_nfs.Tunnel_gw.source (), Clara_nfs.Tunnel_gw.ported ());
+      ("dpi", Clara_nfs.Dpi.source, Clara_nfs.Dpi.ported ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Load-latency curve: M/M/k queueing prediction vs simulation          *)
+
+let load_latency () =
+  header "Load-latency curve (NAT): M/M/k prediction vs simulation (§6 queueing)";
+  Printf.printf "%-12s %14s %14s
+" "rate (pps)" "predicted" "simulated";
+  let src = Clara_nfs.Nat.source () in
+  let prog = Clara_nfs.Nat.ported ~checksum_engine:true () in
+  let base_prof = profile ~packets:12_000 ~rate:30_000. () in
+  match Clara.analyze_for_profile lnic ~source:src ~profile:base_prof with
+  | Error e -> Printf.printf "error: %s
+" e
+  | Ok a ->
+      let base =
+        (Clara.predict a (W.Trace.synthesize ~seed:31L base_prof)).Lat.mean_cycles
+      in
+      List.iter
+        (fun rate ->
+          let predicted =
+            Clara_predict.Throughput.latency_at_rate ~base_cycles:base ~rate_pps:rate
+              lnic a.Clara.df a.Clara.mapping
+          in
+          let prof = profile ~packets:12_000 ~rate () in
+          let sim =
+            (Eng.run lnic prog (W.Trace.synthesize ~seed:31L prof))
+              .Eng.summary.SStats.mean_cycles
+          in
+          match predicted with
+          | Some p -> Printf.printf "%-12.0f %14.0f %14.0f
+" rate p sim
+          | None -> Printf.printf "%-12.0f %14s %14.0f
+" rate "unstable" sim)
+        [ 100_000.; 500_000.; 1_000_000.; 1_500_000.; 1_800_000.; 1_950_000.; 2_200_000. ]
+
+(* ------------------------------------------------------------------ *)
+(* Service chains                                                      *)
+
+let chains () =
+  header "Service chains: per-stage vs end-to-end prediction";
+  let prof = profile ~packets:8_000 () in
+  let trace = W.Trace.synthesize ~seed:31L prof in
+  let sources =
+    [ ("firewall", Clara_nfs.Firewall.source ());
+      ("nat", Clara_nfs.Nat.source ());
+      ("tunnel-gw", Clara_nfs.Tunnel_gw.source ()) ]
+  in
+  List.iter
+    (fun (name, src) ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile:prof with
+      | Ok a ->
+          Printf.printf "  %-12s standalone %8.0f cyc
+" name
+            (Clara.predict a trace).Lat.mean_cycles
+      | Error e -> Printf.printf "  %-12s error: %s
+" name e)
+    sources;
+  match Clara.Chain.analyze lnic ~sources:(List.map snd sources) ~profile:prof with
+  | Error e -> Printf.printf "chain error: %s
+" e
+  | Ok c ->
+      let p = Clara.Chain.predict c trace in
+      Printf.printf "  %-12s end-to-end %8.0f cyc (emit %.0f%%, p99 %.0f)
+" "chain"
+        p.Lat.mean_cycles
+        (100. *. p.Lat.emitted_fraction)
+        p.Lat.p99_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Energy (§6 future work)                                             *)
+
+let energy () =
+  header "Energy prediction (paper §6 / E3): per-packet energy by target";
+  let prof = profile () in
+  Printf.printf "%-14s %16s %16s %12s
+" "nf" "netronome (nJ)" "x86 host (nJ)" "NIC wins?";
+  List.iter
+    (fun (name, src) ->
+      let nj target =
+        match Clara.analyze_for_profile target ~source:src ~profile:prof with
+        | Error _ -> Float.nan
+        | Ok a ->
+            (Clara_predict.Energy.estimate ~rate_pps:prof.W.Profile.rate_pps target
+               a.Clara.df a.Clara.mapping)
+              .Clara_predict.Energy.nj_per_packet
+      in
+      let nic = nj lnic and host = nj L.Host.default in
+      Printf.printf "%-14s %16.0f %16.0f %12s
+" name nic host
+        (if nic < host then "yes" else "no"))
+    [ ("nat", Clara_nfs.Nat.source ());
+      ("firewall", Clara_nfs.Firewall.source ());
+      ("dpi", Clara_nfs.Dpi.source);
+      ("telemetry", Clara_nfs.Telemetry.source ());
+      ("ipsec-gw", Clara_nfs.Ipsec_gw.source ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Partial offloading (§6 future work)                                 *)
+
+let partial () =
+  header "Partial offloading (paper §6): best NIC/host split per NF";
+  let prof = profile () in
+  Printf.printf "%-14s %-46s %10s
+" "nf" "best split" "total";
+  List.iter
+    (fun (name, src) ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile:prof with
+      | Error e -> Printf.printf "%-14s error: %s
+" name e
+      | Ok a ->
+          let s = Clara_predict.Partial.best_split lnic a.Clara.df a.Clara.mapping in
+          Printf.printf "%-14s %-46s %8.0f ns
+" name
+            (Clara_predict.Partial.describe a.Clara.df s)
+            s.Clara_predict.Partial.total_ns)
+    [ ("nat", Clara_nfs.Nat.source ());
+      ("lpm-20k", Clara_nfs.Lpm.source ~entries:20_000);
+      ("dpi", Clara_nfs.Dpi.source);
+      ("vnf-chain", Clara_nfs.Vnf_chain.source ());
+      ("kv-store", Clara_nfs.Kv_store.source ());
+      ("syn-proxy", Clara_nfs.Syn_proxy.source ());
+      ("telemetry", Clara_nfs.Telemetry.source ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* NF zoo: predicted vs actual across the whole corpus                 *)
+
+let zoo () =
+  header "NF zoo: predicted vs simulated mean latency across the corpus";
+  let prof = profile ~packets:8_000 () in
+  Printf.printf "%-16s %12s %12s %8s
+" "nf" "predicted" "actual" "err";
+  let errs = ref [] in
+  List.iter
+    (fun (name, src, prog) ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile:prof with
+      | Error e -> Printf.printf "%-16s error: %s
+" name e
+      | Ok a ->
+          let trace = W.Trace.synthesize ~seed:31L prof in
+          let predicted = (Clara.predict a trace).Lat.mean_cycles in
+          let actual = (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles in
+          errs := Float.abs (pct_err predicted actual) :: !errs;
+          Printf.printf "%-16s %12.0f %12.0f %+7.1f%%
+" name predicted actual
+            (pct_err predicted actual))
+    [ ("nat", Clara_nfs.Nat.source (), Clara_nfs.Nat.ported ~checksum_engine:true ());
+      ("firewall", Clara_nfs.Firewall.source (), Clara_nfs.Firewall.ported ~placement:Dev.P_imem ());
+      ("dpi", Clara_nfs.Dpi.source, Clara_nfs.Dpi.ported ());
+      ("heavy-hitter", Clara_nfs.Heavy_hitter.source (), Clara_nfs.Heavy_hitter.ported ());
+      ("vnf-chain", Clara_nfs.Vnf_chain.source (), Clara_nfs.Vnf_chain.ported ());
+      ("kv-store", Clara_nfs.Kv_store.source (), Clara_nfs.Kv_store.ported ());
+      ("load-balancer", Clara_nfs.Load_balancer.source (), Clara_nfs.Load_balancer.ported ());
+      ("syn-proxy", Clara_nfs.Syn_proxy.source (), Clara_nfs.Syn_proxy.ported ());
+      ("ipsec-gw", Clara_nfs.Ipsec_gw.source (), Clara_nfs.Ipsec_gw.ported ());
+      ("telemetry", Clara_nfs.Telemetry.source (), Clara_nfs.Telemetry.ported ());
+      ("tunnel-gw", Clara_nfs.Tunnel_gw.source (), Clara_nfs.Tunnel_gw.ported ()) ];
+  let n = List.length !errs in
+  if n > 0 then
+    Printf.printf "mean |err| across the zoo: %.1f%%
+"
+      (List.fold_left ( +. ) 0. !errs /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: cost of the tooling itself                                *)
+
+let bechamel () =
+  header "Bechamel: tool microbenchmarks";
+  let open Bechamel in
+  let prof = profile ~packets:500 ~flows:200 () in
+  let nat_src = Clara_nfs.Nat.source () in
+  let analysis = analyze_exn nat_src prof in
+  let trace = W.Trace.synthesize ~seed:3L prof in
+  let tests =
+    [ Test.make ~name:"lower+coarsen nat" (Staged.stage (fun () ->
+          ignore (Clara_dataflow.Build.of_source nat_src)));
+      Test.make ~name:"ilp map nat" (Staged.stage (fun () ->
+          ignore
+            (Clara_mapping.Encode.map_nf lnic
+               (Clara_dataflow.Build.of_source nat_src)
+               ~sizes:(Clara.sizes_of_profile prof)
+               ~prob:(Clara.prob_of_profile prof))));
+      Test.make ~name:"predict 500 pkts" (Staged.stage (fun () ->
+          ignore (Clara.predict analysis trace)));
+      Test.make ~name:"simulate 500 pkts" (Staged.stage (fun () ->
+          ignore (Eng.run lnic (Clara_nfs.Nat.ported ~checksum_engine:true ()) trace)));
+      Test.make ~name:"synthesize 500-pkt trace" (Staged.stage (fun () ->
+          ignore (W.Trace.synthesize ~seed:9L prof))) ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let raw = Benchmark.all cfg instances test in
+    let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Analyze.merge ols instances [ analyzed ]
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"clara" [ test ]) in
+      Hashtbl.iter
+        (fun _ tbl ->
+          Hashtbl.iter
+            (fun name ols ->
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+              | _ -> Printf.printf "%-28s (no estimate)\n" name)
+            tbl)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("figure1", figure1);
+    ("figure3a", figure3a);
+    ("figure3b", figure3b);
+    ("figure3c", figure3c);
+    ("packet-types", packet_types);
+    ("microbench", microbench);
+    ("mapping", mapping_example);
+    ("ablations", ablations);
+    ("interference", interference);
+    ("nics", nic_selection);
+    ("throughput", throughput_validation);
+    ("load-latency", load_latency);
+    ("chains", chains);
+    ("energy", energy);
+    ("partial", partial);
+    ("zoo", zoo);
+    ("bechamel", bechamel) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.printf "unknown section %s; available: %s\n" name
+            (String.concat " " (List.map fst sections)))
+    requested

@@ -1,0 +1,344 @@
+(* clara — performance clarity for SmartNIC offloading, from the CLI.
+
+   Subcommands:
+     analyze     full performance profile of an unported NF
+     predict     workload-level latency prediction
+     microbench  extract NIC parameters (§3.2) from the simulator
+     nics        compare SmartNIC targets for one NF + workload
+     paths       per-packet-type latency profiles (symbolic execution)
+     partial     best NIC/host split for partial offloading
+     energy      per-packet energy prediction
+     chain       predict a service chain of several NF sources
+     corpus      list/dump the bundled NF sources
+     trace-gen   synthesize a pcap trace from an abstract profile *)
+
+module W = Clara_workload
+module L = Clara_lnic
+open Cmdliner
+
+(* ---- shared arguments -------------------------------------------- *)
+
+let nic_arg =
+  let doc = "Target: 'netronome' (default), 'soc', 'asic', or 'host'." in
+  Arg.(value & opt string "netronome" & info [ "nic" ] ~docv:"NIC" ~doc)
+
+let lnic_of_name = function
+  | "netronome" -> Ok L.Netronome.default
+  | "soc" -> Ok L.Soc_nic.default
+  | "asic" -> Ok L.Asic_nic.default
+  | "host" -> Ok L.Host.default
+  | other -> Error (Printf.sprintf "unknown NIC %S (expected netronome|soc|asic|host)" other)
+
+let source_arg =
+  let doc = "NF DSL source file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NF.clara" ~doc)
+
+let no_flow_cache_arg =
+  let doc = "Forbid the flow-cache accelerator (software match/action variant)." in
+  Arg.(value & flag & info [ "no-flow-cache" ] ~doc)
+
+let no_accels_arg =
+  let doc = "Forbid every accelerator (cores-only port)." in
+  Arg.(value & flag & info [ "no-accels" ] ~doc)
+
+let payload_arg =
+  let doc = "Mean payload size in bytes." in
+  Arg.(value & opt int 300 & info [ "payload" ] ~docv:"BYTES" ~doc)
+
+let packets_arg =
+  let doc = "Trace length in packets." in
+  Arg.(value & opt int 20_000 & info [ "packets" ] ~docv:"N" ~doc)
+
+let flows_arg =
+  let doc = "Concurrent flows." in
+  Arg.(value & opt int 10_000 & info [ "flows" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Offered load in packets per second." in
+  Arg.(value & opt float 60_000. & info [ "rate" ] ~docv:"PPS" ~doc)
+
+let tcp_arg =
+  let doc = "TCP fraction of the traffic mix (rest is UDP)." in
+  Arg.(value & opt float 0.8 & info [ "tcp" ] ~docv:"FRAC" ~doc)
+
+let pcap_arg =
+  let doc = "Use packets from this pcap file instead of a synthetic trace." in
+  Arg.(value & opt (some file) None & info [ "pcap" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for trace synthesis." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let options_of ~no_flow_cache ~no_accels =
+  let disallowed =
+    if no_accels then [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto ]
+    else if no_flow_cache then [ L.Unit_.Lookup ]
+    else []
+  in
+  { Clara_mapping.Mapping.default_options with
+    Clara_mapping.Mapping.disallowed_accels = disallowed }
+
+let profile_of ~payload ~packets ~flows ~rate ~tcp =
+  W.Profile.make ~payload:(W.Dist.Fixed payload) ~packets ~flow_count:flows
+    ~rate_pps:rate ~tcp_fraction:tcp ()
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("clara: " ^ e);
+      exit 1
+
+let trace_of ~pcap ~profile ~seed =
+  match pcap with
+  | Some file -> W.Pcap.read_file file
+  | None -> W.Trace.synthesize ~seed:(Int64.of_int seed) profile
+
+(* ---- analyze ------------------------------------------------------ *)
+
+let json_arg =
+  let doc = "Emit the report as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let analyze_cmd =
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed json =
+    let lnic = or_die (lnic_of_name nic) in
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let options = options_of ~no_flow_cache ~no_accels in
+    let analysis = or_die (Clara.analyze_for_profile ~options lnic ~source ~profile) in
+    let trace = trace_of ~pcap ~profile ~seed in
+    let report = Clara.Report.build ~trace ~rate_pps:rate analysis in
+    if json then
+      print_endline (Clara_util.Json.to_string (Clara.Report.to_json report))
+    else Format.printf "%a" Clara.Report.render report
+  in
+  let doc = "Analyze an unported NF and print its performance profile." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
+      $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
+      $ seed_arg $ json_arg)
+
+(* ---- predict ------------------------------------------------------ *)
+
+let predict_cmd =
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed =
+    let lnic = or_die (lnic_of_name nic) in
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let options = options_of ~no_flow_cache ~no_accels in
+    let analysis = or_die (Clara.analyze_for_profile ~options lnic ~source ~profile) in
+    let trace = trace_of ~pcap ~profile ~seed in
+    let p = Clara.predict analysis trace in
+    Format.printf "%a@." Clara_predict.Latency.pp_prediction p;
+    let freq =
+      match L.Graph.general_cores lnic with u :: _ -> u.L.Unit_.freq_mhz | [] -> 1
+    in
+    Format.printf "mean latency: %.2f us at %d MHz@."
+      (p.Clara_predict.Latency.mean_cycles /. float_of_int freq)
+      freq;
+    (match
+       Clara_predict.Throughput.latency_at_rate
+         ~base_cycles:p.Clara_predict.Latency.mean_cycles ~rate_pps:rate lnic
+         analysis.Clara.df analysis.Clara.mapping
+     with
+    | Some loaded when loaded > p.Clara_predict.Latency.mean_cycles +. 1. ->
+        Format.printf "with queueing at %.0f pps: %.0f cycles@." rate loaded
+    | Some _ -> ()
+    | None ->
+        Format.printf "warning: %.0f pps exceeds the predicted capacity@." rate)
+  in
+  let doc = "Predict workload latency for an unported NF." in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(
+      const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
+      $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
+      $ seed_arg)
+
+(* ---- microbench ---------------------------------------------------- *)
+
+let microbench_cmd =
+  let run nic =
+    let lnic = or_die (lnic_of_name nic) in
+    let c = Clara.Microbench.calibrate lnic in
+    Format.printf "%a" Clara.Microbench.pp_calibration c
+  in
+  let doc = "Run the §3.2 microbenchmarks and print extracted parameters." in
+  Cmd.v (Cmd.info "microbench" ~doc) Term.(const run $ nic_arg)
+
+(* ---- nics ---------------------------------------------------------- *)
+
+let nics_cmd =
+  let run src payload packets flows rate tcp =
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    List.iter
+      (fun (name, lnic) ->
+        match Clara.analyze_for_profile lnic ~source ~profile with
+        | Error e -> Printf.printf "%-12s error: %s\n" name e
+        | Ok a ->
+            let p = Clara.predict_profile a profile in
+            let tp = Clara_predict.Throughput.estimate lnic a.Clara.df a.Clara.mapping in
+            let freq =
+              match L.Graph.general_cores lnic with
+              | u :: _ -> u.L.Unit_.freq_mhz
+              | [] -> 1
+            in
+            Printf.printf "%-12s latency %9.0f cyc (%7.2f us)   max tput %10.0f pps\n"
+              name p.Clara_predict.Latency.mean_cycles
+              (p.Clara_predict.Latency.mean_cycles /. float_of_int freq)
+              tp.Clara_predict.Throughput.max_pps)
+      [ ("netronome", L.Netronome.default); ("soc", L.Soc_nic.default);
+        ("asic", L.Asic_nic.default) ]
+  in
+  let doc = "Compare SmartNIC targets for one NF and workload." in
+  Cmd.v (Cmd.info "nics" ~doc)
+    Term.(const run $ source_arg $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg)
+
+(* ---- trace-gen ------------------------------------------------------ *)
+
+let trace_gen_cmd =
+  let out_arg =
+    let doc = "Output pcap file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.pcap" ~doc)
+  in
+  let run out payload packets flows rate tcp seed =
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let trace = W.Trace.synthesize ~seed:(Int64.of_int seed) profile in
+    W.Pcap.write_file out trace;
+    Format.printf "wrote %s: %a@." out W.Trace.pp_stats (W.Trace.stats trace)
+  in
+  let doc = "Synthesize a pcap trace from an abstract workload profile." in
+  Cmd.v (Cmd.info "trace-gen" ~doc)
+    Term.(
+      const run $ out_arg $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg
+      $ seed_arg)
+
+(* ---- paths --------------------------------------------------------- *)
+
+let paths_cmd =
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp =
+    let lnic = or_die (lnic_of_name nic) in
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let options = options_of ~no_flow_cache ~no_accels in
+    let a = or_die (Clara.analyze_for_profile ~options lnic ~source ~profile) in
+    let paths = Clara_predict.Symexec.enumerate lnic a.Clara.df a.Clara.mapping in
+    List.iter (fun p -> Format.printf "%a@." Clara_predict.Symexec.pp_path p) paths
+  in
+  let doc = "Enumerate per-packet-type latency profiles (symbolic execution)." in
+  Cmd.v (Cmd.info "paths" ~doc)
+    Term.(
+      const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
+      $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg)
+
+(* ---- partial ------------------------------------------------------- *)
+
+let partial_cmd =
+  let run src nic payload packets flows rate tcp =
+    let lnic = or_die (lnic_of_name nic) in
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let a = or_die (Clara.analyze_for_profile lnic ~source ~profile) in
+    let splits = Clara_predict.Partial.enumerate_splits lnic a.Clara.df a.Clara.mapping in
+    List.iteri
+      (fun i s ->
+        if i < 8 then
+          Format.printf "%s%a  %s@."
+            (if i = 0 then "-> " else "   ")
+            Clara_predict.Partial.pp s
+            (Clara_predict.Partial.describe a.Clara.df s))
+      splits
+  in
+  let doc = "Evaluate partial-offloading splits between the NIC and the host." in
+  Cmd.v (Cmd.info "partial" ~doc)
+    Term.(
+      const run $ source_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
+      $ rate_arg $ tcp_arg)
+
+(* ---- energy -------------------------------------------------------- *)
+
+let energy_cmd =
+  let run src nic payload packets flows rate tcp =
+    let lnic = or_die (lnic_of_name nic) in
+    let source = read_file src in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let a = or_die (Clara.analyze_for_profile lnic ~source ~profile) in
+    let e = Clara_predict.Energy.estimate ~rate_pps:rate lnic a.Clara.df a.Clara.mapping in
+    Format.printf "%a@." Clara_predict.Energy.pp e;
+    List.iter
+      (fun (name, nj) -> Format.printf "  %-20s %10.1f nJ/pkt@." name nj)
+      e.Clara_predict.Energy.breakdown
+  in
+  let doc = "Predict per-packet energy and power at the offered rate." in
+  Cmd.v (Cmd.info "energy" ~doc)
+    Term.(
+      const run $ source_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
+      $ rate_arg $ tcp_arg)
+
+(* ---- chain ---------------------------------------------------------- *)
+
+let chain_cmd =
+  let sources_arg =
+    let doc = "NF DSL source files, in chain order." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"NF.clara..." ~doc)
+  in
+  let run srcs nic payload packets flows rate tcp seed =
+    let lnic = or_die (lnic_of_name nic) in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let sources = List.map read_file srcs in
+    let chain = or_die (Clara.Chain.analyze lnic ~sources ~profile) in
+    let trace = W.Trace.synthesize ~seed:(Int64.of_int seed) profile in
+    let p = Clara.Chain.predict chain trace in
+    Format.printf "chain: %s@." (String.concat " -> " (Clara.Chain.stage_names chain));
+    Format.printf "%a@." Clara_predict.Latency.pp_prediction p
+  in
+  let doc = "Predict end-to-end latency of a service chain." in
+  Cmd.v (Cmd.info "chain" ~doc)
+    Term.(
+      const run $ sources_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
+      $ rate_arg $ tcp_arg $ seed_arg)
+
+(* ---- corpus --------------------------------------------------------- *)
+
+let corpus_cmd =
+  let name_arg =
+    let doc = "NF name; omit to list the corpus." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun (e : Clara_nfs.Corpus.entry) ->
+            Printf.printf "%-14s %s
+" e.Clara_nfs.Corpus.name
+              e.Clara_nfs.Corpus.description)
+          Clara_nfs.Corpus.all
+    | Some n -> (
+        match Clara_nfs.Corpus.find n with
+        | Some e -> print_string e.Clara_nfs.Corpus.source
+        | None ->
+            prerr_endline
+              ("clara: unknown NF (try: " ^ String.concat " " Clara_nfs.Corpus.names ^ ")");
+            exit 1)
+  in
+  let doc = "List the bundled NF corpus, or print one NF's DSL source." in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ name_arg)
+
+(* -------------------------------------------------------------------- *)
+
+let () =
+  let doc = "performance clarity for SmartNIC offloading" in
+  let info = Cmd.info "clara" ~version:"0.1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
+            paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd ]))

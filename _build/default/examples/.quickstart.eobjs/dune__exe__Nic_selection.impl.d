@@ -1,0 +1,1 @@
+examples/nic_selection.ml: Clara Clara_lnic Clara_nfs Clara_predict Clara_workload List Printf

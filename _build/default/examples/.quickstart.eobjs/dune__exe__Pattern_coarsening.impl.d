@@ -1,0 +1,1 @@
+examples/pattern_coarsening.ml: Clara Clara_cir Clara_lnic Clara_nfs Clara_predict Clara_workload Format List Printf String

@@ -1,0 +1,1 @@
+examples/pcap_workflow.ml: Clara Clara_lnic Clara_nfs Clara_predict Clara_workload Filename Format Fun Printf Sys

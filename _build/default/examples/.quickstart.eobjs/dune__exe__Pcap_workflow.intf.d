@@ -1,0 +1,1 @@
+examples/pcap_workflow.mli:

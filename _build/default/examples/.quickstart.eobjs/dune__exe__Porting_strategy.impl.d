@@ -1,0 +1,1 @@
+examples/porting_strategy.ml: Clara Clara_lnic Clara_mapping Clara_nfs Clara_nicsim Clara_predict Clara_workload Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clara Clara_lnic Clara_workload Format

@@ -1,0 +1,1 @@
+examples/service_chain.ml: Clara Clara_lnic Clara_nfs Clara_predict Clara_workload List Printf

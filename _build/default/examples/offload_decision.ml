@@ -1,0 +1,56 @@
+(* Offload decision: should this NF move to the SmartNIC at all?
+
+   The paper's first use case (§1): "decide whether or not to offload a
+   particular NF".  We compare Clara's predicted on-NIC latency and
+   sustainable throughput against a simple x86 baseline model, across
+   workloads, without writing a single line of SmartNIC code.
+
+   Run:  dune exec examples/offload_decision.exe *)
+
+module W = Clara_workload
+module L = Clara_lnic
+
+(* Crude x86 host model: a 3.4 GHz core runs the same NF logic with
+   DPDK-style overheads — cheap compute, expensive PCIe round-trip. *)
+let x86_latency_us ~payload ~table_heavy =
+  let pcie_us = 1.1 (* NIC -> host -> NIC *) in
+  let compute_us = (0.08 +. (float_of_int payload *. 0.0009)) *. if table_heavy then 1.6 else 1.0 in
+  pcie_us +. compute_us
+
+let () =
+  let lnic = L.Netronome.default in
+  let candidates =
+    [ ("nat", Clara_nfs.Nat.source (), true);
+      ("firewall", Clara_nfs.Firewall.source (), true);
+      ("dpi", Clara_nfs.Dpi.source, false);
+      ("vnf-chain", Clara_nfs.Vnf_chain.source (), false) ]
+  in
+  let payloads = [ 128; 512; 1200 ] in
+  Printf.printf "%-10s %8s %14s %14s %10s\n" "nf" "payload" "NIC (us)" "x86 (us)" "offload?";
+  List.iter
+    (fun (name, source, table_heavy) ->
+      List.iter
+        (fun payload ->
+          let profile =
+            W.Profile.make ~payload:(W.Dist.Fixed payload) ~packets:5_000
+              ~flow_count:5_000 ~rate_pps:60_000. ()
+          in
+          match Clara.analyze_for_profile lnic ~source ~profile with
+          | Error e -> Printf.printf "%-10s error: %s\n" name e
+          | Ok a ->
+              let p = Clara.predict_profile a profile in
+              let freq =
+                match L.Graph.general_cores lnic with
+                | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+                | [] -> 1.
+              in
+              let nic_us = p.Clara_predict.Latency.mean_cycles /. freq in
+              let x86_us = x86_latency_us ~payload ~table_heavy in
+              Printf.printf "%-10s %8d %14.2f %14.2f %10s\n" name payload nic_us x86_us
+                (if nic_us < x86_us then "YES" else "no"))
+        payloads)
+    candidates;
+  Printf.printf
+    "\nReading: offloading wins where the NIC's lower per-packet overheads beat\n\
+     the host's PCIe round-trip; compute-heavy NFs (DPI at large payloads) can\n\
+     lose because the 800 MHz NPUs scan payloads slower than a 3.4 GHz core.\n"

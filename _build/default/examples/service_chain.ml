@@ -1,0 +1,44 @@
+(* Service chain: predict a firewall -> NAT -> tunnel-gateway chain on
+   one NIC, per stage and end to end — and compare deployment targets.
+
+   Run:  dune exec examples/service_chain.exe *)
+
+module W = Clara_workload
+module L = Clara_lnic
+
+let () =
+  let profile =
+    W.Profile.make ~tcp_fraction:0.9 ~flow_count:5_000
+      ~payload:(W.Dist.Fixed 400) ~rate_pps:60_000. ~packets:10_000 ()
+  in
+  let sources =
+    [ Clara_nfs.Firewall.source ();
+      Clara_nfs.Nat.source ();
+      Clara_nfs.Tunnel_gw.source () ]
+  in
+  let trace = W.Trace.synthesize ~seed:5L profile in
+  List.iter
+    (fun (tname, target) ->
+      Printf.printf "\n=== %s ===\n" tname;
+      match Clara.Chain.analyze target ~sources ~profile with
+      | Error e -> Printf.printf "chain does not map: %s\n" e
+      | Ok chain ->
+          (* Per-stage standalone predictions for context. *)
+          List.iter2
+            (fun name src ->
+              match Clara.analyze_for_profile target ~source:src ~profile with
+              | Ok a ->
+                  let p = Clara.predict a trace in
+                  Printf.printf "  %-12s standalone %8.0f cyc\n" name
+                    p.Clara_predict.Latency.mean_cycles
+              | Error e -> Printf.printf "  %-12s error: %s\n" name e)
+            (Clara.Chain.stage_names chain)
+            sources;
+          let p = Clara.Chain.predict chain trace in
+          Printf.printf "  %-12s end-to-end %8.0f cyc (emit %.0f%%, p99 %.0f)\n" "chain"
+            p.Clara_predict.Latency.mean_cycles
+            (100. *. p.Clara_predict.Latency.emitted_fraction)
+            p.Clara_predict.Latency.p99_cycles)
+    [ ("netronome-like", L.Netronome.default);
+      ("arm-soc-like", L.Soc_nic.default);
+      ("asic-pipeline", L.Asic_nic.default) ]

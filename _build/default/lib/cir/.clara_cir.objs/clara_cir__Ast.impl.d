@@ -1,0 +1,1 @@
+lib/cir/ast.ml: Format List String

@@ -1,0 +1,1 @@
+lib/cir/ast.mli: Format

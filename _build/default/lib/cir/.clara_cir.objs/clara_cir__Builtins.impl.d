@@ -1,0 +1,1 @@
+lib/cir/builtins.ml: Ast List

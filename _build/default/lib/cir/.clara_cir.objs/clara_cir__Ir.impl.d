@@ -1,0 +1,1 @@
+lib/cir/ir.ml: Array Ast Clara_lnic Format List Printf

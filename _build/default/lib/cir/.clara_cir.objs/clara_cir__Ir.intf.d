@@ -1,0 +1,1 @@
+lib/cir/ir.mli: Ast Clara_lnic Format

@@ -1,0 +1,1 @@
+lib/cir/lexer.ml: Ast List Printf String Token

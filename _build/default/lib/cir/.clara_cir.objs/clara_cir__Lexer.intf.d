@@ -1,0 +1,1 @@
+lib/cir/lexer.mli: Ast Token

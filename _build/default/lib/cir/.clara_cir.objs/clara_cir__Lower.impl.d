@@ -1,0 +1,1 @@
+lib/cir/lower.ml: Array Ast Builtins Clara_lnic Ir List Option Parser Printf Typecheck

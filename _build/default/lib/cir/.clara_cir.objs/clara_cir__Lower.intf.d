@@ -1,0 +1,1 @@
+lib/cir/lower.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/cir/parser.ml: Ast Format Lexer List Token

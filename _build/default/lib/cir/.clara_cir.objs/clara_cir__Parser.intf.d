@@ -1,0 +1,1 @@
+lib/cir/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/cir/patterns.ml: Array Clara_lnic Ir List

@@ -1,0 +1,1 @@
+lib/cir/patterns.mli: Ir

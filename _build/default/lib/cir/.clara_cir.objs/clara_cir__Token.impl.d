@@ -1,0 +1,1 @@
+lib/cir/token.ml: Ast Format

@@ -1,0 +1,1 @@
+lib/cir/typecheck.ml: Ast Builtins Format List Option Printf String

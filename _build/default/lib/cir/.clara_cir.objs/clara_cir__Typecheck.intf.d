@@ -1,0 +1,1 @@
+lib/cir/typecheck.mli: Ast Format

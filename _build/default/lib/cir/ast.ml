@@ -1,0 +1,127 @@
+type pos = { line : int; col : int }
+
+type typ = T_int | T_float | T_bool | T_packet | T_header | T_entry
+
+type state_kind = S_map | S_lpm | S_array | S_counter
+
+type state_decl = {
+  s_name : string;
+  s_kind : state_kind;
+  s_entries : int;
+  s_entry_bytes : int;
+  s_pos : pos;
+}
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Not | Neg | Bnot
+
+type expr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Ident of string
+  | Field of string * string
+  | Call of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Var of string * expr * pos
+  | Assign of string * expr * pos
+  | Field_assign of string * string * expr * pos
+  | If of expr * block * block option * pos
+  | While of expr * block * pos
+  | For of string * expr * expr * expr * block * pos
+  | Expr of expr * pos
+  | Return of pos
+
+and block = stmt list
+
+type handler = { h_name : string; h_packet : string; h_body : block; h_pos : pos }
+
+type program = {
+  nf_name : string;
+  consts : (string * int) list;
+  states : state_decl list;
+  handler : handler;
+}
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let typ_name = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+  | T_packet -> "packet"
+  | T_header -> "header"
+  | T_entry -> "entry"
+
+let rec pp_expr fmt = function
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.pp_print_float fmt f
+  | Bool b -> Format.pp_print_bool fmt b
+  | Ident s -> Format.pp_print_string fmt s
+  | Field (o, f) -> Format.fprintf fmt "%s.%s" o f
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_expr)
+        args
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop (Not, e) -> Format.fprintf fmt "!%a" pp_expr e
+  | Unop (Neg, e) -> Format.fprintf fmt "-%a" pp_expr e
+  | Unop (Bnot, e) -> Format.fprintf fmt "~%a" pp_expr e
+
+let rec pp_stmt fmt ind stmt =
+  let pad = String.make ind ' ' in
+  match stmt with
+  | Var (x, e, _) -> Format.fprintf fmt "%svar %s = %a;@." pad x pp_expr e
+  | Assign (x, e, _) -> Format.fprintf fmt "%s%s = %a;@." pad x pp_expr e
+  | Field_assign (o, f, e, _) -> Format.fprintf fmt "%s%s.%s = %a;@." pad o f pp_expr e
+  | If (c, t, e, _) ->
+      Format.fprintf fmt "%sif (%a) {@." pad pp_expr c;
+      List.iter (fun s -> pp_stmt fmt (ind + 2) s) t;
+      (match e with
+      | None -> ()
+      | Some e ->
+          Format.fprintf fmt "%s} else {@." pad;
+          List.iter (fun s -> pp_stmt fmt (ind + 2) s) e);
+      Format.fprintf fmt "%s}@." pad
+  | While (c, b, _) ->
+      Format.fprintf fmt "%swhile (%a) {@." pad pp_expr c;
+      List.iter (fun s -> pp_stmt fmt (ind + 2) s) b;
+      Format.fprintf fmt "%s}@." pad
+  | For (x, init, cond, step, b, _) ->
+      Format.fprintf fmt "%sfor (%s = %a; %a; %s = %a) {@." pad x pp_expr init pp_expr
+        cond x pp_expr step;
+      List.iter (fun s -> pp_stmt fmt (ind + 2) s) b;
+      Format.fprintf fmt "%s}@." pad
+  | Expr (e, _) -> Format.fprintf fmt "%s%a;@." pad pp_expr e
+  | Return _ -> Format.fprintf fmt "%sreturn;@." pad
+
+let pp_program fmt p =
+  Format.fprintf fmt "nf %s {@." p.nf_name;
+  List.iter (fun (n, v) -> Format.fprintf fmt "  const %s = %d;@." n v) p.consts;
+  List.iter
+    (fun s ->
+      let kind =
+        match s.s_kind with
+        | S_map -> "map"
+        | S_lpm -> "lpm"
+        | S_array -> "array"
+        | S_counter -> "counter"
+      in
+      Format.fprintf fmt "  state %s %s[%d] entry %d;@." kind s.s_name s.s_entries
+        s.s_entry_bytes)
+    p.states;
+  Format.fprintf fmt "  handler %s(%s) {@." p.handler.h_name p.handler.h_packet;
+  List.iter (fun s -> pp_stmt fmt 4 s) p.handler.h_body;
+  Format.fprintf fmt "  }@.}@."

@@ -1,0 +1,82 @@
+(** Abstract syntax of the NF DSL.
+
+    The DSL is the reproduction's stand-in for "C + framework APIs lowered
+    via LLVM" (§3.3): a small C-like language whose builtin calls play the
+    role of Click/eBPF framework calls.  Programs are lowered to the Clara
+    IR by {!Lower}; Clara never interprets the AST directly. *)
+
+type pos = { line : int; col : int }
+
+type typ =
+  | T_int
+  | T_float
+  | T_bool
+  | T_packet   (** The packet handle bound by the handler. *)
+  | T_header   (** Result of [parse_header]. *)
+  | T_entry    (** Result of a table [lookup]. *)
+
+type state_kind =
+  | S_map      (** Exact-match (hash) table. *)
+  | S_lpm      (** Longest-prefix-match table. *)
+  | S_array
+  | S_counter
+
+type state_decl = {
+  s_name : string;
+  s_kind : state_kind;
+  s_entries : int;      (** Capacity in entries. *)
+  s_entry_bytes : int;  (** Bytes per entry. *)
+  s_pos : pos;
+}
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Not | Neg | Bnot
+
+type expr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Ident of string
+  | Field of string * string     (** [hdr.src_ip]-style field access. *)
+  | Call of string * expr list   (** Builtin / framework call. *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+(* Positions are tracked at the statement level; expression-level errors
+   report the enclosing statement. *)
+
+type stmt =
+  | Var of string * expr * pos          (** [var x = e;] *)
+  | Assign of string * expr * pos
+  | Field_assign of string * string * expr * pos  (** [hdr.f = e;] *)
+  | If of expr * block * block option * pos
+  | While of expr * block * pos
+  | For of string * expr * expr * expr * block * pos
+      (** [for (i = e1; cond; i = e2) body] *)
+  | Expr of expr * pos                  (** Call for effect. *)
+  | Return of pos
+
+and block = stmt list
+
+type handler = {
+  h_name : string;
+  h_packet : string;  (** Name the packet parameter binds to. *)
+  h_body : block;
+  h_pos : pos;
+}
+
+type program = {
+  nf_name : string;
+  consts : (string * int) list;
+  states : state_decl list;
+  handler : handler;
+}
+
+val binop_name : binop -> string
+val typ_name : typ -> string
+val pp_expr : Format.formatter -> expr -> unit
+val pp_program : Format.formatter -> program -> unit

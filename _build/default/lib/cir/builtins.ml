@@ -1,0 +1,41 @@
+type arg_type = A_packet | A_header | A_entry | A_int | A_state of Ast.state_kind list
+
+type signature = { args : arg_type list; variadic_int : bool; result : Ast.typ }
+
+let simple args result = { args; variadic_int = false; result }
+
+let table =
+  [ (* Packet inspection. *)
+    ("parse_header", simple [ A_packet ] Ast.T_header);
+    ("payload_len", simple [ A_packet ] Ast.T_int);
+    ("packet_len", simple [ A_packet ] Ast.T_int);
+    ("payload_byte", simple [ A_packet; A_int ] Ast.T_int);
+    (* Checksums / crypto. *)
+    ("checksum", simple [ A_packet ] Ast.T_int);
+    ("checksum_update", simple [ A_header ] Ast.T_int);
+    ("crypto", simple [ A_packet ] Ast.T_int);
+    (* Tables. *)
+    ("lookup", simple [ A_state [ Ast.S_map; Ast.S_array ]; A_int ] Ast.T_entry);
+    ("update", simple [ A_state [ Ast.S_map; Ast.S_array ]; A_int; A_int ] Ast.T_int);
+    ("lpm_match", simple [ A_state [ Ast.S_lpm ]; A_int ] Ast.T_entry);
+    ("found", simple [ A_entry ] Ast.T_bool);
+    ("entry_value", simple [ A_entry ] Ast.T_int);
+    (* Measurement / policing. *)
+    ("meter", simple [ A_int ] Ast.T_int);
+    ("count", simple [ A_state [ Ast.S_counter; Ast.S_map; Ast.S_array ]; A_int ] Ast.T_int);
+    (* DPI. *)
+    ("scan_payload", simple [ A_packet; A_int ] Ast.T_bool);
+    (* Hashing: 1..4 int arguments. *)
+    ("hash", { args = [ A_int ]; variadic_int = true; result = Ast.T_int });
+    (* Verdicts. *)
+    ("emit", simple [ A_packet ] Ast.T_int);
+    ("drop", simple [ A_packet ] Ast.T_int) ]
+
+let lookup name = List.assoc_opt name table
+let names = List.map fst table
+
+let header_fields =
+  [ "src_ip"; "dst_ip"; "src_port"; "dst_port"; "proto"; "flags"; "len"; "ttl";
+    "seq"; "ack"; "payload_len" ]
+
+let is_header_field f = List.mem f header_fields

@@ -1,0 +1,27 @@
+(** Framework API surface of the NF DSL.
+
+    These play the role of Click/eBPF framework calls in the paper (§3.3):
+    the lowering recognizes them and substitutes virtual calls that are
+    bound to NIC components during mapping. *)
+
+type arg_type =
+  | A_packet
+  | A_header
+  | A_entry
+  | A_int
+  | A_state of Ast.state_kind list  (** A state name of one of these kinds. *)
+
+type signature = {
+  args : arg_type list;
+  variadic_int : bool;  (** Extra trailing int arguments allowed (hash). *)
+  result : Ast.typ;
+}
+
+val lookup : string -> signature option
+val names : string list
+
+val header_fields : string list
+(** Fields valid on a [T_header] value: src_ip, dst_ip, src_port,
+    dst_port, proto, flags, len, ttl, seq, ack, payload_len. *)
+
+val is_header_field : string -> bool

@@ -1,0 +1,172 @@
+exception Error of string * Ast.pos
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let peek c = if c.off < String.length c.src then Some c.src.[c.off] else None
+
+let peek2 c =
+  if c.off + 1 < String.length c.src then Some c.src.[c.off + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.off <- c.off + 1
+
+let pos c = { Ast.line = c.line; col = c.col }
+
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_hex ch = is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_ws c
+  | Some '/' when peek2 c = Some '/' ->
+      while peek c <> None && peek c <> Some '\n' do
+        advance c
+      done;
+      skip_ws c
+  | Some '/' when peek2 c = Some '*' ->
+      let start = pos c in
+      advance c;
+      advance c;
+      let rec eat () =
+        match (peek c, peek2 c) with
+        | Some '*', Some '/' ->
+            advance c;
+            advance c
+        | Some _, _ ->
+            advance c;
+            eat ()
+        | None, _ -> raise (Error ("unterminated block comment", start))
+      in
+      eat ();
+      skip_ws c
+  | _ -> ()
+
+let lex_number c =
+  let p = pos c in
+  let start = c.off in
+  if peek c = Some '0' && (peek2 c = Some 'x' || peek2 c = Some 'X') then begin
+    advance c;
+    advance c;
+    let hstart = c.off in
+    while (match peek c with Some ch -> is_hex ch | None -> false) do
+      advance c
+    done;
+    if c.off = hstart then raise (Error ("malformed hex literal", p));
+    let s = String.sub c.src start (c.off - start) in
+    { Token.kind = Token.INT (int_of_string s); pos = p }
+  end
+  else begin
+    while (match peek c with Some ch -> is_digit ch | None -> false) do
+      advance c
+    done;
+    let is_float =
+      peek c = Some '.'
+      && (match peek2 c with Some ch -> is_digit ch | None -> false)
+    in
+    if is_float then begin
+      advance c;
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done;
+      let s = String.sub c.src start (c.off - start) in
+      { Token.kind = Token.FLOAT (float_of_string s); pos = p }
+    end
+    else
+      let s = String.sub c.src start (c.off - start) in
+      { Token.kind = Token.INT (int_of_string s); pos = p }
+  end
+
+let lex_ident c =
+  let p = pos c in
+  let start = c.off in
+  while (match peek c with Some ch -> is_ident ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.off - start) in
+  if List.mem s Token.keywords then { Token.kind = Token.KW s; pos = p }
+  else { Token.kind = Token.IDENT s; pos = p }
+
+(* Two-character operators must be tried before their one-character
+   prefixes. *)
+let lex_op c =
+  let p = pos c in
+  let two a b tok =
+    if peek c = Some a && peek2 c = Some b then begin
+      advance c;
+      advance c;
+      Some { Token.kind = tok; pos = p }
+    end
+    else None
+  in
+  (* Thunked so that a successful match (which consumes input) stops the
+     search before later candidates can also consume. *)
+  let candidates =
+    [ (fun () -> two '=' '=' (Token.OP "=="));
+      (fun () -> two '!' '=' (Token.OP "!="));
+      (fun () -> two '<' '=' (Token.OP "<="));
+      (fun () -> two '>' '=' (Token.OP ">="));
+      (fun () -> two '&' '&' (Token.OP "&&"));
+      (fun () -> two '|' '|' (Token.OP "||"));
+      (fun () -> two '<' '<' (Token.OP "<<"));
+      (fun () -> two '>' '>' (Token.OP ">>")) ]
+  in
+  let rec first = function
+    | [] -> None
+    | f :: rest -> ( match f () with Some t -> Some t | None -> first rest)
+  in
+  match first candidates with
+  | Some _ as t -> t
+  | None -> (
+      match peek c with
+      | Some ch ->
+          let kind =
+            match ch with
+            | '(' -> Some Token.LPAREN
+            | ')' -> Some Token.RPAREN
+            | '{' -> Some Token.LBRACE
+            | '}' -> Some Token.RBRACE
+            | '[' -> Some Token.LBRACKET
+            | ']' -> Some Token.RBRACKET
+            | ';' -> Some Token.SEMI
+            | ',' -> Some Token.COMMA
+            | '.' -> Some Token.DOT
+            | '=' -> Some Token.ASSIGN
+            | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '&' | '|' | '^' | '~' ->
+                Some (Token.OP (String.make 1 ch))
+            | _ -> None
+          in
+          (match kind with
+          | Some k ->
+              advance c;
+              Some { Token.kind = k; pos = p }
+          | None -> None)
+      | None -> None)
+
+let tokenize src =
+  let c = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_ws c;
+    match peek c with
+    | None -> List.rev ({ Token.kind = Token.EOF; pos = pos c } :: acc)
+    | Some ch when is_digit ch -> go (lex_number c :: acc)
+    | Some ch when is_ident_start ch -> go (lex_ident c :: acc)
+    | Some ch -> (
+        match lex_op c with
+        | Some t -> go (t :: acc)
+        | None ->
+            raise (Error (Printf.sprintf "unexpected character %C" ch, pos c)))
+  in
+  go []

@@ -1,0 +1,9 @@
+(** Hand-written lexer for the NF DSL.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    and hexadecimal integer literals, and float literals. *)
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> Token.t list
+(** @raise Error on an unrecognized character or malformed literal. *)

@@ -1,0 +1,320 @@
+exception Error of string * Ast.pos
+
+type stream = { mutable toks : Token.t list }
+
+let cur s =
+  match s.toks with
+  | [] -> { Token.kind = Token.EOF; pos = { Ast.line = 0; col = 0 } }
+  | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let fail s msg =
+  let t = cur s in
+  raise (Error (Format.asprintf "%s (found %a)" msg Token.pp_kind t.Token.kind, t.Token.pos))
+
+let expect s kind msg =
+  if (cur s).Token.kind = kind then advance s else fail s msg
+
+let expect_ident s msg =
+  match (cur s).Token.kind with
+  | Token.IDENT name ->
+      advance s;
+      name
+  | _ -> fail s msg
+
+let expect_int s msg =
+  match (cur s).Token.kind with
+  | Token.INT v ->
+      advance s;
+      v
+  | _ -> fail s msg
+
+let accept s kind =
+  if (cur s).Token.kind = kind then begin
+    advance s;
+    true
+  end
+  else false
+
+(* Binary operator precedence, C-like; higher binds tighter. *)
+let binop_of_op = function
+  | "||" -> Some (Ast.Or, 1)
+  | "&&" -> Some (Ast.And, 2)
+  | "|" -> Some (Ast.Bor, 3)
+  | "^" -> Some (Ast.Bxor, 4)
+  | "&" -> Some (Ast.Band, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr s = parse_binop s 0
+
+and parse_binop s min_prec =
+  let lhs = parse_unary s in
+  let rec loop lhs =
+    match (cur s).Token.kind with
+    | Token.OP op -> (
+        match binop_of_op op with
+        | Some (bop, prec) when prec >= min_prec ->
+            advance s;
+            let rhs = parse_binop s (prec + 1) in
+            loop (Ast.Binop (bop, lhs, rhs))
+        | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary s =
+  match (cur s).Token.kind with
+  | Token.OP "!" ->
+      advance s;
+      Ast.Unop (Ast.Not, parse_unary s)
+  | Token.OP "-" ->
+      advance s;
+      Ast.Unop (Ast.Neg, parse_unary s)
+  | Token.OP "~" ->
+      advance s;
+      Ast.Unop (Ast.Bnot, parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match (cur s).Token.kind with
+  | Token.INT v ->
+      advance s;
+      Ast.Int v
+  | Token.FLOAT v ->
+      advance s;
+      Ast.Float v
+  | Token.KW "true" ->
+      advance s;
+      Ast.Bool true
+  | Token.KW "false" ->
+      advance s;
+      Ast.Bool false
+  | Token.LPAREN ->
+      advance s;
+      let e = parse_expr s in
+      expect s Token.RPAREN "expected ')'";
+      e
+  | Token.IDENT name -> (
+      advance s;
+      match (cur s).Token.kind with
+      | Token.LPAREN ->
+          advance s;
+          let args = parse_args s in
+          Ast.Call (name, args)
+      | Token.DOT ->
+          advance s;
+          let field = expect_ident s "expected field name after '.'" in
+          Ast.Field (name, field)
+      | _ -> Ast.Ident name)
+  | _ -> fail s "expected expression"
+
+and parse_args s =
+  if accept s Token.RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr s in
+      if accept s Token.COMMA then loop (e :: acc)
+      else begin
+        expect s Token.RPAREN "expected ')' or ',' in argument list";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+let rec parse_stmt s =
+  let p = (cur s).Token.pos in
+  match (cur s).Token.kind with
+  | Token.KW "var" ->
+      advance s;
+      let name = expect_ident s "expected variable name" in
+      expect s Token.ASSIGN "expected '=' in var declaration";
+      let e = parse_expr s in
+      expect s Token.SEMI "expected ';'";
+      Ast.Var (name, e, p)
+  | Token.KW "if" ->
+      advance s;
+      expect s Token.LPAREN "expected '(' after if";
+      let cond = parse_expr s in
+      expect s Token.RPAREN "expected ')'";
+      let then_ = parse_block s in
+      let else_ =
+        if (cur s).Token.kind = Token.KW "else" then begin
+          advance s;
+          (* "else if" chains parse as a nested conditional. *)
+          if (cur s).Token.kind = Token.KW "if" then Some [ parse_stmt s ]
+          else Some (parse_block s)
+        end
+        else None
+      in
+      Ast.If (cond, then_, else_, p)
+  | Token.KW "while" ->
+      advance s;
+      expect s Token.LPAREN "expected '(' after while";
+      let cond = parse_expr s in
+      expect s Token.RPAREN "expected ')'";
+      let body = parse_block s in
+      Ast.While (cond, body, p)
+  | Token.KW "for" ->
+      advance s;
+      expect s Token.LPAREN "expected '(' after for";
+      let x = expect_ident s "expected loop variable" in
+      expect s Token.ASSIGN "expected '=' in for initializer";
+      let init = parse_expr s in
+      expect s Token.SEMI "expected ';'";
+      let cond = parse_expr s in
+      expect s Token.SEMI "expected ';'";
+      let x2 = expect_ident s "expected loop variable in step" in
+      if x2 <> x then fail s "for-loop step must update the loop variable";
+      expect s Token.ASSIGN "expected '=' in for step";
+      let step = parse_expr s in
+      expect s Token.RPAREN "expected ')'";
+      let body = parse_block s in
+      Ast.For (x, init, cond, step, body, p)
+  | Token.KW "return" ->
+      advance s;
+      expect s Token.SEMI "expected ';'";
+      Ast.Return p
+  | Token.IDENT name -> (
+      advance s;
+      match (cur s).Token.kind with
+      | Token.ASSIGN ->
+          advance s;
+          let e = parse_expr s in
+          expect s Token.SEMI "expected ';'";
+          Ast.Assign (name, e, p)
+      | Token.DOT -> (
+          advance s;
+          let field = expect_ident s "expected field name" in
+          match (cur s).Token.kind with
+          | Token.ASSIGN ->
+              advance s;
+              let e = parse_expr s in
+              expect s Token.SEMI "expected ';'";
+              Ast.Field_assign (name, field, e, p)
+          | _ ->
+              (* Field read in expression-statement position: re-parse the
+                 rest of the expression with the field as lhs. *)
+              let lhs = Ast.Field (name, field) in
+              let e = finish_expr_stmt s lhs in
+              Ast.Expr (e, p))
+      | Token.LPAREN ->
+          advance s;
+          let args = parse_args s in
+          let e = finish_expr_stmt s (Ast.Call (name, args)) in
+          Ast.Expr (e, p)
+      | _ -> fail s "expected '=', '.' or '(' after identifier")
+  | _ -> fail s "expected statement"
+
+and finish_expr_stmt s lhs =
+  (* Allow a trailing binary expression for generality, then ';'. *)
+  let rec loop lhs =
+    match (cur s).Token.kind with
+    | Token.OP op -> (
+        match binop_of_op op with
+        | Some (bop, _) ->
+            advance s;
+            let rhs = parse_expr s in
+            loop (Ast.Binop (bop, lhs, rhs))
+        | None -> lhs)
+    | _ -> lhs
+  in
+  let e = loop lhs in
+  expect s Token.SEMI "expected ';'";
+  e
+
+and parse_block s =
+  expect s Token.LBRACE "expected '{'";
+  let rec loop acc =
+    if accept s Token.RBRACE then List.rev acc else loop (parse_stmt s :: acc)
+  in
+  loop []
+
+let parse_state s =
+  let p = (cur s).Token.pos in
+  expect s (Token.KW "state") "expected 'state'";
+  let kind =
+    match (cur s).Token.kind with
+    | Token.IDENT "map" -> Ast.S_map
+    | Token.IDENT "lpm" -> Ast.S_lpm
+    | Token.IDENT "array" -> Ast.S_array
+    | Token.IDENT "counter" -> Ast.S_counter
+    | _ -> fail s "expected state kind (map/lpm/array/counter)"
+  in
+  advance s;
+  let name = expect_ident s "expected state name" in
+  let entries =
+    if accept s Token.LBRACKET then begin
+      let v = expect_int s "expected entry count" in
+      expect s Token.RBRACKET "expected ']'";
+      v
+    end
+    else 1
+  in
+  let entry_bytes =
+    if (cur s).Token.kind = Token.IDENT "entry" then begin
+      advance s;
+      expect_int s "expected entry size in bytes"
+    end
+    else 16
+  in
+  expect s Token.SEMI "expected ';'";
+  { Ast.s_name = name; s_kind = kind; s_entries = entries; s_entry_bytes = entry_bytes; s_pos = p }
+
+let parse_tokens toks =
+  let s = { toks } in
+  expect s (Token.KW "nf") "expected 'nf'";
+  let nf_name = expect_ident s "expected NF name" in
+  expect s Token.LBRACE "expected '{'";
+  let consts = ref [] and states = ref [] and handler = ref None in
+  let rec loop () =
+    match (cur s).Token.kind with
+    | Token.KW "const" ->
+        advance s;
+        let name = expect_ident s "expected const name" in
+        expect s Token.ASSIGN "expected '='";
+        let v = expect_int s "expected integer" in
+        expect s Token.SEMI "expected ';'";
+        consts := (name, v) :: !consts;
+        loop ()
+    | Token.KW "state" ->
+        states := parse_state s :: !states;
+        loop ()
+    | Token.KW "handler" ->
+        let p = (cur s).Token.pos in
+        advance s;
+        let h_name = expect_ident s "expected handler name" in
+        expect s Token.LPAREN "expected '('";
+        let h_packet = expect_ident s "expected packet parameter" in
+        expect s Token.RPAREN "expected ')'";
+        let h_body = parse_block s in
+        (match !handler with
+        | Some _ -> fail s "duplicate handler"
+        | None -> handler := Some { Ast.h_name; h_packet; h_body; h_pos = p });
+        loop ()
+    | Token.RBRACE ->
+        advance s;
+        expect s Token.EOF "trailing input after program"
+    | _ -> fail s "expected 'const', 'state', 'handler' or '}'"
+  in
+  loop ();
+  match !handler with
+  | None -> fail s "program has no handler"
+  | Some handler ->
+      { Ast.nf_name; consts = List.rev !consts; states = List.rev !states; handler }
+
+let parse src = parse_tokens (Lexer.tokenize src)

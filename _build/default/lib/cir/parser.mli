@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the NF DSL.
+
+    Grammar sketch:
+    {v
+    program := "nf" IDENT "{" (const | state)* handler "}"
+    const   := "const" IDENT "=" INT ";"
+    state   := "state" ("map"|"lpm"|"array"|"counter") IDENT
+               ("[" INT "]")? ("entry" INT)? ";"
+    handler := "handler" IDENT "(" IDENT ")" block
+    v}
+    Statements and expressions follow C, with precedence climbing for
+    binary operators. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors (includes the position).
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_tokens : Token.t list -> Ast.program

@@ -1,0 +1,29 @@
+(** Pattern matching over CIR: coarsening to semantic units (§3.3).
+
+    LLVM basic blocks are sometimes too fine-grained — header parsing or a
+    software checksum spans several blocks and should map to the NIC as a
+    whole.  This pass recognizes such shapes and rewrites them into single
+    virtual calls, the same way Clara substitutes framework calls:
+
+    - a counted loop over payload bytes doing only arithmetic is a
+      {e checksum-style} reduction → [V_checksum];
+    - a counted loop over payload bytes containing per-byte comparisons /
+      branching is a {e scan} (DPI-style) → [V_payload_scan];
+    - a run of packet loads before any parsing at program entry is
+      hand-written {e header parsing} → [V_parse_header].
+
+    NFs written against framework APIs and NFs written with raw loops
+    therefore reach the mapping stage in the same shape. *)
+
+type report = {
+  loops_coarsened : int;
+  parses_recognized : int;
+  blocks_removed : int;
+}
+
+val run : Ir.program -> Ir.program * report
+(** Returns the rewritten program (dead blocks eliminated, blocks
+    renumbered) and what was recognized. *)
+
+val eliminate_dead_blocks : Ir.program -> Ir.program * int
+(** Drop unreachable blocks and renumber; returns removed count. *)

@@ -1,0 +1,47 @@
+(* Tokens of the NF DSL, tagged with source positions for error reporting. *)
+
+type kind =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string     (* nf, state, handler, var, if, else, while, for, return,
+                        const, true, false, map, lpm, array, counter, entry *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN          (* = *)
+  | OP of string    (* + - * / % == != < <= > >= && || ! & | ^ << >> ~ *)
+  | EOF
+
+type t = { kind : kind; pos : Ast.pos }
+
+(* State kinds (map/lpm/array/counter) and "entry" are contextual: they
+   are ordinary identifiers everywhere except inside a state declaration,
+   so NFs may be named e.g. "lpm". *)
+let keywords =
+  [ "nf"; "state"; "handler"; "var"; "if"; "else"; "while"; "for"; "return";
+    "const"; "true"; "false" ]
+
+let pp_kind fmt = function
+  | INT i -> Format.fprintf fmt "int(%d)" i
+  | FLOAT f -> Format.fprintf fmt "float(%g)" f
+  | IDENT s -> Format.fprintf fmt "ident(%s)" s
+  | KW s -> Format.fprintf fmt "'%s'" s
+  | LPAREN -> Format.pp_print_string fmt "'('"
+  | RPAREN -> Format.pp_print_string fmt "')'"
+  | LBRACE -> Format.pp_print_string fmt "'{'"
+  | RBRACE -> Format.pp_print_string fmt "'}'"
+  | LBRACKET -> Format.pp_print_string fmt "'['"
+  | RBRACKET -> Format.pp_print_string fmt "']'"
+  | SEMI -> Format.pp_print_string fmt "';'"
+  | COMMA -> Format.pp_print_string fmt "','"
+  | DOT -> Format.pp_print_string fmt "'.'"
+  | ASSIGN -> Format.pp_print_string fmt "'='"
+  | OP s -> Format.fprintf fmt "'%s'" s
+  | EOF -> Format.pp_print_string fmt "<eof>"

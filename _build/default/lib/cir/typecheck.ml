@@ -1,0 +1,214 @@
+type error = { msg : string; pos : Ast.pos }
+
+type env = {
+  consts : (string * int) list;
+  states : (string * Ast.state_decl) list;
+  mutable vars : (string * Ast.typ) list; (* innermost first *)
+  mutable errors : error list;
+}
+
+let err env pos fmt =
+  Printf.ksprintf (fun msg -> env.errors <- { msg; pos } :: env.errors) fmt
+
+let var_type env name = List.assoc_opt name env.vars
+
+(* Expression typing; [pos] is the enclosing statement's position. *)
+let rec type_expr env pos (e : Ast.expr) : Ast.typ =
+  match e with
+  | Ast.Int _ -> Ast.T_int
+  | Ast.Float _ -> Ast.T_float
+  | Ast.Bool _ -> Ast.T_bool
+  | Ast.Ident name -> (
+      match var_type env name with
+      | Some t -> t
+      | None ->
+          if List.mem_assoc name env.consts then Ast.T_int
+          else if List.mem_assoc name env.states then begin
+            err env pos "state '%s' used as a value (pass it to a table builtin)" name;
+            Ast.T_int
+          end
+          else begin
+            err env pos "unknown identifier '%s'" name;
+            Ast.T_int
+          end)
+  | Ast.Field (obj, field) -> (
+      match var_type env obj with
+      | Some Ast.T_header ->
+          if not (Builtins.is_header_field field) then
+            err env pos "unknown header field '%s'" field;
+          Ast.T_int
+      | Some Ast.T_entry ->
+          (* Entry field reads are opaque ints. *)
+          Ast.T_int
+      | Some t ->
+          err env pos "'%s' has type %s, which has no fields" obj (Ast.typ_name t);
+          Ast.T_int
+      | None ->
+          err env pos "unknown identifier '%s'" obj;
+          Ast.T_int)
+  | Ast.Call (fn, args) -> type_call env pos fn args
+  | Ast.Binop (op, a, b) -> (
+      let ta = type_expr env pos a and tb = type_expr env pos b in
+      match op with
+      | Ast.And | Ast.Or ->
+          if ta <> Ast.T_bool then err env pos "left of %s must be bool" (Ast.binop_name op);
+          if tb <> Ast.T_bool then err env pos "right of %s must be bool" (Ast.binop_name op);
+          Ast.T_bool
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          if ta <> tb && not (is_numeric ta && is_numeric tb) then
+            err env pos "comparison of %s and %s" (Ast.typ_name ta) (Ast.typ_name tb);
+          Ast.T_bool
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          if not (is_numeric ta) then err env pos "left of %s must be numeric" (Ast.binop_name op);
+          if not (is_numeric tb) then err env pos "right of %s must be numeric" (Ast.binop_name op);
+          if ta = Ast.T_float || tb = Ast.T_float then Ast.T_float else Ast.T_int
+      | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+          if ta <> Ast.T_int then err env pos "left of %s must be int" (Ast.binop_name op);
+          if tb <> Ast.T_int then err env pos "right of %s must be int" (Ast.binop_name op);
+          Ast.T_int)
+  | Ast.Unop (Ast.Not, e) ->
+      if type_expr env pos e <> Ast.T_bool then err env pos "'!' needs a bool";
+      Ast.T_bool
+  | Ast.Unop (Ast.Neg, e) ->
+      let t = type_expr env pos e in
+      if not (is_numeric t) then err env pos "'-' needs a number";
+      t
+  | Ast.Unop (Ast.Bnot, e) ->
+      if type_expr env pos e <> Ast.T_int then err env pos "'~' needs an int";
+      Ast.T_int
+
+and is_numeric = function Ast.T_int | Ast.T_float -> true | _ -> false
+
+and type_call env pos fn args =
+  match Builtins.lookup fn with
+  | None ->
+      err env pos "unknown function '%s'" fn;
+      List.iter (fun a -> ignore (type_expr env pos a)) args;
+      Ast.T_int
+  | Some sg ->
+      let nfixed = List.length sg.Builtins.args in
+      let nargs = List.length args in
+      if nargs < nfixed then err env pos "'%s' expects at least %d argument(s), got %d" fn nfixed nargs
+      else if nargs > nfixed && not sg.Builtins.variadic_int then
+        err env pos "'%s' expects %d argument(s), got %d" fn nfixed nargs;
+      List.iteri
+        (fun i arg ->
+          let expected =
+            if i < nfixed then Some (List.nth sg.Builtins.args i)
+            else if sg.Builtins.variadic_int then Some Builtins.A_int
+            else None
+          in
+          match expected with
+          | None -> ignore (type_expr env pos arg)
+          | Some (Builtins.A_state kinds) -> (
+              match arg with
+              | Ast.Ident name -> (
+                  match List.assoc_opt name env.states with
+                  | None -> err env pos "'%s' argument %d: unknown state '%s'" fn (i + 1) name
+                  | Some decl ->
+                      if not (List.mem decl.Ast.s_kind kinds) then
+                        err env pos "'%s' argument %d: state '%s' has the wrong kind" fn
+                          (i + 1) name)
+              | _ -> err env pos "'%s' argument %d must be a state name" fn (i + 1))
+          | Some expected ->
+              let t = type_expr env pos arg in
+              let ok =
+                match expected with
+                | Builtins.A_packet -> t = Ast.T_packet
+                | Builtins.A_header -> t = Ast.T_header
+                | Builtins.A_entry -> t = Ast.T_entry
+                | Builtins.A_int -> t = Ast.T_int || t = Ast.T_bool
+                | Builtins.A_state _ -> true
+              in
+              if not ok then
+                err env pos "'%s' argument %d: expected %s" fn (i + 1)
+                  (match expected with
+                  | Builtins.A_packet -> "a packet"
+                  | Builtins.A_header -> "a header"
+                  | Builtins.A_entry -> "a table entry"
+                  | Builtins.A_int -> "an int"
+                  | Builtins.A_state _ -> "a state name"))
+        args;
+      sg.Builtins.result
+
+let rec check_block env (b : Ast.block) =
+  let saved = env.vars in
+  List.iter (check_stmt env) b;
+  env.vars <- saved
+
+and check_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Var (name, e, pos) ->
+      if List.exists (fun (n, _) -> n = name) env.vars then
+        err env pos "variable '%s' shadows an existing binding" name;
+      let t = type_expr env pos e in
+      env.vars <- (name, t) :: env.vars
+  | Ast.Assign (name, e, pos) -> (
+      let t = type_expr env pos e in
+      match var_type env name with
+      | None -> err env pos "assignment to undeclared variable '%s'" name
+      | Some t0 ->
+          if t0 <> t && not (is_numeric t0 && is_numeric t) then
+            err env pos "assigning %s to variable of type %s" (Ast.typ_name t)
+              (Ast.typ_name t0))
+  | Ast.Field_assign (obj, field, e, pos) -> (
+      ignore (type_expr env pos e);
+      match var_type env obj with
+      | Some Ast.T_header ->
+          if not (Builtins.is_header_field field) then
+            err env pos "unknown header field '%s'" field
+      | Some t -> err env pos "cannot assign field of %s" (Ast.typ_name t)
+      | None -> err env pos "unknown identifier '%s'" obj)
+  | Ast.If (cond, then_, else_, pos) ->
+      if type_expr env pos cond <> Ast.T_bool then err env pos "if condition must be bool";
+      check_block env then_;
+      Option.iter (check_block env) else_
+  | Ast.While (cond, body, pos) ->
+      if type_expr env pos cond <> Ast.T_bool then err env pos "while condition must be bool";
+      check_block env body
+  | Ast.For (x, init, cond, step, body, pos) ->
+      let t = type_expr env pos init in
+      if t <> Ast.T_int then err env pos "for-loop variable must be int";
+      let saved = env.vars in
+      env.vars <- (x, Ast.T_int) :: env.vars;
+      if type_expr env pos cond <> Ast.T_bool then err env pos "for condition must be bool";
+      ignore (type_expr env pos step);
+      check_block env body;
+      env.vars <- saved
+  | Ast.Expr (e, pos) -> ignore (type_expr env pos e)
+  | Ast.Return _ -> ()
+
+let check (p : Ast.program) =
+  let env =
+    { consts = p.consts;
+      states = List.map (fun s -> (s.Ast.s_name, s)) p.states;
+      vars = [ (p.handler.Ast.h_packet, Ast.T_packet) ];
+      errors = [] }
+  in
+  (* Declaration sanity. *)
+  List.iter
+    (fun (s : Ast.state_decl) ->
+      if s.s_entries <= 0 then err env s.s_pos "state '%s' has non-positive capacity" s.s_name;
+      if s.s_entry_bytes <= 0 then
+        err env s.s_pos "state '%s' has non-positive entry size" s.s_name)
+    p.states;
+  let names = List.map (fun (s : Ast.state_decl) -> s.s_name) p.states @ List.map fst p.consts in
+  let dup =
+    List.filter (fun n -> List.length (List.filter (( = ) n) names) > 1) names
+    |> List.sort_uniq compare
+  in
+  List.iter (fun n -> err env p.handler.Ast.h_pos "duplicate declaration '%s'" n) dup;
+  check_block env p.handler.Ast.h_body;
+  match env.errors with [] -> Ok () | errs -> Error (List.rev errs)
+
+let pp_error fmt e =
+  Format.fprintf fmt "%d:%d: %s" e.pos.Ast.line e.pos.Ast.col e.msg
+
+let check_exn p =
+  match check p with
+  | Ok () -> ()
+  | Error errs ->
+      let msg =
+        String.concat "\n" (List.map (Format.asprintf "%a" pp_error) errs)
+      in
+      failwith ("NF DSL type errors:\n" ^ msg)

@@ -1,0 +1,14 @@
+(** Static checks on NF DSL programs before lowering.
+
+    Verifies name resolution (variables, constants, state, builtins),
+    builtin arities and argument kinds, header-field names, condition
+    types, and structural rules (no redefinition, packet parameter usage,
+    state capacities positive). *)
+
+type error = { msg : string; pos : Ast.pos }
+
+val check : Ast.program -> (unit, error list) result
+val check_exn : Ast.program -> unit
+(** @raise Failure with a rendered error list. *)
+
+val pp_error : Format.formatter -> error -> unit

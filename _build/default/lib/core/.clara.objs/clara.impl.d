@@ -1,0 +1,1 @@
+lib/core/clara.ml: Chain Microbench Pipeline Report

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_predict Clara_workload Float List Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/chain.mli: Clara_lnic Clara_mapping Clara_predict Clara_workload Pipeline

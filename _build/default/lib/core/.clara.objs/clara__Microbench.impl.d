@@ -1,0 +1,1 @@
+lib/core/microbench.ml: Clara_lnic Clara_nicsim Clara_workload Float Format List Option

@@ -1,0 +1,1 @@
+lib/core/microbench.mli: Clara_lnic Clara_nicsim Format

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Clara_cir Clara_dataflow Clara_lnic Clara_mapping Clara_nicsim Clara_predict Clara_workload Float Printf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Clara_predict Clara_util Format List Option Pipeline Printf

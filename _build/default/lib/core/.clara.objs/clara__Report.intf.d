@@ -1,0 +1,1 @@
+lib/core/report.mli: Clara_predict Clara_util Clara_workload Format Pipeline

@@ -1,0 +1,30 @@
+(** Service chains: several NFs composed on one NIC (the Metron-style
+    deployments the paper cites; the VNF of §4 is one such chain fused
+    into a single program — this module predicts chains kept as separate
+    NFs).
+
+    A packet enters once, traverses the NFs in order (a drop by any stage
+    ends its path), and leaves once; each stage is mapped independently by
+    the ILP, and an inter-stage hop through the NIC fabric is charged
+    between consecutive stages. *)
+
+type t = {
+  stages : Pipeline.analysis list;
+  lnic : Clara_lnic.Graph.t;
+}
+
+val analyze :
+  ?options:Clara_mapping.Mapping.options ->
+  Clara_lnic.Graph.t ->
+  sources:string list ->
+  profile:Clara_workload.Profile.t ->
+  (t, string) result
+(** Errors name the failing stage. *)
+
+val predict :
+  ?config:Clara_predict.Latency.config ->
+  t ->
+  Clara_workload.Trace.t ->
+  Clara_predict.Latency.prediction
+
+val stage_names : t -> string list

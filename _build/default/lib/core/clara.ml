@@ -1,0 +1,7 @@
+(* Library root: re-export the pipeline plus the report and
+   microbenchmark facilities as submodules. *)
+
+include Pipeline
+module Report = Report
+module Microbench = Microbench
+module Chain = Chain

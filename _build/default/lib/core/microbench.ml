@@ -1,0 +1,146 @@
+module Dev = Clara_nicsim.Device
+module Mem = Clara_nicsim.Mem_model
+module W = Clara_workload
+module L = Clara_lnic
+
+type fitted = { base : float; per_unit : float }
+
+let fit_linear samples =
+  let n = float_of_int (List.length samples) in
+  if n < 2. then invalid_arg "Microbench.fit_linear: need at least 2 samples";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. samples in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. samples in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. samples in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. samples in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if denom = 0. then { base = sy /. n; per_unit = 0. }
+  else
+    let per_unit = ((n *. sxy) -. (sx *. sy)) /. denom in
+    { base = (sy -. (per_unit *. sx)) /. n; per_unit }
+
+let dummy_packet ~payload =
+  {
+    W.Packet.src_ip = 0x0a000001l;
+    dst_ip = 0xc0a80001l;
+    src_port = 1234;
+    dst_port = 80;
+    proto = W.Packet.Tcp;
+    flags = 0;
+    payload_bytes = payload;
+    arrival_ns = 0L;
+  }
+
+(* Run one operation on a fresh simulator and report its cycle cost. *)
+let measure_op lnic ?(tables = []) ~payload f =
+  let prog = { Dev.name = "microbench"; tables; handler = (fun _ _ -> Dev.Drop) } in
+  let sim = Dev.create_sim lnic prog in
+  let ctx = Dev.make_ctx sim ~now:0 (dummy_packet ~payload) in
+  f ctx;
+  float_of_int (Dev.now ctx)
+
+let measure_checksum lnic ~engine =
+  let sizes = [ 64; 200; 400; 600; 800; 1000; 1200; 1400 ] in
+  let samples =
+    List.map
+      (fun s ->
+        ( float_of_int s,
+          measure_op lnic ~payload:s (fun ctx -> Dev.checksum ctx ~engine ~bytes:s) ))
+      sizes
+  in
+  fit_linear samples
+
+let measure_parse lnic ~engine =
+  measure_op lnic ~payload:300 (fun ctx -> Dev.parse_header ctx ~engine)
+
+let measure_lpm_walk lnic ~placement =
+  let entry_counts = [ 1000; 5000; 10000; 20000; 30000 ] in
+  let samples =
+    List.map
+      (fun entries ->
+        let tables =
+          [ { Dev.t_name = "rules"; t_entries = entries; t_entry_bytes = 16;
+              t_placement = placement } ]
+        in
+        let prog = { Dev.name = "microbench"; tables; handler = (fun _ _ -> Dev.Drop) } in
+        let sim = Dev.create_sim lnic prog in
+        (* Warm the cache, then measure. *)
+        let warm = Dev.make_ctx sim ~now:0 (dummy_packet ~payload:300) in
+        ignore (Dev.lpm_lookup warm "rules" ~key:1);
+        let ctx = Dev.make_ctx sim ~now:0 (dummy_packet ~payload:300) in
+        ignore (Dev.lpm_lookup ctx "rules" ~key:1);
+        (float_of_int entries, float_of_int (Dev.now ctx)))
+      entry_counts
+  in
+  fit_linear samples
+
+let measure_memory_curve lnic ~working_sets =
+  (* Classic cyclic sweep: one warm pass touching every line of the
+     working set, then a measured pass over the same lines.  Sets that
+     fit the cache read at hit latency; larger sets cycle through the
+     LRU and miss every time — a sharp knee at the cache size. *)
+  List.map
+    (fun ws ->
+      let memm = Mem.create lnic in
+      let lines = max 1 (ws / 64) in
+      for i = 0 to lines - 1 do
+        ignore (Mem.access memm Mem.Emem ~mode:`Read ~addr:(i * 64))
+      done;
+      Mem.reset_stats memm;
+      let total = ref 0 in
+      for i = 0 to lines - 1 do
+        total := !total + Mem.access memm Mem.Emem ~mode:`Read ~addr:(i * 64)
+      done;
+      (ws, float_of_int !total /. float_of_int lines))
+    working_sets
+
+let knee_of_curve curve =
+  match curve with
+  | [] | [ _ ] -> None
+  | _ ->
+      let lats = List.map snd curve in
+      let lo = List.fold_left Float.min Float.infinity lats in
+      let hi = List.fold_left Float.max Float.neg_infinity lats in
+      if hi -. lo < 1. then None
+      else
+        let half = (lo +. hi) /. 2. in
+        List.find_opt (fun (_, l) -> l > half) curve |> Option.map fst
+
+type calibration = {
+  parse_engine_cycles : float;
+  checksum_engine : fitted;
+  checksum_software : fitted;
+  lpm_emem : fitted;
+  emem_cache_knee_bytes : int option;
+  move_cycles : float;
+}
+
+let calibrate lnic =
+  let has_parse = L.Graph.find_accelerator lnic L.Unit_.Parse <> None in
+  let has_csum = L.Graph.find_accelerator lnic L.Unit_.Checksum <> None in
+  let working_sets =
+    [ 256 * 1024; 1024 * 1024; 2 * 1024 * 1024; 3 * 1024 * 1024; 4 * 1024 * 1024;
+      6 * 1024 * 1024; 8 * 1024 * 1024; 16 * 1024 * 1024 ]
+  in
+  {
+    parse_engine_cycles = measure_parse lnic ~engine:has_parse;
+    checksum_engine =
+      (if has_csum then measure_checksum lnic ~engine:true
+       else measure_checksum lnic ~engine:false);
+    checksum_software = measure_checksum lnic ~engine:false;
+    lpm_emem = measure_lpm_walk lnic ~placement:Dev.P_emem;
+    emem_cache_knee_bytes = knee_of_curve (measure_memory_curve lnic ~working_sets);
+    move_cycles = measure_op lnic ~payload:300 (fun ctx -> Dev.move ctx 1);
+  }
+
+let pp_calibration fmt c =
+  Format.fprintf fmt "parse (engine): %.0f cyc@." c.parse_engine_cycles;
+  Format.fprintf fmt "checksum engine: %.0f + %.2f/B@." c.checksum_engine.base
+    c.checksum_engine.per_unit;
+  Format.fprintf fmt "checksum software: %.0f + %.2f/B@." c.checksum_software.base
+    c.checksum_software.per_unit;
+  Format.fprintf fmt "lpm walk (EMEM): %.0f + %.1f/entry@." c.lpm_emem.base
+    c.lpm_emem.per_unit;
+  (match c.emem_cache_knee_bytes with
+  | Some b -> Format.fprintf fmt "EMEM cache knee: ~%d KB@." (b / 1024)
+  | None -> Format.fprintf fmt "EMEM cache knee: none detected@.");
+  Format.fprintf fmt "metadata move: %.0f cyc@." c.move_cycles

@@ -1,0 +1,49 @@
+(** Parameter extraction via microbenchmarks (§3.2, §4).
+
+    The paper obtains each NIC's performance parameters from a one-time
+    set of NF-independent "unit-test" benchmark programs: memory latency
+    curves with knee detection (Patel's half-latency rule), accelerator
+    cost functions fitted over sizes, instruction costs.  Here the
+    "hardware" is {!Clara_nicsim}; running these programs against it and
+    recovering the parameters the simulator was built from validates the
+    whole calibration loop. *)
+
+type fitted = { base : float; per_unit : float }
+
+val fit_linear : (float * float) list -> fitted
+(** Least-squares fit of (size, cycles) samples. *)
+
+val measure_checksum :
+  Clara_lnic.Graph.t -> engine:bool -> fitted
+(** Checksum cost over payload sizes 64..1400 B. *)
+
+val measure_parse : Clara_lnic.Graph.t -> engine:bool -> float
+(** Mean header-parse cycles. *)
+
+val measure_lpm_walk :
+  Clara_lnic.Graph.t -> placement:Clara_nicsim.Device.placement -> fitted
+(** Software match/action walk cost over rule counts (per-entry slope —
+    the Figure 3a regime). *)
+
+val measure_memory_curve :
+  Clara_lnic.Graph.t -> working_sets:int list -> (int * float) list
+(** Mean EMEM access latency per working-set size (bytes): flat while the
+    set fits the cache, rising past it. *)
+
+val knee_of_curve : (int * float) list -> int option
+(** Half-latency rule: smallest size whose latency exceeds
+    (min + max) / 2.  [None] for flat curves. *)
+
+type calibration = {
+  parse_engine_cycles : float;
+  checksum_engine : fitted;
+  checksum_software : fitted;
+  lpm_emem : fitted;
+  emem_cache_knee_bytes : int option;
+  move_cycles : float;
+}
+
+val calibrate : Clara_lnic.Graph.t -> calibration
+(** The full §3.2 parameter table, measured. *)
+
+val pp_calibration : Format.formatter -> calibration -> unit

@@ -1,0 +1,93 @@
+module D = Clara_dataflow
+module W = Clara_workload
+
+type analysis = {
+  lnic : Clara_lnic.Graph.t;
+  df : Clara_dataflow.Graph.t;
+  mapping : Clara_mapping.Mapping.t;
+  pattern_report : Clara_cir.Patterns.report;
+  options : Clara_mapping.Mapping.options;
+}
+
+let default_sizes =
+  {
+    D.Cost.payload_bytes = 300.;
+    packet_bytes = 352.;
+    header_bytes = 52.;
+    state_entries = (fun _ -> 0.); (* resolved from the program by Encode *)
+    opaque_trip = 1.;
+  }
+
+let sizes_of_profile (p : W.Profile.t) =
+  let payload = W.Profile.mean_payload p in
+  {
+    D.Cost.payload_bytes = payload;
+    packet_bytes = W.Profile.mean_packet_bytes p;
+    header_bytes = (p.W.Profile.tcp_fraction *. 54.) +. ((1. -. p.W.Profile.tcp_fraction) *. 42.);
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1.;
+  }
+
+let prob_of_profile (p : W.Profile.t) =
+  (* Table-hit fraction: each packet of a flow after the first hits, so
+     hit ~= 1 - flows/packets. *)
+  let hit =
+    Float.max 0.5
+      (1. -. (float_of_int p.W.Profile.flow_count /. float_of_int p.W.Profile.packets))
+  in
+  let syn =
+    if p.W.Profile.new_flow_syn then
+      Float.min 1.
+        (float_of_int p.W.Profile.flow_count /. float_of_int p.W.Profile.packets)
+    else 0.
+  in
+  D.Flow.guard_probability ~tcp_fraction:p.W.Profile.tcp_fraction ~syn_fraction:syn
+    ~hit_fraction:hit ~match_fraction:0.1 ~exceed_fraction:0.05
+
+let analyze ?(options = Clara_mapping.Mapping.default_options) ?(sizes = default_sizes)
+    ?(prob = D.Flow.default_probability) lnic ~source =
+  match Clara_cir.Lower.lower_source source with
+  | exception Clara_cir.Lexer.Error (msg, pos) ->
+      Error (Printf.sprintf "lex error at %d:%d: %s" pos.Clara_cir.Ast.line pos.Clara_cir.Ast.col msg)
+  | exception Clara_cir.Parser.Error (msg, pos) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" pos.Clara_cir.Ast.line pos.Clara_cir.Ast.col msg)
+  | exception Failure msg -> Error msg
+  | ir -> (
+      let ir, pattern_report = Clara_cir.Patterns.run ir in
+      let df = D.Build.of_ir ir in
+      match Clara_mapping.Encode.map_nf ~options lnic df ~sizes ~prob with
+      | Error e -> Error ("mapping: " ^ e)
+      | Ok mapping -> Ok { lnic; df; mapping; pattern_report; options })
+
+let analyze_for_profile ?options lnic ~source ~profile =
+  analyze ?options ~sizes:(sizes_of_profile profile) ~prob:(prob_of_profile profile) lnic
+    ~source
+
+let predict ?config a trace =
+  let p = Clara_predict.Latency.create ?config a.lnic a.df a.mapping in
+  Clara_predict.Latency.predict_trace p trace
+
+let predict_profile ?config ?(seed = 42L) a profile =
+  predict ?config a (W.Trace.synthesize ~seed profile)
+
+let predict_profile_at_rate ?config ?seed a profile =
+  let p = predict_profile ?config ?seed a profile in
+  let loaded =
+    Clara_predict.Throughput.latency_at_rate
+      ~sizes:(sizes_of_profile profile)
+      ~prob:(prob_of_profile profile)
+      ~base_cycles:p.Clara_predict.Latency.mean_cycles
+      ~rate_pps:profile.W.Profile.rate_pps a.lnic a.df a.mapping
+  in
+  (p, loaded)
+
+let device_placement_of_state a s =
+  match Clara_mapping.Mapping.placement_of_state a.mapping s with
+  | None -> None
+  | Some (Clara_mapping.Mapping.In_accel _) -> Some Clara_nicsim.Device.P_flow_cache
+  | Some (Clara_mapping.Mapping.In_memory m) -> (
+      match (Clara_lnic.Graph.memory a.lnic m).Clara_lnic.Memory.level with
+      | Clara_lnic.Memory.Cluster -> Some Clara_nicsim.Device.P_ctm
+      | Clara_lnic.Memory.Internal -> Some Clara_nicsim.Device.P_imem
+      | Clara_lnic.Memory.External | Clara_lnic.Memory.Local ->
+          Some Clara_nicsim.Device.P_emem)

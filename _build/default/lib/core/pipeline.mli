@@ -1,0 +1,80 @@
+(** Clara: performance clarity for SmartNIC offloading.
+
+    The end-to-end pipeline of the paper (§2.3, Figure 2): an unported NF
+    in the DSL is lowered to CIR, coarsened by pattern matching, turned
+    into a dataflow graph, mapped onto a parameterized logical NIC by the
+    ILP, and finally walked against a workload to predict latency —
+    without the NF ever being ported.
+
+    {[
+      let lnic = Clara_lnic.Netronome.default in
+      let a = Clara.analyze lnic ~source |> Result.get_ok in
+      let trace = Clara_workload.Trace.synthesize profile in
+      let p = Clara.predict a trace in
+      Format.printf "predicted mean: %.0f cycles@." p.mean_cycles
+    ]} *)
+
+type analysis = {
+  lnic : Clara_lnic.Graph.t;
+  df : Clara_dataflow.Graph.t;
+  mapping : Clara_mapping.Mapping.t;
+  pattern_report : Clara_cir.Patterns.report;
+  options : Clara_mapping.Mapping.options;
+}
+
+val analyze :
+  ?options:Clara_mapping.Mapping.options ->
+  ?sizes:Clara_dataflow.Cost.sizes ->
+  ?prob:(Clara_cir.Ir.guard -> float) ->
+  Clara_lnic.Graph.t ->
+  source:string ->
+  (analysis, string) result
+(** Parse → typecheck → lower → coarsen → dataflow → map.  [sizes]
+    defaults to a 300-byte-payload average; [prob] to
+    {!Clara_dataflow.Flow.default_probability}; both only steer the
+    mapping objective, not correctness.  Errors cover syntax, type and
+    mapping infeasibility. *)
+
+val sizes_of_profile : Clara_workload.Profile.t -> Clara_dataflow.Cost.sizes
+val prob_of_profile :
+  Clara_workload.Profile.t -> Clara_cir.Ir.guard -> float
+
+val analyze_for_profile :
+  ?options:Clara_mapping.Mapping.options ->
+  Clara_lnic.Graph.t ->
+  source:string ->
+  profile:Clara_workload.Profile.t ->
+  (analysis, string) result
+(** [analyze] with sizes and probabilities derived from a workload
+    profile — the paper's intended workflow (§3.5). *)
+
+val predict :
+  ?config:Clara_predict.Latency.config ->
+  analysis ->
+  Clara_workload.Trace.t ->
+  Clara_predict.Latency.prediction
+
+val predict_profile :
+  ?config:Clara_predict.Latency.config ->
+  ?seed:int64 ->
+  analysis ->
+  Clara_workload.Profile.t ->
+  Clara_predict.Latency.prediction
+(** Synthesizes a trace from the profile, then predicts. *)
+
+val predict_profile_at_rate :
+  ?config:Clara_predict.Latency.config ->
+  ?seed:int64 ->
+  analysis ->
+  Clara_workload.Profile.t ->
+  Clara_predict.Latency.prediction * float option
+(** Like {!predict_profile}, additionally returning the queueing-adjusted
+    mean latency at the profile's offered rate (M/M/k per resource,
+    {!Clara_predict.Throughput.latency_at_rate}); [None] when the rate
+    exceeds the predicted capacity. *)
+
+val device_placement_of_state :
+  analysis -> string -> Clara_nicsim.Device.placement option
+(** Translate the mapping's Γ decision for a state object into the
+    simulator's placement vocabulary — used when a port "follows Clara's
+    hints", the workflow the paper proposes (§6: offloading hints). *)

@@ -1,0 +1,1 @@
+lib/dataflow/build.ml: Array Clara_cir Graph List Node

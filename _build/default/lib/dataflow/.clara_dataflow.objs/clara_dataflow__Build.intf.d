@@ -1,0 +1,1 @@
+lib/dataflow/build.mli: Clara_cir Graph

@@ -1,0 +1,1 @@
+lib/dataflow/cost.ml: Clara_cir Clara_lnic Float List Node Option

@@ -1,0 +1,1 @@
+lib/dataflow/cost.mli: Clara_cir Clara_lnic Node

@@ -1,0 +1,1 @@
+lib/dataflow/flow.ml: Array Clara_cir Float Graph List Node

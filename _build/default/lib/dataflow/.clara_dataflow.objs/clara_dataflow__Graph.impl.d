@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Clara_cir Format Fun List Node Printf

@@ -1,0 +1,1 @@
+lib/dataflow/graph.mli: Clara_cir Format Node

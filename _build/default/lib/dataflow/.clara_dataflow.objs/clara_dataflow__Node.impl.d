@@ -1,0 +1,1 @@
+lib/dataflow/node.ml: Clara_cir Clara_lnic Format List

@@ -1,0 +1,1 @@
+lib/dataflow/node.mli: Clara_cir Format

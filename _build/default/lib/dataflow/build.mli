@@ -1,0 +1,12 @@
+(** Construction of dataflow graphs from CIR (§3.3).
+
+    Each CIR block is split so every virtual call becomes its own node
+    (the unit an accelerator can absorb); the surrounding straightline
+    instructions form compute nodes.  Loop back edges are dropped and the
+    loop trip count is recorded on each body node instead, keeping the
+    graph a DAG for the mapping ILP. *)
+
+val of_ir : Clara_cir.Ir.program -> Graph.t
+
+val of_source : string -> Graph.t
+(** Parse, typecheck, lower, coarsen ({!Clara_cir.Patterns.run}), build. *)

@@ -1,0 +1,79 @@
+module Ir = Clara_cir.Ir
+
+let rec guard_probability ~tcp_fraction ~syn_fraction ~hit_fraction ~match_fraction
+    ~exceed_fraction (g : Ir.guard) =
+  let p =
+    match g with
+    | Ir.G_proto 6 -> tcp_fraction
+    | Ir.G_proto 17 -> Float.max 0. (1. -. tcp_fraction)
+    | Ir.G_proto _ -> Float.max 0. (1. -. tcp_fraction) *. 0.1
+    | Ir.G_flag 2 -> syn_fraction
+    | Ir.G_flag _ -> 0.5
+    | Ir.G_table_hit _ -> hit_fraction
+    | Ir.G_scan_match -> match_fraction
+    | Ir.G_count_exceeds -> exceed_fraction
+    | Ir.G_opaque -> 0.5
+    | Ir.G_not g' ->
+        1.
+        -. guard_probability ~tcp_fraction ~syn_fraction ~hit_fraction ~match_fraction
+             ~exceed_fraction g'
+    | Ir.G_or (a, b) ->
+        let pa =
+          guard_probability ~tcp_fraction ~syn_fraction ~hit_fraction ~match_fraction
+            ~exceed_fraction a
+        and pb =
+          guard_probability ~tcp_fraction ~syn_fraction ~hit_fraction ~match_fraction
+            ~exceed_fraction b
+        in
+        (* Guards in one disjunction are mutually exclusive in practice
+           (proto == 6 || proto == 17); cap at 1. *)
+        Float.min 1. (pa +. pb)
+  in
+  Float.max 0. (Float.min 1. p)
+
+let default_probability g =
+  guard_probability ~tcp_fraction:0.8 ~syn_fraction:0.1 ~hit_fraction:0.9
+    ~match_fraction:0.1 ~exceed_fraction:0.05 g
+
+let node_weights (g : Graph.t) ~prob =
+  let n = Array.length g.Graph.nodes in
+  let w = Array.make n 0. in
+  w.(g.Graph.entry) <- 1.;
+  (* Propagate in topological order.  Edge probabilities come from the
+     source node's block terminator: a Cond splits its mass, everything
+     else forwards it whole. *)
+  let order = Graph.topo_order g in
+  List.iter
+    (fun src ->
+      let node = Graph.node g src in
+      let succs = Graph.successors g src in
+      match succs with
+      | [] -> ()
+      | _ ->
+          let cir_block = Clara_cir.Ir.block g.Graph.cir node.Node.block in
+          (* An intra-block edge (to the next segment of the same block)
+             forwards the whole mass; only the last segment of a block
+             owns the block's terminator. *)
+          let intra_block =
+            match succs with
+            | [ d ] -> d = src + 1 && (Graph.node g d).Node.block = node.Node.block
+            | _ -> false
+          in
+          (match (cir_block.Ir.term, not intra_block) with
+          | Ir.Cond { guard; then_; else_ }, true ->
+              let p = prob guard in
+              List.iter
+                (fun d ->
+                  let db = (Graph.node g d).Node.block in
+                  if db = then_ && db = else_ then w.(d) <- w.(d) +. w.(src)
+                  else if db = then_ then w.(d) <- w.(d) +. (p *. w.(src))
+                  else if db = else_ then w.(d) <- w.(d) +. ((1. -. p) *. w.(src))
+                  else w.(d) <- w.(d) +. w.(src))
+                succs
+          | _ ->
+              (* Loop headers forward full mass to both body and exit: body
+                 nodes already carry the trip multiplier, and every packet
+                 eventually reaches the exit. *)
+              List.iter (fun d -> w.(d) <- w.(d) +. w.(src)) succs))
+    order;
+  w

@@ -1,0 +1,28 @@
+(** Execution-frequency weights for dataflow nodes.
+
+    A packet does not execute every node: conditionals split traffic
+    according to their guards (§3.5: different packets exercise different
+    parts of the NF).  Given a probability for each guard — typically
+    derived from a workload profile's protocol mix and flow behaviour —
+    this propagates flow from the entry through the DAG, yielding the
+    expected executions per packet for every node.  The mapping objective
+    weighs node costs by these frequencies. *)
+
+val guard_probability :
+  tcp_fraction:float ->
+  syn_fraction:float ->
+  hit_fraction:float ->
+  match_fraction:float ->
+  exceed_fraction:float ->
+  Clara_cir.Ir.guard ->
+  float
+(** Interpret a guard under a simple workload mix.  [G_proto 6] is TCP,
+    [G_proto 17] is UDP (the remainder of the TCP fraction); other
+    protocol numbers get the leftover mass. *)
+
+val default_probability : Clara_cir.Ir.guard -> float
+(** 80% TCP / 20% UDP, 10% SYN, 90% table hits, 10% scan matches — the
+    kind of abstract profile the paper gives as an example (§3.5). *)
+
+val node_weights : Graph.t -> prob:(Clara_cir.Ir.guard -> float) -> float array
+(** Expected executions per packet, indexed by node id. *)

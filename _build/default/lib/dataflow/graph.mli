@@ -1,0 +1,31 @@
+(** The dataflow graph: nodes + traffic-direction edges (§3.3).
+
+    Built from a CIR program by {!Build.of_ir}.  Edges follow control
+    flow; loop back edges are excluded so the graph is a DAG, which the
+    mapping ILP's pipeline-ordering constraints (§3.4) require.  Loop
+    repetition is instead recorded on each node's [loop_trip]. *)
+
+type t = {
+  nodes : Node.t array;
+  edges : (int * int) list;  (** (src, dst) node ids; forward edges only. *)
+  entry : int;
+  cir : Clara_cir.Ir.program; (** The program the graph was built from. *)
+}
+
+val node : t -> int -> Node.t
+(** @raise Invalid_argument on a bad id. *)
+
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+val topo_order : t -> int list
+(** Topological order over the forward edges; entry first.
+    @raise Failure if the graph is not a DAG (a Build bug). *)
+
+val vcall_nodes : t -> Node.t list
+val compute_nodes : t -> Node.t list
+
+val states : t -> Clara_cir.Ir.state_obj list
+(** State objects of the underlying program, for Γ placement. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ilp/bigint.ml: Array Buffer Char Format List Stdlib String

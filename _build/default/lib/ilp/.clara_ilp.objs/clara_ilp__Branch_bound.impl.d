@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Fun List Lp Model Presolve Rat

@@ -1,0 +1,1 @@
+lib/ilp/lin_expr.ml: Format Int List Map Option Rat

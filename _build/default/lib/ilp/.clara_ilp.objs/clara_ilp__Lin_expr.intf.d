@@ -1,0 +1,1 @@
+lib/ilp/lin_expr.mli: Format Rat

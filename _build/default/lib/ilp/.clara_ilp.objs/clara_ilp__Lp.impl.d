@@ -1,0 +1,1 @@
+lib/ilp/lp.ml: Array Lin_expr List Model Rat Simplex

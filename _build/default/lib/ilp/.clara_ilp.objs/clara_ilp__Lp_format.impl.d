@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Bigint Buffer Fun Lin_expr List Model Printf Rat String

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Format Lin_expr List Printf Rat

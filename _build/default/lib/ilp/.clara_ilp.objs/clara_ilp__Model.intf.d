@@ -1,0 +1,1 @@
+lib/ilp/model.mli: Format Lin_expr Rat

@@ -1,0 +1,1 @@
+lib/ilp/presolve.ml: Array Lin_expr List Model Option Rat

@@ -1,0 +1,1 @@
+lib/ilp/rat.ml: Bigint Float Format Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/ilp/rat.mli: Bigint Format

@@ -1,0 +1,336 @@
+(* Arbitrary-precision integers: sign + little-endian magnitude, base 2^30.
+   Base 2^30 keeps digit products within the 63-bit native range
+   (2^30 * 2^30 = 2^60, leaving headroom for carry accumulation). *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = {
+  sign : int; (* -1, 0, 1; sign = 0 iff mag = [||] *)
+  mag : int array; (* little-endian digits in [0, base), no leading zeros *)
+}
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  (* Strip leading (most significant) zero digits; canonicalize zero. *)
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* -2^62 on 64-bit platforms: 2^62 = (1 lsl 2) in digit 2's position
+       plus zeros, since 62 = 2*30 + 2. *)
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let n = Stdlib.abs n in
+    let rec digits acc n =
+      if n = 0 then List.rev acc
+      else digits ((n land base_mask) :: acc) (n lsr base_bits)
+    in
+    normalize sign (Array.of_list (digits [] n))
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc d -> (acc * 31 + d) land max_int) (t.sign + 1) t.mag
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  r
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let rec add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize a.sign (sub_mag a.mag b.mag)
+    else normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+and sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    r
+  end
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a n = mul a (of_int n)
+
+(* Divide magnitude by a single digit (0 < d < base); returns quotient
+   magnitude and remainder int. *)
+let divmod_mag_digit a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, !rem)
+
+(* Long division on magnitudes, schoolbook with digit estimation.
+   Works on base-2^30 digits; simple shift-and-subtract would be O(bits^2)
+   with large constants, so we use per-digit trial division after
+   normalizing the divisor's top digit. *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if compare_mag a b < 0 then ([||], Array.copy a)
+  else if lb = 1 then begin
+    let q, r = divmod_mag_digit a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end else begin
+    (* Knuth algorithm D, simplified: normalize so top divisor digit
+       >= base/2, then estimate each quotient digit from the top two
+       dividend digits. *)
+    let shift =
+      let rec f s top = if top >= base / 2 then s else f (s + 1) (top * 2) in
+      f 0 b.(lb - 1)
+    in
+    let shl_mag m s =
+      if s = 0 then Array.copy m
+      else begin
+        let lm = Array.length m in
+        let r = Array.make (lm + 1) 0 in
+        let carry = ref 0 in
+        for i = 0 to lm - 1 do
+          let v = (m.(i) lsl s) lor !carry in
+          r.(i) <- v land base_mask;
+          carry := v lsr base_bits
+        done;
+        r.(lm) <- !carry;
+        r
+      end
+    in
+    let shr_mag m s =
+      if s = 0 then Array.copy m
+      else begin
+        let lm = Array.length m in
+        let r = Array.make lm 0 in
+        let carry = ref 0 in
+        for i = lm - 1 downto 0 do
+          let v = m.(i) in
+          r.(i) <- (v lsr s) lor (!carry lsl (base_bits - s));
+          carry := v land ((1 lsl s) - 1)
+        done;
+        r
+      end
+    in
+    let u = shl_mag a shift in
+    let v = shl_mag b shift in
+    (* trim v's possible leading zero *)
+    let lv =
+      let n = ref (Array.length v) in
+      while !n > 0 && v.(!n - 1) = 0 do decr n done;
+      !n
+    in
+    let v = Array.sub v 0 lv in
+    let lu = Array.length u in
+    let n = lv and m = lu - lv in
+    let q = Array.make (m + 1) 0 in
+    (* u has an extra slot for the running remainder window *)
+    let u = Array.append u [| 0 |] in
+    let vtop = v.(n - 1) in
+    let vsec = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      (* estimate qhat from top two digits of the current window *)
+      let top2 = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (top2 / vtop) in
+      let rhat = ref (top2 mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := top2 - !qhat * vtop
+      end;
+      let continue_adjust = ref true in
+      while !continue_adjust do
+        if !rhat < base
+           && !qhat * vsec > (!rhat lsl base_bits) lor (if j + n - 2 >= 0 then u.(j + n - 2) else 0)
+        then begin
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= base then continue_adjust := false
+        end
+        else continue_adjust := false
+      done;
+      (* multiply-subtract qhat * v from u[j .. j+n] *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * v.(i) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(i + j) - (p land base_mask) - !borrow in
+        if d < 0 then begin
+          u.(i + j) <- d + base;
+          borrow := 1
+        end else begin
+          u.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !carry2 in
+          u.(i + j) <- s land base_mask;
+          carry2 := s lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry2) land base_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = shr_mag (Array.sub u 0 n) shift in
+    (q, r)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) qm in
+    let r = normalize a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let max_int_big = of_int max_int
+let min_int_big = of_int min_int
+
+let to_int_opt t =
+  if compare t min_int_big >= 0 && compare t max_int_big <= 0 then begin
+    let v = Array.fold_right (fun d acc -> (acc lsl base_bits) lor d) t.mag 0 in
+    Some (if t.sign < 0 then -v else v)
+  end
+  else None
+
+let to_int_exn t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value does not fit in int"
+
+let ten = of_int 10
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go x =
+      if is_zero x then ()
+      else begin
+        let q, r = divmod x ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int_exn r))
+      end
+    in
+    go (abs t);
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign, start = if s.[0] = '-' then (true, 1) else (false, 0) in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: non-digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if neg_sign then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

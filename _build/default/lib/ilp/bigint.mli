@@ -1,0 +1,55 @@
+(** Arbitrary-precision signed integers.
+
+    The exact rational arithmetic underlying the ILP solver needs integers
+    that cannot overflow; OCaml's native [int] is not enough once simplex
+    pivots start multiplying coefficients.  This module is a small,
+    dependency-free bignum: little-endian magnitude in base 2^30 plus a
+    sign. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Accepts an optional leading ['-'] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and
+    [r] carrying the sign of [a] (truncated division, like [Int.div]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative, [gcd zero zero = zero]. *)
+
+val mul_int : t -> int -> t
+val pp : Format.formatter -> t -> unit

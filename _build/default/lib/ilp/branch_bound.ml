@@ -1,0 +1,85 @@
+type status = Optimal | Infeasible | Unbounded
+
+type outcome = {
+  status : status;
+  objective : Rat.t;
+  values : Rat.t array;
+  nodes : int;
+}
+
+exception Node_limit_exceeded
+
+(* Depth-first branch and bound.  Branching replaces a variable's bounds,
+   expressed as override arrays handed to Lp.solve, so the model itself is
+   never mutated. *)
+let solve ?(node_limit = 200_000) model =
+  let nv = Model.num_vars model in
+  let dir, _ = Model.objective model in
+  (* [better a b]: is objective [a] strictly better than [b]? *)
+  let better a b =
+    match dir with
+    | Model.Minimize -> Rat.( < ) a b
+    | Model.Maximize -> Rat.( > ) a b
+  in
+  let int_vars =
+    List.filter
+      (fun v ->
+        match Model.var_type model v with
+        | Model.Integer | Model.Binary -> true
+        | Model.Continuous -> false)
+      (List.init nv Fun.id)
+  in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let unbounded = ref false in
+  let presolved = Presolve.run model in
+  let rec explore bounds =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit_exceeded;
+    match Lp.solve ~bounds model with
+    | { Lp.status = Infeasible; _ } -> ()
+    | { Lp.status = Unbounded; _ } ->
+        (* The relaxation being unbounded does not by itself prove the ILP
+           unbounded, but for the bounded models Clara emits this only
+           happens at the root; report it. *)
+        unbounded := true
+    | { Lp.status = Optimal; objective; values } ->
+        let dominated =
+          match !incumbent with
+          | None -> false
+          | Some (inc_obj, _) -> not (better objective inc_obj)
+        in
+        if not dominated then begin
+          let fractional =
+            List.find_opt (fun v -> not (Rat.is_integer values.(v))) int_vars
+          in
+          match fractional with
+          | None -> incumbent := Some (objective, values)
+          | Some v ->
+              let x = values.(v) in
+              let lb, ub = bounds.(v) in
+              let down = Array.copy bounds in
+              down.(v) <- (lb, Some (Rat.of_bigint (Rat.floor x)));
+              let up = Array.copy bounds in
+              up.(v) <- (Rat.of_bigint (Rat.ceil x), ub);
+              (* Explore the branch nearest the relaxation value first. *)
+              if Rat.( < ) (Rat.frac x) (Rat.of_ints 1 2) then begin
+                explore down;
+                explore up
+              end
+              else begin
+                explore up;
+                explore down
+              end
+        end
+  in
+  (match presolved with
+  | Presolve.Proven_infeasible -> ()
+  | Presolve.Tightened base_bounds -> explore base_bounds);
+  match (!incumbent, !unbounded) with
+  | Some (objective, values), _ ->
+      { status = Optimal; objective; values; nodes = !nodes }
+  | None, true ->
+      { status = Unbounded; objective = Rat.zero; values = Array.make nv Rat.zero; nodes = !nodes }
+  | None, false ->
+      { status = Infeasible; objective = Rat.zero; values = Array.make nv Rat.zero; nodes = !nodes }

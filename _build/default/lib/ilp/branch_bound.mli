@@ -1,0 +1,23 @@
+(** Exact branch-and-bound over the {!Lp} relaxation.
+
+    Because the relaxation is solved in exact rational arithmetic, the
+    integrality test ([Rat.is_integer]) is never confused by round-off,
+    and the returned solution is a true optimum of the mixed-integer
+    model. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type outcome = {
+  status : status;
+  objective : Rat.t;
+  values : Rat.t array;
+  nodes : int;          (** Number of branch-and-bound nodes explored. *)
+}
+
+exception Node_limit_exceeded
+
+val solve : ?node_limit:int -> Model.t -> outcome
+(** Runs {!Presolve} first (tightened bounds shrink the tree; proven
+    infeasibility skips the search entirely), then depth-first branch and
+    bound on the LP relaxation.  [node_limit] defaults to 200_000.
+    @raise Node_limit_exceeded when the search exceeds it. *)

@@ -1,0 +1,57 @@
+module IntMap = Map.Make (Int)
+
+type t = { coeffs : Rat.t IntMap.t; constant : Rat.t }
+
+let zero = { coeffs = IntMap.empty; constant = Rat.zero }
+let const c = { coeffs = IntMap.empty; constant = c }
+
+let put v c m = if Rat.is_zero c then IntMap.remove v m else IntMap.add v c m
+
+let var ?(coeff = Rat.one) v = { coeffs = put v coeff IntMap.empty; constant = Rat.zero }
+
+let add_term e v c =
+  let cur = Option.value ~default:Rat.zero (IntMap.find_opt v e.coeffs) in
+  { e with coeffs = put v (Rat.add cur c) e.coeffs }
+
+let add a b =
+  let coeffs =
+    IntMap.union (fun _ ca cb ->
+        let s = Rat.add ca cb in
+        if Rat.is_zero s then None else Some s)
+      a.coeffs b.coeffs
+  in
+  { coeffs; constant = Rat.add a.constant b.constant }
+
+let scale k e =
+  if Rat.is_zero k then zero
+  else
+    { coeffs = IntMap.map (Rat.mul k) e.coeffs;
+      constant = Rat.mul k e.constant }
+
+let sub a b = add a (scale Rat.minus_one b)
+
+let coeff e v = Option.value ~default:Rat.zero (IntMap.find_opt v e.coeffs)
+let constant e = e.constant
+let fold f e acc = IntMap.fold f e.coeffs acc
+let terms e = IntMap.bindings e.coeffs
+
+let eval assign e =
+  IntMap.fold (fun v c acc -> Rat.add acc (Rat.mul c (assign v))) e.coeffs e.constant
+
+let sum es = List.fold_left add zero es
+
+let of_terms ?(constant = Rat.zero) ts =
+  List.fold_left (fun e (v, c) -> add_term e v c) (const constant) ts
+
+let pp fmt e =
+  let first = ref true in
+  IntMap.iter
+    (fun v c ->
+      if not !first then Format.fprintf fmt " + ";
+      first := false;
+      Format.fprintf fmt "%a*x%d" Rat.pp c v)
+    e.coeffs;
+  if not (Rat.is_zero e.constant) || !first then begin
+    if not !first then Format.fprintf fmt " + ";
+    Rat.pp fmt e.constant
+  end

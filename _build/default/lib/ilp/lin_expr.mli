@@ -1,0 +1,33 @@
+(** Sparse linear expressions over integer-indexed variables.
+
+    An expression is a finite map from variable ids to rational
+    coefficients plus a constant term.  Variable ids are allocated by
+    {!Model.add_var}. *)
+
+type t
+
+val zero : t
+val const : Rat.t -> t
+val var : ?coeff:Rat.t -> int -> t
+(** [var ~coeff v] is [coeff * x_v]; [coeff] defaults to 1. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Rat.t -> t -> t
+val add_term : t -> int -> Rat.t -> t
+(** [add_term e v c] is [e + c * x_v]. *)
+
+val coeff : t -> int -> Rat.t
+(** Coefficient of a variable (zero when absent). *)
+
+val constant : t -> Rat.t
+val fold : (int -> Rat.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over non-zero terms in increasing variable order. *)
+
+val terms : t -> (int * Rat.t) list
+val eval : (int -> Rat.t) -> t -> Rat.t
+(** Evaluate under an assignment of variables to values. *)
+
+val sum : t list -> t
+val of_terms : ?constant:Rat.t -> (int * Rat.t) list -> t
+val pp : Format.formatter -> t -> unit

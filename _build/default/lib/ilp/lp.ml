@@ -1,0 +1,66 @@
+type status = Optimal | Infeasible | Unbounded
+
+type result = { status : status; objective : Rat.t; values : Rat.t array }
+
+let solve ?bounds model =
+  let nv = Model.num_vars model in
+  let bounds =
+    match bounds with
+    | Some b ->
+        if Array.length b <> nv then invalid_arg "Lp.solve: bounds arity";
+        b
+    | None -> Array.init nv (fun v -> Model.var_bounds model v)
+  in
+  (* Empty bound intervals mean immediate infeasibility. *)
+  let empty =
+    Array.exists
+      (fun (lb, ub) -> match ub with Some u -> Rat.( < ) u lb | None -> false)
+      bounds
+  in
+  if empty then { status = Infeasible; objective = Rat.zero; values = Array.make nv Rat.zero }
+  else begin
+    (* Shift: x_v = y_v + lb_v with y_v >= 0. *)
+    let lbs = Array.map fst bounds in
+    let shift_expr e =
+      (* a.x = a.y + a.lb : returns coefficient array over y and the
+         constant a.lb. *)
+      let coeffs = Array.make nv Rat.zero in
+      let const = ref (Lin_expr.constant e) in
+      Lin_expr.fold
+        (fun v c () ->
+          coeffs.(v) <- c;
+          const := Rat.add !const (Rat.mul c lbs.(v)))
+        e ();
+      (coeffs, !const)
+    in
+    let rows = ref [] in
+    Model.iter_constraints model (fun ~name:_ e sense rhs ->
+        let coeffs, const = shift_expr e in
+        rows := { Simplex.coeffs; sense; rhs = Rat.sub rhs const } :: !rows);
+    (* Upper bounds become explicit rows on y. *)
+    Array.iteri
+      (fun v (lb, ub) ->
+        match ub with
+        | None -> ()
+        | Some u ->
+            let coeffs = Array.make nv Rat.zero in
+            coeffs.(v) <- Rat.one;
+            rows := { Simplex.coeffs; sense = Model.Le; rhs = Rat.sub u lb } :: !rows)
+      bounds;
+    let dir, obj_expr = Model.objective model in
+    let c, obj_shift = shift_expr obj_expr in
+    let c = match dir with Model.Minimize -> c | Model.Maximize -> Array.map Rat.neg c in
+    let r = Simplex.solve ~c ~rows:(List.rev !rows) in
+    let values = Array.mapi (fun v y -> Rat.add y lbs.(v)) r.solution in
+    match r.status with
+    | Simplex.Infeasible ->
+        { status = Infeasible; objective = Rat.zero; values }
+    | Simplex.Unbounded -> { status = Unbounded; objective = Rat.zero; values }
+    | Simplex.Optimal ->
+        let value =
+          match dir with
+          | Model.Minimize -> Rat.add r.objective obj_shift
+          | Model.Maximize -> Rat.add (Rat.neg r.objective) obj_shift
+        in
+        { status = Optimal; objective = value; values }
+  end

@@ -1,0 +1,17 @@
+(** LP relaxation of a {!Model}: variable bounds and the objective
+    direction are compiled away to the non-negative standard form
+    {!Simplex} expects, and solutions are translated back. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : Rat.t;     (** In the model's own direction. *)
+  values : Rat.t array;  (** One value per model variable. *)
+}
+
+val solve : ?bounds:(Rat.t * Rat.t option) array -> Model.t -> result
+(** [solve ?bounds m] solves the continuous relaxation (integrality is
+    ignored).  [bounds] overrides the per-variable bounds — this is how
+    {!Branch_bound} expresses branching decisions without copying the
+    model. *)

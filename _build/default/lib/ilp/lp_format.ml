@@ -1,0 +1,102 @@
+(* LP-format writer.  Variable names come from the model; names that the
+   format would reject (empty, starting with a digit, containing spaces)
+   are replaced by x<i>. *)
+
+let safe_name m v =
+  let n = Model.var_name m v in
+  let ok =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true | _ -> false)
+         n
+  in
+  if ok then n else Printf.sprintf "x%d" v
+
+let rat_to_decimal r =
+  (* Exact when the denominator divides a power of 10 we can afford;
+     otherwise 12 significant digits (plenty for Clara's cost models). *)
+  if Rat.is_integer r then Bigint.to_string (Rat.num r)
+  else Printf.sprintf "%.12g" (Rat.to_float r)
+
+let emit_expr m buf e =
+  let first = ref true in
+  Lin_expr.fold
+    (fun v c () ->
+      let s = Rat.sign c in
+      if s <> 0 then begin
+        if !first then begin
+          if s < 0 then Buffer.add_string buf "- "
+        end
+        else Buffer.add_string buf (if s < 0 then " - " else " + ");
+        first := false;
+        let mag = Rat.abs c in
+        if not (Rat.equal mag Rat.one) then begin
+          Buffer.add_string buf (rat_to_decimal mag);
+          Buffer.add_char buf ' '
+        end;
+        Buffer.add_string buf (safe_name m v)
+      end)
+    e ();
+  if !first then Buffer.add_string buf "0"
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  let dir, obj = Model.objective m in
+  Buffer.add_string buf
+    (match dir with Model.Minimize -> "Minimize\n" | Model.Maximize -> "Maximize\n");
+  Buffer.add_string buf " obj: ";
+  emit_expr m buf obj;
+  Buffer.add_string buf "\nSubject To\n";
+  Model.iter_constraints m (fun ~name e sense rhs ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      emit_expr m buf e;
+      Buffer.add_string buf
+        (match sense with Model.Le -> " <= " | Model.Ge -> " >= " | Model.Eq -> " = ");
+      Buffer.add_string buf (rat_to_decimal rhs);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf "Bounds\n";
+  let binaries = ref [] and integers = ref [] in
+  for v = 0 to Model.num_vars m - 1 do
+    (match Model.var_type m v with
+    | Model.Binary -> binaries := v :: !binaries
+    | Model.Integer -> integers := v :: !integers
+    | Model.Continuous -> ());
+    if Model.var_type m v <> Model.Binary then begin
+      let lb, ub = Model.var_bounds m v in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (rat_to_decimal lb);
+      Buffer.add_string buf " <= ";
+      Buffer.add_string buf (safe_name m v);
+      (match ub with
+      | Some u ->
+          Buffer.add_string buf " <= ";
+          Buffer.add_string buf (rat_to_decimal u)
+      | None -> ());
+      Buffer.add_char buf '\n'
+    end
+  done;
+  let emit_section header vars =
+    match List.rev vars with
+    | [] -> ()
+    | vs ->
+        Buffer.add_string buf header;
+        List.iter
+          (fun v ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (safe_name m v))
+          vs;
+        Buffer.add_char buf '\n'
+  in
+  emit_section "Binary\n" !binaries;
+  emit_section "General\n" !integers;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write_file path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string m))

@@ -1,0 +1,14 @@
+(** CPLEX-LP-format export of {!Model} instances.
+
+    Lets a mapping problem be dumped to a `.lp` file and cross-checked
+    with any external solver (cplex, gurobi, glpsol, scip all read this
+    format), or simply eyeballed when debugging an unexpected mapping. *)
+
+val to_string : Model.t -> string
+(** The model as LP-format text: objective, constraints, bounds, and the
+    binary/general-integer sections.  Rational coefficients are emitted
+    as decimals with enough digits to round-trip the models Clara
+    produces (integer-valued costs and small fractions). *)
+
+val write_file : string -> Model.t -> unit
+(** @raise Sys_error on IO failure. *)

@@ -1,0 +1,45 @@
+(** Declarative (mixed) integer linear programs.
+
+    A model collects variables with bounds and types, linear constraints
+    and an objective.  It is solved either as an LP relaxation ({!Lp}) or
+    exactly ({!Branch_bound}).  Variable lower bounds must be finite
+    (default 0); this covers every model Clara emits, where variables are
+    0/1 placements, non-negative latencies or queue depths. *)
+
+type t
+
+type vtype = Continuous | Integer | Binary
+type sense = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type var = int
+(** Variable ids are dense, starting at 0, usable in {!Lin_expr}. *)
+
+val create : unit -> t
+
+val add_var :
+  ?name:string -> ?lb:Rat.t -> ?ub:Rat.t -> t -> vtype -> var
+(** [lb] defaults to 0 (and to 0/1 for [Binary], whose bounds are fixed).
+    No [ub] means unbounded above. *)
+
+val add_constraint : ?name:string -> t -> Lin_expr.t -> sense -> Rat.t -> unit
+(** [add_constraint m e sense rhs] adds [e (sense) rhs]; the constant term
+    of [e] is moved to the right-hand side. *)
+
+val set_objective : t -> direction -> Lin_expr.t -> unit
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_name : t -> var -> string
+val var_type : t -> var -> vtype
+val var_bounds : t -> var -> Rat.t * Rat.t option
+val objective : t -> direction * Lin_expr.t
+
+val iter_constraints :
+  t -> (name:string -> Lin_expr.t -> sense -> Rat.t -> unit) -> unit
+
+val check : t -> Rat.t array -> bool
+(** [check m x] tells whether assignment [x] satisfies every constraint,
+    bound, and integrality requirement of [m]. *)
+
+val pp : Format.formatter -> t -> unit

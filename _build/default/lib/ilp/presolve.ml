@@ -1,0 +1,109 @@
+type result =
+  | Tightened of (Rat.t * Rat.t option) array
+  | Proven_infeasible
+
+(* Minimum/maximum activity of a linear form under current bounds.
+   [None] stands for an infinite activity (a positively-weighted
+   unbounded-above variable, for maximum). *)
+let activity bounds terms ~extreme =
+  (* extreme = `Min or `Max *)
+  List.fold_left
+    (fun acc (v, c) ->
+      match acc with
+      | None -> None
+      | Some a -> (
+          let lb, ub = bounds.(v) in
+          let s = Rat.sign c in
+          if s = 0 then Some a
+          else
+            let pick_lower = (s > 0) = (extreme = `Min) in
+            if pick_lower then Some (Rat.add a (Rat.mul c lb))
+            else
+              match ub with
+              | Some u -> Some (Rat.add a (Rat.mul c u))
+              | None -> None))
+    (Some Rat.zero) terms
+
+let run ?(max_passes = 10) model =
+  let nv = Model.num_vars model in
+  let bounds = Array.init nv (fun v -> Model.var_bounds model v) in
+  let is_int v =
+    match Model.var_type model v with
+    | Model.Integer | Model.Binary -> true
+    | Model.Continuous -> false
+  in
+  let infeasible = ref false in
+  let changed = ref true in
+  let round_int v =
+    if is_int v then begin
+      let lb, ub = bounds.(v) in
+      let lb' = Rat.of_bigint (Rat.ceil lb) in
+      let ub' = Option.map (fun u -> Rat.of_bigint (Rat.floor u)) ub in
+      bounds.(v) <- (lb', ub')
+    end
+  in
+  let tighten_lb v x =
+    let lb, ub = bounds.(v) in
+    if Rat.( > ) x lb then begin
+      bounds.(v) <- (x, ub);
+      round_int v;
+      changed := true
+    end
+  in
+  let tighten_ub v x =
+    let lb, ub = bounds.(v) in
+    let better = match ub with None -> true | Some u -> Rat.( < ) x u in
+    if better then begin
+      bounds.(v) <- (lb, Some x);
+      round_int v;
+      changed := true
+    end
+  in
+  let rows = ref [] in
+  Model.iter_constraints model (fun ~name:_ e sense rhs ->
+      let terms = Lin_expr.terms e in
+      let k = Lin_expr.constant e in
+      let rhs = Rat.sub rhs k in
+      (* Normalize to a list of (terms, rhs) upper-bound rows:
+         Σ a x <= rhs.  Ge becomes a negated Le; Eq becomes both. *)
+      let neg_terms = List.map (fun (v, c) -> (v, Rat.neg c)) terms in
+      match sense with
+      | Model.Le -> rows := (terms, rhs) :: !rows
+      | Model.Ge -> rows := (neg_terms, Rat.neg rhs) :: !rows
+      | Model.Eq ->
+          rows := (terms, rhs) :: (neg_terms, Rat.neg rhs) :: !rows);
+  Array.iteri (fun v _ -> round_int v) bounds;
+  let pass () =
+    List.iter
+      (fun (terms, rhs) ->
+        (* Row infeasibility: even the minimum activity exceeds rhs. *)
+        (match activity bounds terms ~extreme:`Min with
+        | Some mn when Rat.( > ) mn rhs -> infeasible := true
+        | _ -> ());
+        (* Per-variable tightening: a_j x_j <= rhs - min_activity(rest). *)
+        List.iter
+          (fun (v, c) ->
+            if Rat.sign c <> 0 then begin
+              let rest = List.filter (fun (v', _) -> v' <> v) terms in
+              match activity bounds rest ~extreme:`Min with
+              | None -> ()
+              | Some mn ->
+                  let slack = Rat.sub rhs mn in
+                  let limit = Rat.div slack c in
+                  if Rat.sign c > 0 then tighten_ub v limit else tighten_lb v limit
+            end)
+          terms)
+      !rows;
+    (* Empty domains. *)
+    Array.iter
+      (fun (lb, ub) ->
+        match ub with Some u when Rat.( < ) u lb -> infeasible := true | _ -> ())
+      bounds
+  in
+  let passes = ref 0 in
+  while !changed && (not !infeasible) && !passes < max_passes do
+    changed := false;
+    incr passes;
+    pass ()
+  done;
+  if !infeasible then Proven_infeasible else Tightened bounds

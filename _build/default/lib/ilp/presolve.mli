@@ -1,0 +1,17 @@
+(** Presolve: bound tightening before branch & bound.
+
+    Classic activity-based propagation: for each row Σ aᵢxᵢ {≤,≥,=} b and
+    each variable, the row's extreme activity over the other variables
+    implies a bound on this one.  Integer variables additionally get
+    their bounds rounded inward.  Iterated to a fixpoint (bounded pass
+    count).  Detecting an empty domain proves infeasibility without
+    touching the simplex. *)
+
+type result =
+  | Tightened of (Rat.t * Rat.t option) array
+      (** Per-variable (lower, upper) bounds, at least as tight as the
+          model's own. *)
+  | Proven_infeasible
+
+val run : ?max_passes:int -> Model.t -> result
+(** [max_passes] defaults to 10. *)

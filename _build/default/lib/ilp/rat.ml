@@ -1,0 +1,93 @@
+(* Normalized rationals: den > 0, gcd (|num|, den) = 1. *)
+
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+
+let normalize n d =
+  if B.is_zero d then raise Division_by_zero;
+  if B.is_zero n then { n = B.zero; d = B.one }
+  else begin
+    let n, d = if B.sign d < 0 then (B.neg n, B.neg d) else (n, d) in
+    let g = B.gcd n d in
+    if B.equal g B.one then { n; d } else { n = B.div n g; d = B.div d g }
+  end
+
+let make n d = normalize n d
+let zero = { n = B.zero; d = B.one }
+let of_bigint n = { n; d = B.one }
+let of_int i = of_bigint (B.of_int i)
+let of_ints n d = normalize (B.of_int n) (B.of_int d)
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.n
+let den t = t.d
+let sign t = B.sign t.n
+let is_zero t = B.is_zero t.n
+let is_integer t = B.equal t.d B.one
+
+let equal a b = B.equal a.n b.n && B.equal a.d b.d
+
+let compare a b =
+  (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d  (denominators positive) *)
+  B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+
+let neg t = { t with n = B.neg t.n }
+let abs t = { t with n = B.abs t.n }
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  normalize t.d t.n
+
+let add a b = normalize (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+let sub a b = add a (neg b)
+let mul a b = normalize (B.mul a.n b.n) (B.mul a.d b.d)
+let div a b = mul a (inv b)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t =
+  let q, r = B.divmod t.n t.d in
+  if B.sign r < 0 then B.sub q B.one else q
+
+let ceil t =
+  let q, r = B.divmod t.n t.d in
+  if B.sign r > 0 then B.add q B.one else q
+
+let frac t = sub t (of_bigint (floor t))
+
+let to_float t =
+  (* Good enough for reporting: divide as floats of the decimal strings.
+     Large values lose precision but ordering decisions never use this. *)
+  float_of_string (B.to_string t.n) /. float_of_string (B.to_string t.d)
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float: not finite";
+  if Float.is_integer f && Float.abs f < 1e15 then of_int (int_of_float f)
+  else begin
+    let m, e = Float.frexp f in
+    (* f = m * 2^e with 0.5 <= |m| < 1; scale mantissa to an integer. *)
+    let mi = Int64.to_int (Int64.of_float (m *. 9007199254740992.0)) in
+    (* 2^53 *)
+    let e = e - 53 in
+    let two = B.of_int 2 in
+    let rec pow b k = if k = 0 then B.one else B.mul b (pow b (k - 1)) in
+    if e >= 0 then of_bigint (B.mul (B.of_int mi) (pow two e))
+    else make (B.of_int mi) (pow two (-e))
+  end
+
+let to_string t =
+  if is_integer t then B.to_string t.n
+  else B.to_string t.n ^ "/" ^ B.to_string t.d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

@@ -1,0 +1,233 @@
+(* Two-phase primal tableau simplex with Bland's anti-cycling rule.
+
+   The tableau stores one row per constraint (all equalities after slack /
+   surplus variables are added) plus an objective row.  Everything is exact
+   rational arithmetic, so "zero" means zero and the phase-1 feasibility
+   verdict is decisive. *)
+
+type row = { coeffs : Rat.t array; sense : Model.sense; rhs : Rat.t }
+type status = Optimal | Infeasible | Unbounded
+
+type result = { status : status; objective : Rat.t; solution : Rat.t array }
+
+type tableau = {
+  a : Rat.t array array; (* m rows x n cols *)
+  b : Rat.t array;       (* m, invariant: >= 0 *)
+  mutable obj : Rat.t array; (* n, reduced costs of the current phase *)
+  mutable obj_const : Rat.t; (* objective value = obj_const when basic *)
+  basis : int array;     (* m, column basic in each row *)
+  m : int;
+  n : int;
+}
+
+(* Pivot on (row r, col c): scale row r so a.(r).(c) = 1, eliminate column c
+   from every other row and from the objective. *)
+let pivot t r c =
+  let arc = t.a.(r).(c) in
+  assert (not (Rat.is_zero arc));
+  let inv = Rat.inv arc in
+  for j = 0 to t.n - 1 do
+    t.a.(r).(j) <- Rat.mul t.a.(r).(j) inv
+  done;
+  t.b.(r) <- Rat.mul t.b.(r) inv;
+  for i = 0 to t.m - 1 do
+    if i <> r && not (Rat.is_zero t.a.(i).(c)) then begin
+      let f = t.a.(i).(c) in
+      for j = 0 to t.n - 1 do
+        t.a.(i).(j) <- Rat.sub t.a.(i).(j) (Rat.mul f t.a.(r).(j))
+      done;
+      t.b.(i) <- Rat.sub t.b.(i) (Rat.mul f t.b.(r))
+    end
+  done;
+  if not (Rat.is_zero t.obj.(c)) then begin
+    let f = t.obj.(c) in
+    for j = 0 to t.n - 1 do
+      t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul f t.a.(r).(j))
+    done;
+    t.obj_const <- Rat.sub t.obj_const (Rat.mul f t.b.(r))
+  end;
+  t.basis.(r) <- c
+
+(* Run simplex iterations until optimal or unbounded.
+   [allowed c] restricts entering columns (used to freeze artificials in
+   phase 2). *)
+let iterate t ~allowed =
+  let rec loop () =
+    (* Bland: entering column = smallest index with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.n - 1 do
+         if allowed j && Rat.sign t.obj.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      (* Ratio test; Bland tie-break on smallest basis column. *)
+      let best = ref (-1) in
+      let best_ratio = ref Rat.zero in
+      for i = 0 to t.m - 1 do
+        if Rat.sign t.a.(i).(c) > 0 then begin
+          let ratio = Rat.div t.b.(i) t.a.(i).(c) in
+          let better =
+            !best < 0
+            || Rat.( < ) ratio !best_ratio
+            || (Rat.( = ) ratio !best_ratio && t.basis.(i) < t.basis.(!best))
+          in
+          if better then begin
+            best := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then `Unbounded
+      else begin
+        pivot t !best c;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ~c ~rows =
+  let nstruct = Array.length c in
+  List.iter
+    (fun r ->
+      if Array.length r.coeffs <> nstruct then
+        invalid_arg "Simplex.solve: row arity mismatch")
+    rows;
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  let rows =
+    Array.map
+      (fun r ->
+        if Rat.sign r.rhs < 0 then
+          { coeffs = Array.map Rat.neg r.coeffs;
+            sense =
+              (match r.sense with
+              | Model.Le -> Model.Ge
+              | Model.Ge -> Model.Le
+              | Model.Eq -> Model.Eq);
+            rhs = Rat.neg r.rhs }
+        else r)
+      rows
+  in
+  let needs_artificial r =
+    match r.sense with Model.Le -> false | Model.Ge | Model.Eq -> true
+  in
+  let n_slack =
+    Array.fold_left
+      (fun acc r ->
+        match r.sense with Model.Eq -> acc | Model.Le | Model.Ge -> acc + 1)
+      0 rows
+  in
+  let n_art =
+    Array.fold_left (fun acc r -> if needs_artificial r then acc + 1 else acc) 0 rows
+  in
+  let n = nstruct + n_slack + n_art in
+  let a = Array.init m (fun _ -> Array.make n Rat.zero) in
+  let b = Array.make m Rat.zero in
+  let basis = Array.make m (-1) in
+  let slack_col = ref nstruct in
+  let art_col = ref (nstruct + n_slack) in
+  Array.iteri
+    (fun i r ->
+      Array.blit r.coeffs 0 a.(i) 0 nstruct;
+      b.(i) <- r.rhs;
+      (match r.sense with
+      | Model.Le ->
+          a.(i).(!slack_col) <- Rat.one;
+          basis.(i) <- !slack_col;
+          incr slack_col
+      | Model.Ge ->
+          a.(i).(!slack_col) <- Rat.minus_one;
+          incr slack_col
+      | Model.Eq -> ());
+      if needs_artificial r then begin
+        a.(i).(!art_col) <- Rat.one;
+        basis.(i) <- !art_col;
+        incr art_col
+      end)
+    rows;
+  let t = { a; b; obj = Array.make n Rat.zero; obj_const = Rat.zero; basis; m; n } in
+  let art_start = nstruct + n_slack in
+  let extract_solution () =
+    let x = Array.make nstruct Rat.zero in
+    for i = 0 to m - 1 do
+      if basis.(i) < nstruct then x.(basis.(i)) <- t.b.(i)
+    done;
+    x
+  in
+  let phase1_feasible =
+    if n_art = 0 then true
+    else begin
+      (* Minimize sum of artificials; initialize reduced costs so that the
+         basic artificial columns read zero. *)
+      for j = art_start to n - 1 do
+        t.obj.(j) <- Rat.one
+      done;
+      for i = 0 to m - 1 do
+        if basis.(i) >= art_start then begin
+          for j = 0 to n - 1 do
+            t.obj.(j) <- Rat.sub t.obj.(j) t.a.(i).(j)
+          done;
+          t.obj_const <- Rat.sub t.obj_const t.b.(i)
+        end
+      done;
+      (match iterate t ~allowed:(fun _ -> true) with
+      | `Unbounded -> assert false (* phase-1 objective bounded below by 0 *)
+      | `Optimal -> ());
+      (* Current phase-1 value = -obj_const. *)
+      if Rat.sign t.obj_const < 0 then false
+      else begin
+        (* Drive any artificial still basic (at zero level) out of the
+           basis, or drop its row if it is all zeros. *)
+        for i = 0 to m - 1 do
+          if basis.(i) >= art_start then begin
+            let piv = ref (-1) in
+            for j = 0 to art_start - 1 do
+              if !piv < 0 && not (Rat.is_zero t.a.(i).(j)) then piv := j
+            done;
+            if !piv >= 0 then pivot t i !piv
+            (* else: redundant row; harmless to leave the zero-level
+               artificial basic, it never re-enters because phase 2 freezes
+               artificial columns. *)
+          end
+        done;
+        true
+      end
+    end
+  in
+  if not phase1_feasible then
+    { status = Infeasible; objective = Rat.zero; solution = Array.make nstruct Rat.zero }
+  else begin
+    (* Phase 2: install the real objective, reduced w.r.t. the basis. *)
+    let obj = Array.make n Rat.zero in
+    Array.blit c 0 obj 0 nstruct;
+    t.obj <- obj;
+    t.obj_const <- Rat.zero;
+    for i = 0 to m - 1 do
+      let bc = basis.(i) in
+      if not (Rat.is_zero t.obj.(bc)) then begin
+        let f = t.obj.(bc) in
+        for j = 0 to n - 1 do
+          t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul f t.a.(i).(j))
+        done;
+        t.obj_const <- Rat.sub t.obj_const (Rat.mul f t.b.(i))
+      end
+    done;
+    match iterate t ~allowed:(fun j -> j < art_start) with
+    | `Unbounded ->
+        { status = Unbounded; objective = Rat.zero; solution = extract_solution () }
+    | `Optimal ->
+        let x = extract_solution () in
+        let value =
+          Array.to_list x
+          |> List.mapi (fun i xi -> Rat.mul c.(i) xi)
+          |> List.fold_left Rat.add Rat.zero
+        in
+        { status = Optimal; objective = value; solution = x }
+  end

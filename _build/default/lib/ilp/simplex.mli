@@ -1,0 +1,20 @@
+(** Exact two-phase primal simplex on dense rational tableaus.
+
+    Solves: minimize [c . x] subject to the given rows and [x >= 0].
+    Bland's rule guarantees termination; exact {!Rat} arithmetic makes
+    optimality and feasibility verdicts certain, which
+    {!Branch_bound} relies on when testing integrality. *)
+
+type row = { coeffs : Rat.t array; sense : Model.sense; rhs : Rat.t }
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : Rat.t;      (** Meaningful only when [status = Optimal]. *)
+  solution : Rat.t array; (** Length = number of structural variables. *)
+}
+
+val solve : c:Rat.t array -> rows:row list -> result
+(** All [coeffs] arrays must have the same length as [c].
+    @raise Invalid_argument on dimension mismatch. *)

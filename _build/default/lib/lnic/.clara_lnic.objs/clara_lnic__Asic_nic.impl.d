@@ -1,0 +1,1 @@
+lib/lnic/asic_nic.ml: Array Cost_fn Graph Hub Link List Memory Params Printf Unit_

@@ -1,0 +1,1 @@
+lib/lnic/asic_nic.mli: Graph

@@ -1,0 +1,1 @@
+lib/lnic/cost_fn.mli: Format

@@ -1,0 +1,1 @@
+lib/lnic/graph.ml: Array Format Hashtbl Hub Link List Memory Option Params Printf Unit_

@@ -1,0 +1,1 @@
+lib/lnic/graph.mli: Format Hub Link Memory Params Unit_

@@ -1,0 +1,1 @@
+lib/lnic/host.ml: Array Cost_fn Graph Hub Link List Memory Params Printf Unit_

@@ -1,0 +1,1 @@
+lib/lnic/host.mli: Graph

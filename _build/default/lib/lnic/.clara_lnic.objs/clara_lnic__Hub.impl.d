@@ -1,0 +1,1 @@
+lib/lnic/hub.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/lnic/hub.mli: Format

@@ -1,0 +1,1 @@
+lib/lnic/link.mli: Format

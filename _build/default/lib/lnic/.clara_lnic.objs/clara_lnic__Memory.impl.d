@@ -1,0 +1,1 @@
+lib/lnic/memory.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/lnic/memory.mli: Format

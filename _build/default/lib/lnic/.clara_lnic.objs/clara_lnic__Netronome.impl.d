@@ -1,0 +1,1 @@
+lib/lnic/netronome.ml: Array Cost_fn Graph Hub Link List Memory Option Params Printf Unit_

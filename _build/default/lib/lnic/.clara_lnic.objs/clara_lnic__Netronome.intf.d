@@ -1,0 +1,1 @@
+lib/lnic/netronome.mli: Graph Memory

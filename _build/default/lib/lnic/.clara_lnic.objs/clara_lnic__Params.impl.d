@@ -1,0 +1,1 @@
+lib/lnic/params.ml: Cost_fn List Option Unit_

@@ -1,0 +1,1 @@
+lib/lnic/params.mli: Cost_fn Unit_

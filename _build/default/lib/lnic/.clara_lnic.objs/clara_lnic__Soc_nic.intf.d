@@ -1,0 +1,1 @@
+lib/lnic/soc_nic.mli: Graph

@@ -1,0 +1,1 @@
+lib/lnic/unit_.ml: Format

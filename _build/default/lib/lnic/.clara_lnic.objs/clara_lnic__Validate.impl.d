@@ -1,0 +1,1 @@
+lib/lnic/validate.ml: Array Format Graph Hub Link List Memory Params Printf Unit_

@@ -1,0 +1,1 @@
+lib/lnic/validate.mli: Format Graph

@@ -1,0 +1,15 @@
+(** A programmable-ASIC, pipeline-style SmartNIC (§2.1's third design
+    point: "programmable ASICs", and §6's "some SmartNICs only support
+    run-to-completion packet processing, whereas others can additionally
+    support pipelined processing").
+
+    The datapath is a fixed pipeline: parser → four match/action stages →
+    deparser.  Stage processors execute simple header arithmetic at line
+    rate but have no payload access, no division, no floats, and no
+    software fallbacks: NFs that need payload scans, crypto or software
+    checksums are simply *unmappable* — Clara reports the port as
+    infeasible rather than predicting a number, which is itself the
+    useful answer (§1: decide whether to offload). *)
+
+val create : unit -> Graph.t
+val default : Graph.t

@@ -1,0 +1,24 @@
+(** Cost functions: cycle counts as functions of a size argument.
+
+    The paper (§3.2, §4) observes that SmartNIC component costs are often
+    functions of data size or type — e.g. checksum cost grows with payload
+    bytes, LPM match/action cost grows with the number of table entries.
+    A cost function is an affine-plus-logarithmic form
+    [base + per_unit * n + log2_coeff * log2 (1 + n)], which covers every
+    component Clara models (constant, linear scans, trie walks). *)
+
+type t = { base : float; per_unit : float; log2_coeff : float }
+
+val const : float -> t
+val linear : base:float -> per_unit:float -> t
+val logarithmic : base:float -> log2_coeff:float -> t
+
+val eval : t -> float -> float
+(** [eval f n] — cycles at size [n]; clamps negative sizes to 0. *)
+
+val eval_int : t -> int -> int
+(** Rounded to the nearest cycle, never below 0. *)
+
+val add : t -> t -> t
+val scale : float -> t -> t
+val pp : Format.formatter -> t -> unit

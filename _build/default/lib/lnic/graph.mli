@@ -1,0 +1,57 @@
+(** The logical SmartNIC: an annotated graph ⟨V,E⟩ (§3.1).
+
+    V unions compute units, memory regions and switching hubs; E carries
+    memory buses (NUMA-weighted), hierarchy edges, pipeline edges and hub
+    attachments.  The graph plus its {!Params.t} is everything Clara knows
+    about a NIC backend. *)
+
+type t = {
+  name : string;
+  units : Unit_.t array;
+  memories : Memory.t array;
+  hubs : Hub.t array;
+  links : Link.t list;
+  params : Params.t;
+}
+
+val unit_ : t -> int -> Unit_.t
+(** @raise Invalid_argument on a bad id. *)
+
+val memory : t -> int -> Memory.t
+val hub : t -> int -> Hub.t
+
+val general_cores : t -> Unit_.t list
+val accelerators : t -> Unit_.t list
+val find_accelerator : t -> Unit_.accel_kind -> Unit_.t option
+
+val access_weight : t -> unit_id:int -> mem_id:int -> int option
+(** NUMA weight of the bus between a unit and a region; [None] when the
+    unit cannot reach the region at all. *)
+
+val access_cycles : t -> unit_id:int -> mem_id:int -> [ `Read | `Write | `Atomic ] -> int option
+(** Full access latency: region base cost + bus weight. *)
+
+val reachable_memories : t -> unit_id:int -> (Memory.t * int) list
+(** Regions a unit can touch, with their NUMA weights, fastest first. *)
+
+val pipeline_ok : t -> int -> int -> bool
+(** [pipeline_ok g u1 u2]: can work flow from unit [u1] to unit [u2]
+    (equal unit, or non-decreasing stage order)? *)
+
+(** A placement class groups interchangeable units (e.g. the 12 identical
+    NPUs of an island) so the mapping ILP stays small while capacity
+    constraints still see the real multiplicity. *)
+type placement_class = { rep : Unit_.t; members : int list }
+
+val placement_classes : t -> placement_class list
+
+val total_threads : t -> int
+(** Sum of general-core hardware threads: the NIC's packet parallelism. *)
+
+val slice : t -> keep_num:int -> keep_den:int -> t
+(** [slice g ~keep_num ~keep_den] models a fraction of the NIC for
+    co-resident NF reasoning (§3.5): keeps ⌈num/den⌉ of the general cores
+    and scales shared memory capacities and queue depths by the same
+    fraction.  Accelerators remain (they are time-shared). *)
+
+val pp : Format.formatter -> t -> unit

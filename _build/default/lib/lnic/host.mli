@@ -1,0 +1,18 @@
+(** An x86 server modeled in the LNIC vocabulary.
+
+    Not a NIC — but the graph abstraction (cores, memory hierarchy,
+    parameter tables) describes a host just as well, which is exactly
+    what partial-offloading analysis needs (§6: one component resident
+    on the SmartNIC and another in server CPUs).  High-clock cores with
+    FPUs and deep caches; no packet accelerators; "wire" costs model the
+    kernel-bypass driver path. *)
+
+val create : ?cores:int -> unit -> Graph.t
+(** Default: 6 cores at 3.4 GHz, 2 SMT threads each (the paper's testbed
+    uses Xeon E5-2643 quad-cores at 3.40 GHz). *)
+
+val default : Graph.t
+
+val pcie_roundtrip_ns : float
+(** NIC→host→NIC PCIe crossing latency added per packet that continues
+    processing on the host (~1.8 us: DMA, doorbell and completion each way). *)

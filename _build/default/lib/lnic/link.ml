@@ -1,0 +1,39 @@
+type endpoint = U of int | M of int | H of int
+
+type kind =
+  | Access of int * int
+  | Hierarchy of int * int
+  | Pipeline of int * int
+  | Hub_edge of int * endpoint
+
+type t = { kind : kind; weight_cycles : int }
+
+let src t =
+  match t.kind with
+  | Access (u, _) -> U u
+  | Hierarchy (m, _) -> M m
+  | Pipeline (u, _) -> U u
+  | Hub_edge (h, _) -> H h
+
+let dst t =
+  match t.kind with
+  | Access (_, m) -> M m
+  | Hierarchy (_, m) -> M m
+  | Pipeline (_, u) -> U u
+  | Hub_edge (_, e) -> e
+
+let pp_endpoint fmt = function
+  | U i -> Format.fprintf fmt "u%d" i
+  | M i -> Format.fprintf fmt "m%d" i
+  | H i -> Format.fprintf fmt "h%d" i
+
+let pp fmt t =
+  let arrow =
+    match t.kind with
+    | Access _ -> "<->"
+    | Hierarchy _ -> "~>"
+    | Pipeline _ -> "->"
+    | Hub_edge _ -> "--"
+  in
+  Format.fprintf fmt "%a %s %a (+%dcyc)" pp_endpoint (src t) arrow pp_endpoint (dst t)
+    t.weight_cycles

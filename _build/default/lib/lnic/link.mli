@@ -1,0 +1,29 @@
+(** Edges of the LNIC graph (§3.1).
+
+    - [Access (c, m)]: memory bus from compute unit [c] to region [m];
+      the weight captures NUMA effects (crossing islands costs extra).
+    - [Hierarchy (m1, m2)]: eviction/fetch direction in the memory
+      hierarchy.
+    - [Pipeline (c1, c2)]: unidirectional staged execution between compute
+      units.
+    - [Hub_edge (h, e)]: hub attachment, optionally carrying a queue. *)
+
+type endpoint = U of int | M of int | H of int
+(** Typed ids into {!Graph.t}'s unit/memory/hub tables. *)
+
+type kind =
+  | Access of int * int     (** unit id, memory id *)
+  | Hierarchy of int * int  (** memory id, memory id (closer, farther) *)
+  | Pipeline of int * int   (** unit id, unit id *)
+  | Hub_edge of int * endpoint (** hub id, attached endpoint *)
+
+type t = {
+  kind : kind;
+  weight_cycles : int;
+      (** Extra cycles on top of the endpoint's base cost (NUMA penalty,
+          fabric hop). *)
+}
+
+val src : t -> endpoint
+val dst : t -> endpoint
+val pp : Format.formatter -> t -> unit

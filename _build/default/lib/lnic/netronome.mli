@@ -1,0 +1,27 @@
+(** A Netronome Agilio-CX-40G-like LNIC instance.
+
+    Topology and parameters follow the paper's §3.1–3.2 description:
+    NPU islands sharing Cluster Target Memory, IMEM/EMEM behind a switch
+    fabric, ingress match/action + checksum engines, a crypto accelerator
+    and a flow-cache lookup engine.  Cycle numbers are the ones the paper
+    reports (local 4 kB @1–3 cyc, CTM 256 kB @50 cyc, IMEM 4 MB @250 cyc,
+    EMEM 8 GB @500 cyc with a 3 MB cache; header parse ≈150 cyc; metadata
+    ops 2–5 cyc; ingress checksum ≈300 cyc @1000 B vs ≈+1700 cyc in
+    software). *)
+
+val create : ?islands:int -> ?npus_per_island:int -> unit -> Graph.t
+(** Defaults: 5 islands × 12 NPUs (8 threads each, 800 MHz, no FPU) —
+    60 microengines, in the NFP-4000's range. *)
+
+val default : Graph.t
+(** [create ()] memoized. *)
+
+(** Well-known unit ids within {!default} (also valid for any [create]
+    result): accelerators come after the NPUs in id order; use
+    {!Graph.find_accelerator} rather than hard-coding ids. *)
+
+val ctm_of_island : Graph.t -> int -> Memory.t
+(** The CTM region of an island.  @raise Not_found if absent. *)
+
+val imem : Graph.t -> Memory.t
+val emem : Graph.t -> Memory.t

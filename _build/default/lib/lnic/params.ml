@@ -1,0 +1,85 @@
+type op_class =
+  | Alu
+  | Mul
+  | Div
+  | Fp
+  | Move
+  | Branch
+  | Hash
+  | Load
+  | Store
+  | Atomic
+  | Call
+
+type vcall =
+  | V_parse_header
+  | V_modify_header
+  | V_checksum
+  | V_crypto
+  | V_table_lookup
+  | V_lpm_lookup
+  | V_table_update
+  | V_payload_scan
+  | V_meter
+  | V_flow_stats
+  | V_emit
+  | V_drop
+
+type t = {
+  pname : string;
+  core_op_cycles : (op_class * float) list;
+  fpu_emulation_factor : float;
+  core_vcalls : (vcall * Cost_fn.t) list;
+  accel_vcalls : (Unit_.accel_kind * (vcall * Cost_fn.t) list) list;
+  accel_sram_bytes : (Unit_.accel_kind * int) list;
+  packet_ctm_threshold : int;
+  wire_ingress : Cost_fn.t;
+  wire_egress : Cost_fn.t;
+}
+
+let op_cost t op ~has_fpu =
+  let c = List.assoc op t.core_op_cycles in
+  match op with Fp when not has_fpu -> c *. t.fpu_emulation_factor | _ -> c
+
+let core_vcall_cost t v = List.assoc_opt v t.core_vcalls
+
+let accel_vcall_cost t kind v =
+  match List.assoc_opt kind t.accel_vcalls with
+  | None -> None
+  | Some table -> List.assoc_opt v table
+
+let accel_sram t kind =
+  Option.value ~default:0 (List.assoc_opt kind t.accel_sram_bytes)
+
+let vcall_name = function
+  | V_parse_header -> "parse_header"
+  | V_modify_header -> "modify_header"
+  | V_checksum -> "checksum"
+  | V_crypto -> "crypto"
+  | V_table_lookup -> "table_lookup"
+  | V_lpm_lookup -> "lpm_lookup"
+  | V_table_update -> "table_update"
+  | V_payload_scan -> "payload_scan"
+  | V_meter -> "meter"
+  | V_flow_stats -> "flow_stats"
+  | V_emit -> "emit"
+  | V_drop -> "drop"
+
+let op_name = function
+  | Alu -> "alu"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Fp -> "fp"
+  | Move -> "move"
+  | Branch -> "branch"
+  | Hash -> "hash"
+  | Load -> "load"
+  | Store -> "store"
+  | Atomic -> "atomic"
+  | Call -> "call"
+
+let all_op_classes = [ Alu; Mul; Div; Fp; Move; Branch; Hash; Load; Store; Atomic; Call ]
+
+let all_vcalls =
+  [ V_parse_header; V_modify_header; V_checksum; V_crypto; V_table_lookup; V_lpm_lookup;
+    V_table_update; V_payload_scan; V_meter; V_flow_stats; V_emit; V_drop ]

@@ -1,0 +1,81 @@
+(** Performance parameters annotating an LNIC (§3.2).
+
+    Two kinds of annotations: architectural (sizes, parallelism, queue
+    capacities — stored on the graph nodes themselves) and performance
+    (instruction cycle costs, accelerator cost functions — stored here).
+    In the paper these come from vendor databooks plus one-time hardware
+    microbenchmarks; in this reproduction they are calibrated against
+    {!Clara_nicsim} by [Clara.Microbench], and the defaults encode the
+    values the paper reports for Netronome Agilio. *)
+
+(** Instruction classes a CIR instruction lowers to.  Memory latency is
+    *not* folded into [Load]/[Store]: the issue cost lives here and the
+    region-dependent latency is added by the mapping/prediction layers,
+    which know the placement. *)
+type op_class =
+  | Alu      (** add/sub/logic/compare *)
+  | Mul
+  | Div
+  | Fp       (** floating point; emulated on cores without FPUs (§3.4) *)
+  | Move     (** register/metadata moves (2–5 cycles on NPUs, §3.2) *)
+  | Branch
+  | Hash     (** hash of a small key, e.g. for flow tables *)
+  | Load
+  | Store
+  | Atomic
+  | Call     (** intra-program call/return overhead *)
+
+(** Virtual calls: framework API calls recognized in the CIR and bound to
+    NIC components late (§3.3).  The size argument fed to the cost
+    function is noted per constructor. *)
+type vcall =
+  | V_parse_header   (** size = header bytes *)
+  | V_modify_header  (** size = fields modified *)
+  | V_checksum       (** size = bytes covered *)
+  | V_crypto         (** size = bytes *)
+  | V_table_lookup   (** hash/exact-match table; size = table entries *)
+  | V_lpm_lookup     (** longest-prefix match; size = table entries *)
+  | V_table_update   (** size = table entries *)
+  | V_payload_scan   (** size = payload bytes (DPI) *)
+  | V_meter          (** size = 1 *)
+  | V_flow_stats     (** size = 1 *)
+  | V_emit           (** size = packet bytes *)
+  | V_drop
+
+type t = {
+  pname : string;
+  core_op_cycles : (op_class * float) list;
+      (** Cycle cost of each op class on a general core. *)
+  fpu_emulation_factor : float;
+      (** Multiplier applied to [Fp] on cores lacking an FPU. *)
+  core_vcalls : (vcall * Cost_fn.t) list;
+      (** Software implementations on a general core (memory-hierarchy
+          costs not included; added per placement). *)
+  accel_vcalls : (Unit_.accel_kind * (vcall * Cost_fn.t) list) list;
+      (** What each accelerator kind can execute, and for how much. *)
+  accel_sram_bytes : (Unit_.accel_kind * int) list;
+      (** Dedicated SRAM capacity of stateful accelerators (e.g. the
+          flow-cache table); states beyond this cannot live on the
+          accelerator. *)
+  packet_ctm_threshold : int;
+      (** Packets up to this many bytes reside entirely in cluster memory;
+          larger tails spill to external memory (§3.2: 1 kB). *)
+  wire_ingress : Cost_fn.t;
+      (** Wire->NIC receive cost as a function of packet bytes
+          (store-and-forward DMA into cluster memory). *)
+  wire_egress : Cost_fn.t;
+}
+
+val op_cost : t -> op_class -> has_fpu:bool -> float
+(** @raise Not_found if the op class is missing from the table
+    (a malformed parameter set). *)
+
+val core_vcall_cost : t -> vcall -> Cost_fn.t option
+val accel_vcall_cost : t -> Unit_.accel_kind -> vcall -> Cost_fn.t option
+val accel_sram : t -> Unit_.accel_kind -> int
+(** 0 when the accelerator holds no state. *)
+
+val vcall_name : vcall -> string
+val op_name : op_class -> string
+val all_op_classes : op_class list
+val all_vcalls : vcall list

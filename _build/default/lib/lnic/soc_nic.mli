@@ -1,0 +1,13 @@
+(** An ARM-SoC SmartNIC instance (BlueField/LiquidIO-like).
+
+    The contrast with {!Netronome} exercises Clara's "which NIC suits my
+    workload" use case (§1, §6): fewer but faster general cores with FPUs
+    and a conventional cache hierarchy, crypto/checksum offloads, but no
+    hardware match/action or flow-cache engine — so table-heavy NFs that
+    shine on the Netronome-like target pay full software cost here, while
+    compute-heavy NFs benefit from the higher clock. *)
+
+val create : ?cores:int -> unit -> Graph.t
+(** Default: 8 ARM cores at 2 GHz, 2 threads each. *)
+
+val default : Graph.t

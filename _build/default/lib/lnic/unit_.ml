@@ -1,0 +1,36 @@
+type accel_kind = Checksum | Crypto | Lookup | Parse
+
+type kind =
+  | General_core of { threads : int; has_fpu : bool }
+  | Accelerator of accel_kind
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  island : int option;
+  freq_mhz : int;
+  stage : int;
+}
+
+let is_general t = match t.kind with General_core _ -> true | Accelerator _ -> false
+
+let is_accelerator t k =
+  match t.kind with Accelerator k' -> k = k' | General_core _ -> false
+
+let threads t = match t.kind with General_core { threads; _ } -> threads | Accelerator _ -> 1
+
+let accel_name = function
+  | Checksum -> "checksum"
+  | Crypto -> "crypto"
+  | Lookup -> "lookup"
+  | Parse -> "parse"
+
+let pp fmt t =
+  match t.kind with
+  | General_core { threads; has_fpu } ->
+      Format.fprintf fmt "%s#%d(core,%dthr%s,stage=%d)" t.name t.id threads
+        (if has_fpu then ",fpu" else "")
+        t.stage
+  | Accelerator k ->
+      Format.fprintf fmt "%s#%d(accel:%s,stage=%d)" t.name t.id (accel_name k) t.stage

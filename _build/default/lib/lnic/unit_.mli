@@ -1,0 +1,37 @@
+(** Typed compute units of the logical NIC (§3.1).
+
+    A node in the LNIC graph that executes work: general-purpose cores
+    (NPU, ARM), header processing engines, or domain-specific
+    accelerators.  Accelerators handle only the virtual calls they
+    advertise; general cores can run anything, falling back to software
+    emulation for missing features (e.g. FPUs, §3.4). *)
+
+type accel_kind =
+  | Checksum        (** Internet checksum / CRC engines. *)
+  | Crypto          (** AES/SHA bulk crypto. *)
+  | Lookup          (** Hardware match/action with flow-cache SRAM. *)
+  | Parse           (** Dedicated header parser / ingress engine. *)
+
+type kind =
+  | General_core of { threads : int; has_fpu : bool }
+      (** Run-to-completion packet cores; a packet is bound to one
+          thread (§3.2). *)
+  | Accelerator of accel_kind
+
+type t = {
+  id : int;            (** Dense id within the LNIC. *)
+  name : string;
+  kind : kind;
+  island : int option; (** Island/cluster grouping, when the NIC has one. *)
+  freq_mhz : int;      (** Clock, used to convert cycles to wall time. *)
+  stage : int;
+      (** Pipeline stage index; compute-to-compute edges must be
+          non-decreasing in [stage] (§3.4's Π ordering constraint). *)
+}
+
+val is_general : t -> bool
+val is_accelerator : t -> accel_kind -> bool
+val threads : t -> int
+(** 1 for accelerators. *)
+
+val pp : Format.formatter -> t -> unit

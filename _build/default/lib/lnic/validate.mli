@@ -1,0 +1,29 @@
+(** Structural well-formedness checks for LNIC graphs.
+
+    Run on every graph Clara loads: a malformed NIC description would
+    otherwise surface as a nonsense mapping much later. *)
+
+type error = {
+  what : string;    (** Which invariant failed. *)
+  detail : string;
+}
+
+val errors : Graph.t -> error list
+(** All violated invariants, empty when the graph is well-formed:
+    - ids are dense and match array positions;
+    - every link endpoint exists;
+    - pipeline edges never decrease the stage index;
+    - every general core reaches at least one memory of every level
+      present in the graph's hierarchy chain;
+    - memory hierarchy edges go from faster to slower levels;
+    - per-island memories name an existing island;
+    - parameter tables cover every op class. *)
+
+val is_valid : Graph.t -> bool
+val pp_error : Format.formatter -> error -> unit
+
+val warnings : Graph.t -> string list
+(** Non-fatal oddities worth surfacing when loading a NIC description:
+    virtual calls no unit can execute (NFs using them will be
+    unmappable), accelerators whose kind has no cost table, stateful
+    accelerators with zero SRAM, and hubs with zero queue capacity. *)

@@ -1,0 +1,1 @@
+lib/mapping/encode.ml: Array Clara_cir Clara_dataflow Clara_ilp Clara_lnic Float Hashtbl List Mapping Option Printf

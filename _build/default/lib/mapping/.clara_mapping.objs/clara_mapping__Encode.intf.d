@@ -1,0 +1,1 @@
+lib/mapping/encode.mli: Clara_cir Clara_dataflow Clara_lnic Mapping

@@ -1,0 +1,1 @@
+lib/mapping/greedy.ml: Array Clara_cir Clara_dataflow Clara_lnic Encode Hashtbl List Mapping Option Printf

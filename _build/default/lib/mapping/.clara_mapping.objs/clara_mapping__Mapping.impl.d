@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Clara_lnic Format List

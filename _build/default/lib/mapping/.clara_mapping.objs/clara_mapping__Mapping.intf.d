@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Clara_lnic Format

@@ -1,0 +1,363 @@
+module I = Clara_ilp
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+module M = I.Model
+module LE = I.Lin_expr
+
+(* State object a node touches (at most one, guaranteed by Build). *)
+let node_state (n : D.Node.t) =
+  match n.D.Node.kind with
+  | D.Node.N_vcall v -> v.Ir.state
+  | D.Node.N_compute is ->
+      List.find_map
+        (function
+          | Ir.Load (Ir.L_state s) | Ir.Store (Ir.L_state s) | Ir.Atomic_op (Ir.L_state s) ->
+              Some s
+          | _ -> None)
+        is
+
+(* Packet data region as seen from a unit: cluster memory while the packet
+   fits the CTM threshold, external memory otherwise (§3.2). *)
+let packet_region_for lnic (u : L.Unit_.t) ~packet_bytes =
+  let reach = L.Graph.reachable_memories lnic ~unit_id:u.L.Unit_.id in
+  let threshold = lnic.L.Graph.params.L.Params.packet_ctm_threshold in
+  let pick level =
+    List.find_opt (fun (m, _) -> m.L.Memory.level = level) reach
+  in
+  let choice =
+    if int_of_float packet_bytes <= threshold then
+      (match pick L.Memory.Cluster with None -> pick L.Memory.External | s -> s)
+    else
+      match pick L.Memory.External with None -> pick L.Memory.Cluster | s -> s
+  in
+  match (choice, reach) with
+  | Some (m, _), _ -> m.L.Memory.id
+  | None, (m, _) :: _ -> m.L.Memory.id
+  | None, [] -> invalid_arg "Encode: unit reaches no memory"
+
+let cost_ctx lnic (u : L.Unit_.t) ~sizes ~state_region ~state_footprint =
+  {
+    D.Cost.lnic;
+    exec_unit = u;
+    state_region;
+    state_footprint;
+    packet_region = packet_region_for lnic u ~packet_bytes:sizes.D.Cost.packet_bytes;
+    sizes;
+  }
+
+let rat_of_cost c = I.Rat.of_int (int_of_float (Float.round c))
+
+let rat_of_weight w =
+  let scaled = int_of_float (Float.round (w *. 1000.)) in
+  I.Rat.of_ints (max 0 scaled) 1000
+
+let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~sizes ~prob =
+  let classes =
+    L.Graph.placement_classes lnic
+    |> List.filter (fun (c : L.Graph.placement_class) ->
+           match c.L.Graph.rep.L.Unit_.kind with
+           | L.Unit_.Accelerator k -> not (List.mem k options.Mapping.disallowed_accels)
+           | L.Unit_.General_core _ -> true)
+    |> Array.of_list
+  in
+  let nclasses = Array.length classes in
+  let rep ci = classes.(ci).L.Graph.rep in
+  let stage ci = (rep ci).L.Unit_.stage in
+  let nodes = df.D.Graph.nodes in
+  let weights = D.Flow.node_weights df ~prob in
+  let states = D.Graph.states df in
+  let footprint s =
+    Ir.state_bytes (List.find (fun o -> o.Ir.st_name = s) states)
+  in
+  let state_entries s =
+    match List.find_opt (fun o -> o.Ir.st_name = s) states with
+    | Some o -> float_of_int o.Ir.st_entries
+    | None -> 0.
+  in
+  let sizes =
+    (* Resolve table sizes from the program itself unless the caller
+       already provided them. *)
+    { sizes with
+      D.Cost.state_entries =
+        (fun s ->
+          let v = sizes.D.Cost.state_entries s in
+          if v > 0. then v else state_entries s) }
+  in
+  let shared_regions =
+    Array.to_list lnic.L.Graph.memories
+    |> List.filter (fun (m : L.Memory.t) ->
+           match m.L.Memory.level with
+           | L.Memory.Cluster | L.Memory.Internal | L.Memory.External -> true
+           | L.Memory.Local -> false)
+  in
+  let touching s =
+    Array.to_list nodes |> List.filter (fun n -> node_state n = Some s)
+  in
+  let accel_kinds =
+    Array.to_list classes
+    |> List.filter_map (fun (c : L.Graph.placement_class) ->
+           match c.L.Graph.rep.L.Unit_.kind with
+           | L.Unit_.Accelerator k -> Some k
+           | L.Unit_.General_core _ -> None)
+  in
+  let params = lnic.L.Graph.params in
+  (* Accelerator kinds that could host state s entirely. *)
+  let pinned s = List.assoc_opt s options.Mapping.pin_state in
+  let accel_options s =
+    List.filter
+      (fun k ->
+        pinned s = None
+        && footprint s <= L.Params.accel_sram params k
+        && List.for_all
+             (fun (n : D.Node.t) ->
+               match n.D.Node.kind with
+               | D.Node.N_vcall v -> L.Params.accel_vcall_cost params k v.Ir.vc <> None
+               | D.Node.N_compute _ -> false)
+             (touching s))
+      accel_kinds
+  in
+  let mem_options s =
+    List.filter
+      (fun (m : L.Memory.t) ->
+        footprint s <= m.L.Memory.size_bytes
+        && match pinned s with None -> true | Some lvl -> m.L.Memory.level = lvl)
+      shared_regions
+  in
+  let model = M.create () in
+  let errors = ref [] in
+  (* ---- state placement variables ---- *)
+  let y_mem = Hashtbl.create 16 (* (state, mem id) -> var *) in
+  let y_acc = Hashtbl.create 16 (* (state, accel kind) -> var *) in
+  List.iter
+    (fun (st : Ir.state_obj) ->
+      let s = st.Ir.st_name in
+      let mems = mem_options s and accs = accel_options s in
+      if mems = [] && accs = [] then
+        errors := Printf.sprintf "state '%s' fits no memory region" s :: !errors
+      else begin
+        let vars = ref [] in
+        List.iter
+          (fun (m : L.Memory.t) ->
+            let v = M.add_var model ~name:(Printf.sprintf "y_%s_m%d" s m.L.Memory.id) M.Binary in
+            Hashtbl.add y_mem (s, m.L.Memory.id) v;
+            vars := v :: !vars)
+          mems;
+        List.iter
+          (fun k ->
+            let v = M.add_var model ~name:(Printf.sprintf "y_%s_acc" s) M.Binary in
+            Hashtbl.add y_acc (s, k) v;
+            vars := v :: !vars)
+          accs;
+        M.add_constraint model ~name:(Printf.sprintf "place_%s" s)
+          (LE.sum (List.map LE.var !vars))
+          M.Eq I.Rat.one
+      end)
+    states;
+  (* ---- node assignment variables ---- *)
+  (* For each node: list of (class idx, cost, var, mem option) *)
+  let x_vars = Hashtbl.create 64 (* (node, class) -> var list (z's share class) *) in
+  let objective = ref LE.zero in
+  let add_obj n cost var =
+    objective :=
+      LE.add !objective
+        (LE.var ~coeff:(I.Rat.mul (rat_of_weight weights.(n)) (rat_of_cost cost)) var)
+  in
+  Array.iter
+    (fun (n : D.Node.t) ->
+      let nid = n.D.Node.id in
+      let choice_vars = ref [] in
+      let record ci v =
+        Hashtbl.add x_vars (nid, ci) v;
+        choice_vars := v :: !choice_vars
+      in
+      (match node_state n with
+      | None ->
+          for ci = 0 to nclasses - 1 do
+            let ctx =
+              cost_ctx lnic (rep ci) ~sizes
+                ~state_region:(fun _ -> invalid_arg "stateless")
+                ~state_footprint:(fun _ -> 0)
+            in
+            match D.Cost.node_cycles ctx n with
+            | None -> ()
+            | Some c ->
+                let v =
+                  M.add_var model ~name:(Printf.sprintf "x_n%d_c%d" nid ci) M.Binary
+                in
+                record ci v;
+                add_obj nid c v
+          done
+      | Some s ->
+          for ci = 0 to nclasses - 1 do
+            match (rep ci).L.Unit_.kind with
+            | L.Unit_.General_core _ ->
+                List.iter
+                  (fun (m : L.Memory.t) ->
+                    match Hashtbl.find_opt y_mem (s, m.L.Memory.id) with
+                    | None -> ()
+                    | Some yv -> (
+                        let ctx =
+                          cost_ctx lnic (rep ci) ~sizes
+                            ~state_region:(fun _ -> m.L.Memory.id)
+                            ~state_footprint:footprint
+                        in
+                        match D.Cost.node_cycles ctx n with
+                        | None -> ()
+                        | Some c ->
+                            let zv =
+                              M.add_var model
+                                ~name:(Printf.sprintf "z_n%d_c%d_m%d" nid ci m.L.Memory.id)
+                                M.Binary
+                            in
+                            record ci zv;
+                            add_obj nid c zv;
+                            (* z implies the state placement *)
+                            M.add_constraint model
+                              (LE.sub (LE.var zv) (LE.var yv))
+                              M.Le I.Rat.zero))
+                  shared_regions
+            | L.Unit_.Accelerator k -> (
+                match Hashtbl.find_opt y_acc (s, k) with
+                | None -> ()
+                | Some yv -> (
+                    let ctx =
+                      cost_ctx lnic (rep ci) ~sizes
+                        ~state_region:(fun _ -> invalid_arg "accel state")
+                        ~state_footprint:footprint
+                    in
+                    match D.Cost.node_cycles ctx n with
+                    | None -> ()
+                    | Some c ->
+                        let v =
+                          M.add_var model ~name:(Printf.sprintf "xa_n%d_c%d" nid ci)
+                            M.Binary
+                        in
+                        record ci v;
+                        add_obj nid c v;
+                        M.add_constraint model
+                          (LE.sub (LE.var v) (LE.var yv))
+                          M.Le I.Rat.zero))
+          done);
+      if !choice_vars = [] then
+        errors := Printf.sprintf "node n%d cannot run on any unit" nid :: !errors
+      else
+        M.add_constraint model ~name:(Printf.sprintf "assign_n%d" nid)
+          (LE.sum (List.map LE.var !choice_vars))
+          M.Eq I.Rat.one)
+    nodes;
+  (* ---- pipeline ordering along dataflow edges ---- *)
+  let stage_expr nid =
+    let e = ref LE.zero in
+    for ci = 0 to nclasses - 1 do
+      List.iter
+        (fun v -> e := LE.add !e (LE.var ~coeff:(I.Rat.of_int (stage ci)) v))
+        (Hashtbl.find_all x_vars (nid, ci))
+    done;
+    !e
+  in
+  List.iter
+    (fun (t, k) ->
+      M.add_constraint model ~name:(Printf.sprintf "pipe_%d_%d" t k)
+        (LE.sub (stage_expr k) (stage_expr t))
+        M.Ge I.Rat.zero)
+    df.D.Graph.edges;
+  (* ---- capacities ---- *)
+  List.iter
+    (fun (m : L.Memory.t) ->
+      let terms =
+        List.filter_map
+          (fun (st : Ir.state_obj) ->
+            Option.map
+              (fun v -> LE.var ~coeff:(I.Rat.of_int (footprint st.Ir.st_name)) v)
+              (Hashtbl.find_opt y_mem (st.Ir.st_name, m.L.Memory.id)))
+          states
+      in
+      if terms <> [] then
+        M.add_constraint model
+          ~name:(Printf.sprintf "cap_m%d" m.L.Memory.id)
+          (LE.sum terms) M.Le
+          (I.Rat.of_int m.L.Memory.size_bytes))
+    shared_regions;
+  List.iter
+    (fun k ->
+      let terms =
+        List.filter_map
+          (fun (st : Ir.state_obj) ->
+            Option.map
+              (fun v -> LE.var ~coeff:(I.Rat.of_int (footprint st.Ir.st_name)) v)
+              (Hashtbl.find_opt y_acc (st.Ir.st_name, k)))
+          states
+      in
+      if terms <> [] then
+        M.add_constraint model (LE.sum terms) M.Le
+          (I.Rat.of_int (L.Params.accel_sram params k)))
+    accel_kinds;
+  match !errors with
+  | e :: _ -> Error e
+  | [] -> (
+      M.set_objective model M.Minimize !objective;
+      Option.iter (fun path -> I.Lp_format.write_file path model) dump_lp;
+      match I.Branch_bound.solve ~node_limit:options.Mapping.node_limit model with
+      | exception I.Branch_bound.Node_limit_exceeded -> Error "ILP node limit exceeded"
+      | { I.Branch_bound.status = I.Branch_bound.Infeasible; _ } ->
+          Error "mapping ILP infeasible (pipeline ordering vs capacities)"
+      | { I.Branch_bound.status = I.Branch_bound.Unbounded; _ } ->
+          Error "mapping ILP unbounded (encoding bug)"
+      | { I.Branch_bound.status = I.Branch_bound.Optimal; objective = obj; values; nodes = bb } ->
+          (* Decode. *)
+          let node_unit =
+            Array.map
+              (fun (n : D.Node.t) ->
+                let nid = n.D.Node.id in
+                let found = ref None in
+                for ci = 0 to nclasses - 1 do
+                  List.iter
+                    (fun v ->
+                      if I.Rat.equal values.(v) I.Rat.one then found := Some ci)
+                    (Hashtbl.find_all x_vars (nid, ci))
+                done;
+                match !found with
+                | Some ci -> (rep ci).L.Unit_.id
+                | None -> failwith "Encode: node left unassigned (solver bug)")
+              nodes
+          in
+          let state_place =
+            List.map
+              (fun (st : Ir.state_obj) ->
+                let s = st.Ir.st_name in
+                let mem_hit =
+                  List.find_opt
+                    (fun (m : L.Memory.t) ->
+                      match Hashtbl.find_opt y_mem (s, m.L.Memory.id) with
+                      | Some v -> I.Rat.equal values.(v) I.Rat.one
+                      | None -> false)
+                    shared_regions
+                in
+                match mem_hit with
+                | Some m -> (s, Mapping.In_memory m.L.Memory.id)
+                | None -> (
+                    let acc_hit =
+                      List.find_opt
+                        (fun k ->
+                          match Hashtbl.find_opt y_acc (s, k) with
+                          | Some v -> I.Rat.equal values.(v) I.Rat.one
+                          | None -> false)
+                        accel_kinds
+                    in
+                    match acc_hit with
+                    | Some k -> (
+                        match L.Graph.find_accelerator lnic k with
+                        | Some u -> (s, Mapping.In_accel u.L.Unit_.id)
+                        | None -> failwith "Encode: accel vanished")
+                    | None -> failwith "Encode: state left unplaced (solver bug)"))
+              states
+          in
+          Ok
+            {
+              Mapping.node_unit;
+              state_place;
+              objective_cycles = I.Rat.to_float obj;
+              ilp_nodes = bb;
+              ilp_vars = M.num_vars model;
+            })

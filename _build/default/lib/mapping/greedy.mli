@@ -1,0 +1,17 @@
+(** Greedy first-fit mapper: the ablation baseline for the ILP.
+
+    Emulates a naive port: place each state in the fastest region that
+    still fits (first-fit by latency), then walk the dataflow graph in
+    topological order assigning every node to its cheapest unit among
+    those whose stage does not violate the pipeline order already
+    committed to.  No backtracking — exactly the kind of local decision a
+    first-attempt port makes, which the paper argues leaves performance on
+    the table until rounds of hand-tuning. *)
+
+val map_nf :
+  ?options:Mapping.options ->
+  Clara_lnic.Graph.t ->
+  Clara_dataflow.Graph.t ->
+  sizes:Clara_dataflow.Cost.sizes ->
+  prob:(Clara_cir.Ir.guard -> float) ->
+  (Mapping.t, string) result

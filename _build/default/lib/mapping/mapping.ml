@@ -1,0 +1,38 @@
+type placement = In_memory of int | In_accel of int
+
+type t = {
+  node_unit : int array;
+  state_place : (string * placement) list;
+  objective_cycles : float;
+  ilp_nodes : int;
+  ilp_vars : int;
+}
+
+type options = {
+  disallowed_accels : Clara_lnic.Unit_.accel_kind list;
+  pin_state : (string * Clara_lnic.Memory.level) list;
+  node_limit : int;
+}
+
+let default_options = { disallowed_accels = []; pin_state = []; node_limit = 200_000 }
+
+let unit_of_node t n = t.node_unit.(n)
+let placement_of_state t s = List.assoc_opt s t.state_place
+
+let pp lnic fmt t =
+  Format.fprintf fmt "mapping (objective %.0f cycles, %d B&B nodes, %d vars)@."
+    t.objective_cycles t.ilp_nodes t.ilp_vars;
+  Array.iteri
+    (fun n u ->
+      Format.fprintf fmt "  n%d -> %s@." n (Clara_lnic.Graph.unit_ lnic u).Clara_lnic.Unit_.name)
+    t.node_unit;
+  List.iter
+    (fun (s, p) ->
+      match p with
+      | In_memory m ->
+          Format.fprintf fmt "  state %s -> %s@." s
+            (Clara_lnic.Graph.memory lnic m).Clara_lnic.Memory.name
+      | In_accel u ->
+          Format.fprintf fmt "  state %s -> %s (accel SRAM)@." s
+            (Clara_lnic.Graph.unit_ lnic u).Clara_lnic.Unit_.name)
+    t.state_place

@@ -1,0 +1,1 @@
+lib/nfs/corpus.ml: Clara_nicsim Dpi Firewall Heavy_hitter Ipsec_gw Kv_store List Load_balancer Lpm Nat Syn_proxy Telemetry Tunnel_gw Vnf_chain

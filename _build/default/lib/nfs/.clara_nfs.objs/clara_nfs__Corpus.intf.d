@@ -1,0 +1,1 @@
+lib/nfs/corpus.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/dpi.ml: Clara_nicsim Clara_workload

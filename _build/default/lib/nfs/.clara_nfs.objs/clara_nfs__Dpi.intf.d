@@ -1,0 +1,1 @@
+lib/nfs/dpi.mli: Clara_nicsim

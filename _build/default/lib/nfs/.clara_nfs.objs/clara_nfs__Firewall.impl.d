@@ -1,0 +1,1 @@
+lib/nfs/firewall.ml: Clara_nicsim Clara_workload Printf

@@ -1,0 +1,1 @@
+lib/nfs/heavy_hitter.ml: Clara_nicsim Clara_workload Hashtbl Option Printf

@@ -1,0 +1,1 @@
+lib/nfs/heavy_hitter.mli: Clara_nicsim

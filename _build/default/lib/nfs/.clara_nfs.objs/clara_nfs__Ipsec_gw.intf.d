@@ -1,0 +1,1 @@
+lib/nfs/ipsec_gw.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/kv_store.ml: Clara_nicsim Clara_workload Printf

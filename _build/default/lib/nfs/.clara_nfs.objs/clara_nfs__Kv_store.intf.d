@@ -1,0 +1,1 @@
+lib/nfs/kv_store.mli: Clara_nicsim

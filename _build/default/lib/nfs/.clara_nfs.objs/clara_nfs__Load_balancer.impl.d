@@ -1,0 +1,1 @@
+lib/nfs/load_balancer.ml: Clara_nicsim Clara_workload Printf

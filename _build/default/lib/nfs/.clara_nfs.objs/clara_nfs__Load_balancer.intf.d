@@ -1,0 +1,1 @@
+lib/nfs/load_balancer.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/lpm.ml: Clara_nicsim Clara_workload Int32 Printf

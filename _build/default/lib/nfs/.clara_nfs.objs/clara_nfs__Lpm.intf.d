@@ -1,0 +1,1 @@
+lib/nfs/lpm.mli: Clara_nicsim

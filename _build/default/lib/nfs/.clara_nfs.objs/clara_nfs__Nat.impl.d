@@ -1,0 +1,1 @@
+lib/nfs/nat.ml: Clara_nicsim Clara_workload Printf

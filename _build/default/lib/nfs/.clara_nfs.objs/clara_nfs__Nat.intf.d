@@ -1,0 +1,1 @@
+lib/nfs/nat.mli: Clara_nicsim

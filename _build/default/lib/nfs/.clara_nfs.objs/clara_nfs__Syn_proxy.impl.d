@@ -1,0 +1,1 @@
+lib/nfs/syn_proxy.ml: Clara_nicsim Clara_workload Printf

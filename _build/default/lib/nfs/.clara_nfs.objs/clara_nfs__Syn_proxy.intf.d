@@ -1,0 +1,1 @@
+lib/nfs/syn_proxy.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/telemetry.ml: Clara_nicsim Clara_workload Printf

@@ -1,0 +1,1 @@
+lib/nfs/telemetry.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/tunnel_gw.ml: Clara_nicsim Clara_workload Printf

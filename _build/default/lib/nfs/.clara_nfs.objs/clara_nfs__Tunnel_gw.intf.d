@@ -1,0 +1,1 @@
+lib/nfs/tunnel_gw.mli: Clara_nicsim

@@ -1,0 +1,1 @@
+lib/nfs/vnf_chain.ml: Clara_nicsim Clara_workload Printf

@@ -1,0 +1,1 @@
+lib/nfs/vnf_chain.mli: Clara_nicsim

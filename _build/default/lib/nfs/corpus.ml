@@ -1,0 +1,59 @@
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  ported : Clara_nicsim.Device.prog;
+}
+
+let all =
+  [ { name = "nat";
+      description = "network address translation: per-flow table + header rewrite";
+      source = Nat.source ();
+      ported = Nat.ported ~checksum_engine:true () };
+    { name = "lpm";
+      description = "longest-prefix-match forwarding (8k rules)";
+      source = Lpm.source ~entries:8192;
+      ported = Lpm.ported ~entries:8192 ~use_flow_cache:true () };
+    { name = "firewall";
+      description = "stateful firewall: SYN-established connection table";
+      source = Firewall.source ();
+      ported = Firewall.ported ~placement:Clara_nicsim.Device.P_imem () };
+    { name = "dpi";
+      description = "deep packet inspection: payload pattern scan";
+      source = Dpi.source;
+      ported = Dpi.ported () };
+    { name = "heavy-hitter";
+      description = "heavy-hitter detection: counting sketch + threshold";
+      source = Heavy_hitter.source ();
+      ported = Heavy_hitter.ported () };
+    { name = "vnf-chain";
+      description = "fused chain: DPI + metering + header mod + flow stats";
+      source = Vnf_chain.source ();
+      ported = Vnf_chain.ported () };
+    { name = "kv-store";
+      description = "NIC-side key/value cache (GET/SET over UDP)";
+      source = Kv_store.source ();
+      ported = Kv_store.ported () };
+    { name = "load-balancer";
+      description = "L4 load balancer: connection affinity + consistent hash";
+      source = Load_balancer.source ();
+      ported = Load_balancer.ported () };
+    { name = "syn-proxy";
+      description = "SYN-cookie proxy with verified-connection whitelist";
+      source = Syn_proxy.source ();
+      ported = Syn_proxy.ported () };
+    { name = "ipsec-gw";
+      description = "IPsec ESP gateway: SA lookup + bulk crypto + encap";
+      source = Ipsec_gw.source ();
+      ported = Ipsec_gw.ported () };
+    { name = "telemetry";
+      description = "per-flow telemetry with floating-point EWMA (FPU story)";
+      source = Telemetry.source ();
+      ported = Telemetry.ported () };
+    { name = "tunnel-gw";
+      description = "VXLAN-style tunnel gateway: VNI lookup + encap";
+      source = Tunnel_gw.source ();
+      ported = Tunnel_gw.ported () } ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,45 @@
+module Dev = Clara_nicsim.Device
+
+let source =
+  {|
+nf dpi {
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var bad = scan_payload(pkt, 64);
+    if (bad) {
+      drop(pkt);
+    } else {
+      emit(pkt);
+    }
+  }
+}
+|}
+
+let source_raw_loop =
+  {|
+nf dpi_raw {
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var bad = 0;
+    for (i = 0; i < payload_len(pkt); i = i + 1) {
+      if (payload_byte(pkt, i) == 126) {
+        bad = bad + 1;
+      }
+    }
+    if (bad > 0) {
+      drop(pkt);
+    } else {
+      emit(pkt);
+    }
+  }
+}
+|}
+
+let ported () =
+  let handler ctx (pkt : Clara_workload.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    let matched = Dev.scan_payload ctx ~bytes:pkt.Clara_workload.Packet.payload_bytes in
+    Dev.branch ctx;
+    if matched then Dev.Drop else Dev.Emit
+  in
+  { Dev.name = "dpi"; tables = []; handler }

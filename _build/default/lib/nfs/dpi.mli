@@ -1,0 +1,15 @@
+(** Deep packet inspection.
+
+    Scans every payload byte against a pattern set; cost is dominated by
+    payload size — the Figure 1 DPI variants are the same program under
+    different packet-size workloads.  Two source forms are provided: the
+    framework-API version and a hand-written byte loop, which Clara's
+    pattern matching coarsens to the same shape (§3.3). *)
+
+val source : string
+(** Uses the [scan_payload] framework call. *)
+
+val source_raw_loop : string
+(** Hand-written per-byte scan loop; exercises {!Clara_cir.Patterns}. *)
+
+val ported : unit -> Clara_nicsim.Device.prog

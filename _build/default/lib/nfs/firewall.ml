@@ -1,0 +1,60 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(entries = 65536) () =
+  Printf.sprintf
+    {|
+nf firewall {
+  state map conn_table[%d] entry 16;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var key = hash(hdr.src_ip, hdr.dst_ip, hdr.src_port, hdr.dst_port);
+    var ent = lookup(conn_table, key);
+    if (found(ent)) {
+      emit(pkt);
+    } else {
+      if ((hdr.flags & 2) != 0) {
+        update(conn_table, key, 1);
+        emit(pkt);
+      } else {
+        drop(pkt);
+      }
+    }
+  }
+}
+|}
+    entries
+
+let ported ?(entries = 65536) ~placement () =
+  let table = "conn_table" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.hash_op ctx;
+    let key = W.Packet.flow_key pkt in
+    let hit = Dev.table_lookup ctx table ~key in
+    Dev.branch ctx;
+    if hit then Dev.Emit
+    else begin
+      Dev.branch ctx;
+      if W.Packet.is_syn pkt then begin
+        Dev.table_insert ctx table ~key;
+        Dev.Emit
+      end
+      else Dev.Drop
+    end
+  in
+  let pname =
+    match placement with
+    | Dev.P_ctm -> "ctm"
+    | Dev.P_imem -> "imem"
+    | Dev.P_emem -> "emem"
+    | Dev.P_flow_cache -> "fc"
+  in
+  {
+    Dev.name = Printf.sprintf "firewall/%s" pname;
+    tables =
+      [ { Dev.t_name = table; t_entries = entries; t_entry_bytes = 16;
+          t_placement = placement } ];
+    handler;
+  }

@@ -1,0 +1,14 @@
+(** Stateful firewall.
+
+    Admits packets of established connections; TCP SYNs establish state;
+    everything else is dropped.  Figure 1's FW variants store the
+    connection table in different memory locations and see different
+    flow distributions (working-set size drives cache behaviour). *)
+
+val source : ?entries:int -> unit -> string
+
+val ported :
+  ?entries:int ->
+  placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,15 @@
+(** Heavy-hitter detection.
+
+    A counting sketch updated per packet; flows whose counters cross the
+    threshold are policed.  Figure 1's HH variants vary the packet rate —
+    at high rates the atomic counter updates and ingress queueing
+    dominate. *)
+
+val source : ?buckets:int -> ?threshold:int -> unit -> string
+
+val ported :
+  ?buckets:int ->
+  ?threshold:int ->
+  ?placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,53 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(sa_entries = 4096) () =
+  Printf.sprintf
+    {|
+nf ipsec_gw {
+  state map sa_table[%d] entry 64;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var key = hash(hdr.src_ip, hdr.dst_ip);
+    var sa = lookup(sa_table, key);
+    if (!found(sa)) {
+      // First use of a provisioned SA: install it.
+      update(sa_table, key, 1);
+    }
+    crypto(pkt);
+    // Outer ESP/IP header and trailer.
+    hdr.src_ip = entry_value(sa);
+    hdr.dst_ip = entry_value(sa);
+    hdr.len = hdr.len + 36;
+    checksum(pkt);
+    emit(pkt);
+  }
+}
+|}
+    sa_entries
+
+let ported ?(sa_entries = 4096) ?(crypto_engine = true) () =
+  let table = "sa_table" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.hash_op ctx;
+    let key = W.Packet.flow_key pkt land 0xfff in
+    let hit = Dev.table_lookup ctx table ~key in
+    Dev.branch ctx;
+    (* SAs are provisioned: treat the first packet of a flow as installing
+       one, mirroring the miss path cost. *)
+    if not hit then Dev.table_insert ctx table ~key;
+    Dev.crypto ctx ~engine:crypto_engine ~bytes:pkt.W.Packet.payload_bytes;
+    Dev.move ctx 3;
+    Dev.alu ctx 1;
+    Dev.checksum ctx ~engine:true ~bytes:(W.Packet.total_bytes pkt + 36);
+    Dev.Emit
+  in
+  {
+    Dev.name = (if crypto_engine then "ipsec/crypto-engine" else "ipsec/crypto-sw");
+    tables =
+      [ { Dev.t_name = table; t_entries = sa_entries; t_entry_bytes = 64;
+          t_placement = Dev.P_imem } ];
+    handler;
+  }

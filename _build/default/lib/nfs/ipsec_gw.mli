@@ -1,0 +1,12 @@
+(** IPsec gateway (ESP tunnel mode): SA lookup per flow, bulk encryption
+    of the payload, new outer header + checksum.  The crypto stage is
+    where the hardware crypto engine pays off — and where an FPGA-less,
+    crypto-less target falls off a cliff. *)
+
+val source : ?sa_entries:int -> unit -> string
+
+val ported :
+  ?sa_entries:int ->
+  ?crypto_engine:bool ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,70 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(entries = 131072) ?(value_bytes = 64) () =
+  Printf.sprintf
+    {|
+// UDP key/value cache on the NIC: GETs served from the value table,
+// SETs update it, everything else is passed through to the host app.
+nf kv_store {
+  state map values[%d] entry %d;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto == 17) {
+      var key = hash(hdr.dst_port, hdr.src_ip);
+      if (hdr.flags == 0) {
+        // GET
+        var ent = lookup(values, key);
+        if (found(ent)) {
+          hdr.dst_ip = entry_value(ent);
+          checksum_update(hdr);
+          emit(pkt);
+        } else {
+          emit(pkt); // miss: forward to the host application
+        }
+      } else {
+        // SET
+        update(values, key, hdr.src_ip);
+        emit(pkt);
+      }
+    } else {
+      emit(pkt);
+    }
+  }
+}
+|}
+    entries value_bytes
+
+let ported ?(entries = 131072) ?(value_bytes = 64) ?(placement = Dev.P_emem) () =
+  let table = "values" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.branch ctx;
+    match pkt.W.Packet.proto with
+    | W.Packet.Udp ->
+        Dev.hash_op ctx;
+        let key = W.Packet.flow_key pkt in
+        Dev.branch ctx;
+        if pkt.W.Packet.flags = 0 then begin
+          let hit = Dev.table_lookup ctx table ~key in
+          Dev.branch ctx;
+          if hit then begin
+            Dev.move ctx 1;
+            Dev.checksum ctx ~engine:true ~bytes:(W.Packet.header_bytes pkt)
+          end;
+          Dev.Emit
+        end
+        else begin
+          Dev.table_insert ctx table ~key;
+          Dev.Emit
+        end
+    | W.Packet.Tcp | W.Packet.Other _ -> Dev.Emit
+  in
+  {
+    Dev.name = "kv_store";
+    tables =
+      [ { Dev.t_name = table; t_entries = entries; t_entry_bytes = value_bytes;
+          t_placement = placement } ];
+    handler;
+  }

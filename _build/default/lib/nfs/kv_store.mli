@@ -1,0 +1,12 @@
+(** NIC-accelerated key/value cache (the KV-Direct / Floem use case the
+    paper cites §1).  GET requests hit a value table; SETs update it;
+    misses and non-KV traffic go up to the host application (emitted). *)
+
+val source : ?entries:int -> ?value_bytes:int -> unit -> string
+
+val ported :
+  ?entries:int ->
+  ?value_bytes:int ->
+  ?placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,65 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(backends = 64) ?(conn_entries = 131072) () =
+  Printf.sprintf
+    {|
+nf load_balancer {
+  const POOL = %d;
+  state map conn_table[%d] entry 24;
+  state array backends[%d] entry 8;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto == 6) {
+      var key = hash(hdr.src_ip, hdr.src_port, hdr.dst_ip, hdr.dst_port);
+      var ent = lookup(conn_table, key);
+      if (found(ent)) {
+        hdr.dst_ip = entry_value(ent);
+      } else {
+        var pick = hash(key) %% POOL;
+        var backend = lookup(backends, pick);
+        hdr.dst_ip = entry_value(backend);
+        update(conn_table, key, pick);
+      }
+      checksum_update(hdr);
+      emit(pkt);
+    } else {
+      drop(pkt);
+    }
+  }
+}
+|}
+    backends conn_entries backends
+
+let ported ?(backends = 64) ?(conn_entries = 131072) ?(placement = Dev.P_imem) () =
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.branch ctx;
+    match pkt.W.Packet.proto with
+    | W.Packet.Tcp ->
+        Dev.hash_op ctx;
+        let key = W.Packet.flow_key pkt in
+        let hit = Dev.table_lookup ctx "conn_table" ~key in
+        Dev.branch ctx;
+        if hit then Dev.move ctx 1
+        else begin
+          Dev.hash_op ctx;
+          Dev.alu ctx 1;
+          ignore (Dev.table_lookup ctx "backends" ~key:(key mod backends));
+          Dev.move ctx 1;
+          Dev.table_insert ctx "conn_table" ~key
+        end;
+        Dev.checksum ctx ~engine:true ~bytes:(W.Packet.header_bytes pkt);
+        Dev.Emit
+    | W.Packet.Udp | W.Packet.Other _ -> Dev.Drop
+  in
+  {
+    Dev.name = "load_balancer";
+    tables =
+      [ { Dev.t_name = "conn_table"; t_entries = conn_entries; t_entry_bytes = 24;
+          t_placement = placement };
+        { Dev.t_name = "backends"; t_entries = backends; t_entry_bytes = 8;
+          t_placement = Dev.P_ctm } ];
+    handler;
+  }

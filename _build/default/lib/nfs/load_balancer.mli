@@ -1,0 +1,12 @@
+(** L4 load balancer: consistent hashing over a backend pool with
+    per-connection affinity (existing connections stick to their
+    backend via the connection table; new ones hash into the pool). *)
+
+val source : ?backends:int -> ?conn_entries:int -> unit -> string
+
+val ported :
+  ?backends:int ->
+  ?conn_entries:int ->
+  ?placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

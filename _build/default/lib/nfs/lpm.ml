@@ -1,0 +1,45 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ~entries =
+  Printf.sprintf
+    {|
+nf lpm {
+  state lpm routes[%d] entry 16;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var route = lpm_match(routes, hdr.dst_ip);
+    if (found(route)) {
+      hdr.ttl = hdr.ttl - 1;
+      emit(pkt);
+    } else {
+      drop(pkt);
+    }
+  }
+}
+|}
+    entries
+
+let ported ~entries ~use_flow_cache ?(placement = Dev.P_emem) () =
+  let table = "routes" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    let hit = Dev.lpm_lookup ctx table ~key:(Int32.to_int pkt.W.Packet.dst_ip) in
+    Dev.branch ctx;
+    if hit then begin
+      (* TTL decrement. *)
+      Dev.move ctx 1;
+      Dev.alu ctx 1;
+      Dev.Emit
+    end
+    else Dev.Drop
+  in
+  {
+    Dev.name =
+      Printf.sprintf "lpm/%d%s" entries (if use_flow_cache then "/fc" else "/sw");
+    tables =
+      [ { Dev.t_name = table; t_entries = entries; t_entry_bytes = 16;
+          t_placement = (if use_flow_cache then Dev.P_flow_cache else placement) } ];
+    handler;
+  }

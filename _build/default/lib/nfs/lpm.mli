@@ -1,0 +1,17 @@
+(** Longest-prefix match forwarding.
+
+    Latency depends strongly on the rule count and on whether the port
+    uses the hardware flow cache (§2.1: orders of magnitude apart) — the
+    Figure 1 LPM contrast and the whole of Figure 3a (software
+    match/action walk, swept over table entries). *)
+
+val source : entries:int -> string
+
+val ported :
+  entries:int ->
+  use_flow_cache:bool ->
+  ?placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog
+(** [placement] (default EMEM) is where the rule set lives when
+    [use_flow_cache] is false. *)

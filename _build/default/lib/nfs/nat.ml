@@ -1,0 +1,55 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(table_entries = 65536) () =
+  Printf.sprintf
+    {|
+nf nat {
+  state map flow_table[%d] entry 32;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto == 6 || hdr.proto == 17) {
+      var key = hash(hdr.src_ip, hdr.src_port);
+      var ent = lookup(flow_table, key);
+      if (!found(ent)) {
+        update(flow_table, key, hdr.src_ip);
+      }
+      hdr.src_ip = entry_value(ent);
+      hdr.src_port = entry_value(ent) & 0xffff;
+      checksum(pkt);
+      emit(pkt);
+    } else {
+      drop(pkt);
+    }
+  }
+}
+|}
+    table_entries
+
+let ported ?(table_entries = 65536) ?(table_placement = Dev.P_imem) ~checksum_engine () =
+  let table = "flow_table" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.branch ctx;
+    match pkt.W.Packet.proto with
+    | W.Packet.Tcp | W.Packet.Udp ->
+        let key = W.Packet.flow_key pkt in
+        Dev.hash_op ctx;
+        let hit = Dev.table_lookup ctx table ~key in
+        Dev.branch ctx;
+        if not hit then Dev.table_insert ctx table ~key;
+        (* Rewrite source ip/port: metadata moves. *)
+        Dev.move ctx 4;
+        Dev.alu ctx 1;
+        Dev.checksum ctx ~engine:checksum_engine ~bytes:(W.Packet.total_bytes pkt);
+        Dev.Emit
+    | W.Packet.Other _ -> Dev.Drop
+  in
+  {
+    Dev.name = (if checksum_engine then "nat/csum-engine" else "nat/csum-sw");
+    tables =
+      [ { Dev.t_name = table; t_entries = table_entries; t_entry_bytes = 32;
+          t_placement = table_placement } ];
+    handler;
+  }

@@ -1,0 +1,16 @@
+(** Network address translation.
+
+    Maintains a per-flow table and performs a table lookup plus header
+    translation for each packet (§4).  Two porting variants differ in
+    whether the checksum recomputation uses the hardware engine — the
+    Figure 1 NAT contrast. *)
+
+val source : ?table_entries:int -> unit -> string
+(** NF DSL source; default 65536 flow entries of 32 bytes (2 MB). *)
+
+val ported :
+  ?table_entries:int ->
+  ?table_placement:Clara_nicsim.Device.placement ->
+  checksum_engine:bool ->
+  unit ->
+  Clara_nicsim.Device.prog

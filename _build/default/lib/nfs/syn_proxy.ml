@@ -1,0 +1,85 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(entries = 262144) () =
+  Printf.sprintf
+    {|
+nf syn_proxy {
+  state map verified[%d] entry 16;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto != 6) {
+      emit(pkt);
+      return;
+    }
+    var key = hash(hdr.src_ip, hdr.src_port, hdr.dst_ip, hdr.dst_port);
+    if ((hdr.flags & 2) != 0) {
+      // SYN: answer with a cookie instead of forwarding.
+      var cookie = hash(key, hdr.seq);
+      hdr.ack = cookie;
+      hdr.flags = 18;
+      checksum_update(hdr);
+      emit(pkt);
+    } else {
+      var ent = lookup(verified, key);
+      if (found(ent)) {
+        emit(pkt);
+      } else {
+        // ACK completing a cookie handshake verifies the peer.
+        var expect = hash(key, hdr.ack);
+        if (expect == hdr.seq) {
+          update(verified, key, 1);
+          emit(pkt);
+        } else {
+          drop(pkt);
+        }
+      }
+    }
+  }
+}
+|}
+    entries
+
+let ported ?(entries = 262144) ?(placement = Dev.P_imem) () =
+  let table = "verified" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.branch ctx;
+    match pkt.W.Packet.proto with
+    | W.Packet.Udp | W.Packet.Other _ -> Dev.Emit
+    | W.Packet.Tcp ->
+        Dev.hash_op ctx;
+        let key = W.Packet.flow_key pkt in
+        Dev.branch ctx;
+        if W.Packet.is_syn pkt then begin
+          Dev.hash_op ctx;
+          Dev.move ctx 2;
+          Dev.checksum ctx ~engine:true ~bytes:(W.Packet.header_bytes pkt);
+          Dev.Emit
+        end
+        else begin
+          let hit = Dev.table_lookup ctx table ~key in
+          Dev.branch ctx;
+          if hit then Dev.Emit
+          else begin
+            Dev.hash_op ctx;
+            Dev.alu ctx 1;
+            Dev.branch ctx;
+            (* Deterministic stand-in for the cookie check: most unverified
+               non-SYN packets fail it. *)
+            if key mod 4 = 0 then begin
+              Dev.table_insert ctx table ~key;
+              Dev.Emit
+            end
+            else Dev.Drop
+          end
+        end
+  in
+  {
+    Dev.name = "syn_proxy";
+    tables =
+      [ { Dev.t_name = table; t_entries = entries; t_entry_bytes = 16;
+          t_placement = placement } ];
+    handler;
+  }

@@ -1,0 +1,11 @@
+(** SYN proxy / DDoS front line: SYNs are answered with computed
+    cookies (hash work, no state) until the handshake completes; packets
+    of verified connections pass through the whitelist table. *)
+
+val source : ?entries:int -> unit -> string
+
+val ported :
+  ?entries:int ->
+  ?placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,13 @@
+(** Telemetry / monitoring NF with floating-point EWMA rate estimation.
+
+    The float arithmetic is deliberate: NPUs have no FPUs, so Clara's
+    §3.4 emulation accounting makes this NF dramatically more expensive
+    on the Netronome-like target than on ARM or x86 — a crisp example of
+    an NF whose best home is not obvious without prediction. *)
+
+val source : ?buckets:int -> unit -> string
+
+val ported :
+  ?buckets:int ->
+  unit ->
+  Clara_nicsim.Device.prog

@@ -1,0 +1,51 @@
+module Dev = Clara_nicsim.Device
+module W = Clara_workload
+
+let source ?(vni_entries = 16384) () =
+  Printf.sprintf
+    {|
+nf tunnel_gw {
+  state map vni_table[%d] entry 24;
+
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var key = hash(hdr.dst_ip);
+    var vni = lookup(vni_table, key);
+    if (!found(vni)) {
+      // First use of a provisioned VNI mapping: install it.
+      update(vni_table, key, 1);
+    }
+    // Encapsulate: outer Ethernet/IP/UDP/VXLAN headers.
+    hdr.src_ip = entry_value(vni);
+    hdr.dst_ip = entry_value(vni);
+    hdr.src_port = 49152 + (key & 1023);
+    hdr.dst_port = 4789;
+    hdr.len = hdr.len + 50;
+    checksum_update(hdr);
+    emit(pkt);
+  }
+}
+|}
+    vni_entries
+
+let ported ?(vni_entries = 16384) () =
+  let table = "vni_table" in
+  let handler ctx (pkt : W.Packet.t) =
+    Dev.parse_header ctx ~engine:true;
+    Dev.hash_op ctx;
+    let key = W.Packet.flow_key pkt in
+    let hit = Dev.table_lookup ctx table ~key in
+    Dev.branch ctx;
+    if not hit then Dev.table_insert ctx table ~key; (* provisioned VNIs *)
+    Dev.move ctx 5;
+    Dev.alu ctx 2;
+    Dev.checksum ctx ~engine:true ~bytes:(W.Packet.header_bytes pkt + 50);
+    Dev.Emit
+  in
+  {
+    Dev.name = "tunnel_gw";
+    tables =
+      [ { Dev.t_name = table; t_entries = vni_entries; t_entry_bytes = 24;
+          t_placement = Dev.P_ctm } ];
+    handler;
+  }

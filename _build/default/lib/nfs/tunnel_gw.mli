@@ -1,0 +1,10 @@
+(** VXLAN-style tunnel gateway: VNI lookup per destination, outer header
+    encapsulation (header writes, length update, fresh outer checksum).
+    Mostly metadata work plus one checksum — cheap and very offloadable. *)
+
+val source : ?vni_entries:int -> unit -> string
+
+val ported :
+  ?vni_entries:int ->
+  unit ->
+  Clara_nicsim.Device.prog

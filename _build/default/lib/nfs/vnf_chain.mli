@@ -1,0 +1,12 @@
+(** The VNF function chain from the paper's evaluation (§4): DPI,
+    metering, header modifications and flow statistics.  Figure 3b sweeps
+    its latency over payload size (the DPI stage dominates and scales
+    with bytes scanned). *)
+
+val source : ?stats_entries:int -> unit -> string
+
+val ported :
+  ?stats_entries:int ->
+  ?stats_placement:Clara_nicsim.Device.placement ->
+  unit ->
+  Clara_nicsim.Device.prog

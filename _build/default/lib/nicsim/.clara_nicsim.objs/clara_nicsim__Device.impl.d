@@ -1,0 +1,1 @@
+lib/nicsim/device.ml: Array Clara_lnic Clara_util Clara_workload Float Hashtbl List Mem_model Printf

@@ -1,0 +1,1 @@
+lib/nicsim/device.mli: Clara_lnic Clara_workload Mem_model

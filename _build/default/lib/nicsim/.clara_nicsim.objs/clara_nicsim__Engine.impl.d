@@ -1,0 +1,1 @@
+lib/nicsim/engine.ml: Array Clara_lnic Clara_workload Device Float Format Int64 List Mem_model Queue Stats

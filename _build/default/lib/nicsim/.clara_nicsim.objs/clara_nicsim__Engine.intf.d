@@ -1,0 +1,1 @@
+lib/nicsim/engine.mli: Clara_lnic Clara_workload Device Format Stats

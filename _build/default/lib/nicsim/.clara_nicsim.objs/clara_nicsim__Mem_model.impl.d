@@ -1,0 +1,1 @@
+lib/nicsim/mem_model.ml: Array Clara_lnic Clara_util List Option

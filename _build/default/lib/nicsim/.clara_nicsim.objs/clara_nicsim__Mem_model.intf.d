@@ -1,0 +1,1 @@
+lib/nicsim/mem_model.mli: Clara_lnic

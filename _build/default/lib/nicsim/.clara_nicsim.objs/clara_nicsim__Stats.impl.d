@@ -1,0 +1,1 @@
+lib/nicsim/stats.ml: Array Clara_workload Float Format

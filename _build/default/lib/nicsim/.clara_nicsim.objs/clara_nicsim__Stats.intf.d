@@ -1,0 +1,1 @@
+lib/nicsim/stats.mli: Clara_workload Format

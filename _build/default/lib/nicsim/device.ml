@@ -1,0 +1,330 @@
+module Lru = Clara_util.Lru
+module L = Clara_lnic
+module P = Clara_lnic.Params
+module W = Clara_workload
+
+type placement = P_ctm | P_imem | P_emem | P_flow_cache
+
+type table_decl = {
+  t_name : string;
+  t_entries : int;
+  t_entry_bytes : int;
+  t_placement : placement;
+}
+
+type verdict = Emit | Drop
+
+type table_state = {
+  decl : table_decl;
+  contents : Lru.t;  (* inserted keys, capacity-bounded *)
+  base_addr : int;
+}
+
+type sim = {
+  lnic : L.Graph.t;
+  params : P.t;
+  memm : Mem_model.t;
+  flow_cache : Lru.t option;        (* LRU over flow keys *)
+  tables : (string, table_state) Hashtbl.t;
+  accel_free : (L.Unit_.accel_kind, int ref) Hashtbl.t;
+  (* Store-and-forward DMA lanes between the wire and packet memory;
+     serialization here is what makes latency rate-dependent. *)
+  dma_rx_free : int array;
+  dma_tx_free : int array;
+  islands : int;       (* general-core islands, for CTM NUMA *)
+  ctm_remote_penalty : int;
+  has_fpu : bool;
+  mutable fc_hits : int;
+  mutable fc_misses : int;
+}
+
+type t = { sim : sim; mutable clock : int; pkt : W.Packet.t }
+
+type handler = t -> W.Packet.t -> verdict
+
+type prog = { name : string; tables : table_decl list; handler : handler }
+
+let region_of_placement = function
+  | P_ctm -> Mem_model.Ctm
+  | P_imem -> Mem_model.Imem
+  | P_emem -> Mem_model.Emem
+  | P_flow_cache -> invalid_arg "Device: flow-cache tables have no memory region"
+
+let create_sim_shared lnic progs =
+  let params = lnic.L.Graph.params in
+  let tables = Hashtbl.create 8 in
+  let next_base = ref 0x1000_0000 in
+  List.iter
+    (fun decl ->
+      if Hashtbl.mem tables decl.t_name then
+        invalid_arg (Printf.sprintf "Device: duplicate table '%s'" decl.t_name);
+      if decl.t_placement = P_flow_cache && L.Graph.find_accelerator lnic L.Unit_.Lookup = None
+      then
+        invalid_arg
+          (Printf.sprintf "Device: table '%s' wants a flow cache this NIC lacks"
+             decl.t_name);
+      Hashtbl.add tables decl.t_name
+        { decl;
+          contents = Lru.create ~capacity:(max 1 decl.t_entries);
+          base_addr = !next_base };
+      (* Slide bases apart so tables never share cache lines. *)
+      next_base := !next_base + (decl.t_entries * decl.t_entry_bytes) + 0x10_0000)
+    (List.concat_map (fun p -> p.tables) progs);
+  let flow_cache =
+    match L.Graph.find_accelerator lnic L.Unit_.Lookup with
+    | None -> None
+    | Some _ ->
+        let sram = P.accel_sram params L.Unit_.Lookup in
+        (* Flow-cache entries are ~32B each. *)
+        Some (Lru.create ~capacity:(max 1 (sram / 32)))
+  in
+  let accel_free = Hashtbl.create 4 in
+  List.iter
+    (fun u ->
+      match u.L.Unit_.kind with
+      | L.Unit_.Accelerator k -> Hashtbl.replace accel_free k (ref 0)
+      | L.Unit_.General_core _ -> ())
+    (Array.to_list lnic.L.Graph.units);
+  let has_fpu =
+    match L.Graph.general_cores lnic with
+    | { L.Unit_.kind = L.Unit_.General_core { has_fpu; _ }; _ } :: _ -> has_fpu
+    | _ -> false
+  in
+  let islands =
+    L.Graph.general_cores lnic
+    |> List.filter_map (fun u -> u.L.Unit_.island)
+    |> List.sort_uniq compare |> List.length |> max 1
+  in
+  (* Remote-island CTM penalty, read off an actual cross-island bus when
+     the topology has one. *)
+  let ctm_remote_penalty =
+    List.fold_left
+      (fun acc l ->
+        match l.L.Link.kind with
+        | L.Link.Access (_, _) -> max acc l.L.Link.weight_cycles
+        | _ -> acc)
+      0 lnic.L.Graph.links
+  in
+  {
+    lnic;
+    params;
+    memm = Mem_model.create lnic;
+    flow_cache;
+    tables;
+    accel_free;
+    dma_rx_free = Array.make 4 0;
+    dma_tx_free = Array.make 4 0;
+    islands;
+    ctm_remote_penalty;
+    has_fpu;
+    fc_hits = 0;
+    fc_misses = 0;
+  }
+
+let create_sim lnic prog = create_sim_shared lnic [ prog ]
+
+let make_ctx sim ~now pkt = { sim; clock = now; pkt }
+let now ctx = ctx.clock
+let sim_of ctx = ctx.sim
+
+let spend ctx cycles = ctx.clock <- ctx.clock + max 0 cycles
+
+let op_cost ctx cls n =
+  spend ctx
+    (int_of_float
+       (Float.round (float_of_int n *. P.op_cost ctx.sim.params cls ~has_fpu:ctx.sim.has_fpu)))
+
+(* Serialize on an accelerator: wait for it, occupy it for [cycles]. *)
+let use_accel ctx kind cycles =
+  match Hashtbl.find_opt ctx.sim.accel_free kind with
+  | None -> invalid_arg "Device.use_accel: no such accelerator on this NIC"
+  | Some free ->
+      let start = max ctx.clock !free in
+      let done_ = start + cycles in
+      free := done_;
+      ctx.clock <- done_
+
+let core_vcall_cost ctx vc n =
+  match P.core_vcall_cost ctx.sim.params vc with
+  | Some f -> L.Cost_fn.eval_int f n
+  | None -> invalid_arg "Device: core cannot run this operation"
+
+let accel_vcall_cost ctx kind vc n =
+  match P.accel_vcall_cost ctx.sim.params kind vc with
+  | Some f -> L.Cost_fn.eval_int f n
+  | None -> invalid_arg "Device: accelerator cannot run this operation"
+
+let table ctx name =
+  match Hashtbl.find_opt ctx.sim.tables name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Device: unknown table '%s'" name)
+
+(* The island this packet's thread runs on (packets spread across
+   islands; the spread is keyed on the flow so it is deterministic). *)
+let packet_island ctx =
+  if ctx.sim.islands <= 1 then 0
+  else W.Packet.flow_key ctx.pkt mod ctx.sim.islands
+
+let table_access ctx (ts : table_state) ~mode ~key =
+  let region = region_of_placement ts.decl.t_placement in
+  let slot = (key land max_int) mod ts.decl.t_entries in
+  let addr = ts.base_addr + (slot * ts.decl.t_entry_bytes) in
+  spend ctx (Mem_model.access ctx.sim.memm region ~mode ~addr);
+  (* CTM is per-island: a CTM-resident table lives on island 0, and
+     threads elsewhere pay the cross-island bus (NUMA, §3.1) — an effect
+     the static predictor does not model. *)
+  if region = Mem_model.Ctm && packet_island ctx <> 0 then
+    spend ctx ctx.sim.ctm_remote_penalty
+
+(* ------------------------------------------------------------------ *)
+(* Handler operations                                                  *)
+
+let parse_header ctx ~engine =
+  if engine then
+    use_accel ctx L.Unit_.Parse
+      (accel_vcall_cost ctx L.Unit_.Parse P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+  else spend ctx (core_vcall_cost ctx P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+
+let alu ctx n = op_cost ctx P.Alu n
+let mul ctx n = op_cost ctx P.Mul n
+let hash_op ctx = op_cost ctx P.Hash 1
+let move ctx n = op_cost ctx P.Move n
+let branch ctx = op_cost ctx P.Branch 1
+let fp_op ctx n = op_cost ctx P.Fp n
+
+let local_read ctx n =
+  for _ = 1 to n do
+    spend ctx (Mem_model.access ctx.sim.memm Mem_model.Local ~mode:`Read ~addr:0)
+  done
+
+let local_write ctx n =
+  for _ = 1 to n do
+    spend ctx (Mem_model.access ctx.sim.memm Mem_model.Local ~mode:`Write ~addr:0)
+  done
+
+let packet_region ctx =
+  if W.Packet.total_bytes ctx.pkt <= ctx.sim.params.P.packet_ctm_threshold then
+    Mem_model.Ctm
+  else Mem_model.Emem
+
+let packet_read ctx n =
+  let region = packet_region ctx in
+  let base = 0x7000_0000 + (W.Packet.flow_key ctx.pkt land 0xffff) * 2048 in
+  for i = 0 to n - 1 do
+    spend ctx (Mem_model.access ctx.sim.memm region ~mode:`Read ~addr:(base + (i * 64)))
+  done
+
+let table_lookup ctx name ~key =
+  let ts = table ctx name in
+  spend ctx (core_vcall_cost ctx P.V_table_lookup ts.decl.t_entries);
+  (* Two probe reads: bucket head + entry. *)
+  table_access ctx ts ~mode:`Read ~key;
+  table_access ctx ts ~mode:`Read ~key;
+  Lru.mem ts.contents key
+
+let table_insert ctx name ~key =
+  let ts = table ctx name in
+  spend ctx (core_vcall_cost ctx P.V_table_update ts.decl.t_entries);
+  table_access ctx ts ~mode:`Read ~key;
+  table_access ctx ts ~mode:`Write ~key;
+  ignore (Lru.touch ts.contents key)
+
+(* Software match/action walk: per-entry compute plus one memory burst
+   per 8 entries (entries are small relative to a 64B line/burst). *)
+let lpm_walk ctx (ts : table_state) ~key =
+  spend ctx (core_vcall_cost ctx P.V_lpm_lookup ts.decl.t_entries);
+  let region = region_of_placement ts.decl.t_placement in
+  let bursts = max 1 (ts.decl.t_entries / 8) in
+  let cost = ref 0 in
+  for i = 0 to bursts - 1 do
+    cost :=
+      !cost
+      + Mem_model.access ctx.sim.memm region ~mode:`Read
+          ~addr:(ts.base_addr + (i * 8 * ts.decl.t_entry_bytes))
+  done;
+  ignore key;
+  spend ctx !cost
+
+let lpm_lookup ctx name ~key =
+  let ts = table ctx name in
+  match ts.decl.t_placement with
+  | P_flow_cache -> (
+      match ctx.sim.flow_cache with
+      | None -> invalid_arg "Device.lpm_lookup: no flow cache"
+      | Some fc ->
+          let cost = accel_vcall_cost ctx L.Unit_.Lookup P.V_lpm_lookup ts.decl.t_entries in
+          if Lru.touch fc key then begin
+            ctx.sim.fc_hits <- ctx.sim.fc_hits + 1;
+            use_accel ctx L.Unit_.Lookup cost;
+            true
+          end
+          else begin
+            (* Miss: consult the rule set in memory, result gets cached. *)
+            ctx.sim.fc_misses <- ctx.sim.fc_misses + 1;
+            use_accel ctx L.Unit_.Lookup cost;
+            (* The walk happens in EMEM regardless of the declared
+               placement for flow-cache tables. *)
+            lpm_walk ctx
+              { ts with decl = { ts.decl with t_placement = P_emem } }
+              ~key;
+            true
+          end)
+  | P_ctm | P_imem | P_emem ->
+      lpm_walk ctx ts ~key;
+      true
+
+let checksum ctx ~engine ~bytes =
+  if engine then
+    use_accel ctx L.Unit_.Checksum (accel_vcall_cost ctx L.Unit_.Checksum P.V_checksum bytes)
+  else spend ctx (core_vcall_cost ctx P.V_checksum bytes)
+
+let crypto ctx ~engine ~bytes =
+  if engine then
+    use_accel ctx L.Unit_.Crypto (accel_vcall_cost ctx L.Unit_.Crypto P.V_crypto bytes)
+  else spend ctx (core_vcall_cost ctx P.V_crypto bytes)
+
+let scan_payload ctx ~bytes =
+  spend ctx (core_vcall_cost ctx P.V_payload_scan bytes);
+  (* Deterministic ~10% match rate keyed on the packet. *)
+  W.Packet.flow_key ctx.pkt mod 10 = 0
+
+let meter ctx = spend ctx (core_vcall_cost ctx P.V_meter 1)
+
+let count ctx name ~key =
+  let ts = table ctx name in
+  spend ctx (core_vcall_cost ctx P.V_flow_stats 1);
+  table_access ctx ts ~mode:`Atomic ~key
+
+(* Occupy the earliest-free DMA lane for [cycles]; the packet waits when
+   all lanes are busy (rate-dependent queueing). *)
+let use_dma ctx lanes cycles =
+  let li = ref 0 in
+  for i = 1 to Array.length lanes - 1 do
+    if lanes.(i) < lanes.(!li) then li := i
+  done;
+  let start = max ctx.clock lanes.(!li) in
+  let done_ = start + cycles in
+  lanes.(!li) <- done_;
+  ctx.clock <- done_
+
+let wire_rx ctx =
+  let bytes = W.Packet.total_bytes ctx.pkt in
+  use_dma ctx ctx.sim.dma_rx_free (L.Cost_fn.eval_int ctx.sim.params.P.wire_ingress bytes);
+  match Array.to_list ctx.sim.lnic.L.Graph.hubs with
+  | hubs -> (
+      match List.find_opt (fun h -> h.L.Hub.kind = `Ingress) hubs with
+      | Some h -> spend ctx h.L.Hub.per_packet_cycles
+      | None -> ())
+
+let wire_tx ctx =
+  let bytes = W.Packet.total_bytes ctx.pkt in
+  use_dma ctx ctx.sim.dma_tx_free (L.Cost_fn.eval_int ctx.sim.params.P.wire_egress bytes);
+  match
+    List.find_opt (fun h -> h.L.Hub.kind = `Egress) (Array.to_list ctx.sim.lnic.L.Graph.hubs)
+  with
+  | Some h -> spend ctx h.L.Hub.per_packet_cycles
+  | None -> ()
+
+let flow_cache_hits sim = sim.fc_hits
+let flow_cache_misses sim = sim.fc_misses
+let mem sim = sim.memm

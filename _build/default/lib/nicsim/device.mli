@@ -1,0 +1,92 @@
+(** Execution context for ported NFs on the simulated SmartNIC.
+
+    A "port" of an NF is a handler written against this API — the
+    simulator's stand-in for the vendor toolchain.  Each operation
+    advances the calling packet's cycle clock according to the simulated
+    hardware: flat memory latencies, a line-accurate EMEM cache, a real
+    LRU flow cache (misses fall back to the software match/action walk
+    and then populate the cache), and serialized accelerators (head-of-
+    line blocking emerges when threads contend). *)
+
+type placement = P_ctm | P_imem | P_emem | P_flow_cache
+
+type table_decl = {
+  t_name : string;
+  t_entries : int;
+  t_entry_bytes : int;
+  t_placement : placement;
+}
+
+type verdict = Emit | Drop
+
+(** Shared simulator state (one per run). *)
+type sim
+
+(** Per-packet execution context. *)
+type t
+
+type handler = t -> Clara_workload.Packet.t -> verdict
+
+type prog = { name : string; tables : table_decl list; handler : handler }
+
+val create_sim : Clara_lnic.Graph.t -> prog -> sim
+(** @raise Invalid_argument on duplicate table names or a [P_flow_cache]
+    table on a NIC without a lookup accelerator. *)
+
+val create_sim_shared : Clara_lnic.Graph.t -> prog list -> sim
+(** One simulator hosting several co-resident programs: caches, flow
+    cache, accelerators and DMA lanes are shared (that is the point —
+    §3.5 interference).  Table names must be globally distinct.
+    @raise Invalid_argument on clashes. *)
+
+val make_ctx : sim -> now:int -> Clara_workload.Packet.t -> t
+val now : t -> int
+val sim_of : t -> sim
+
+(** {2 Operations a ported handler may use} *)
+
+val parse_header : t -> engine:bool -> unit
+val alu : t -> int -> unit
+val mul : t -> int -> unit
+val hash_op : t -> unit
+val move : t -> int -> unit
+val branch : t -> unit
+val local_read : t -> int -> unit
+val local_write : t -> int -> unit
+val packet_read : t -> int -> unit
+(** [packet_read ctx n]: [n] reads of packet payload; lands in the CTM or
+    EMEM depending on packet size vs the CTM threshold (§3.2). *)
+
+val table_lookup : t -> string -> key:int -> bool
+(** Hit iff the key was previously inserted (true stateful behaviour —
+    the first packet of a flow misses). *)
+
+val table_insert : t -> string -> key:int -> unit
+val lpm_lookup : t -> string -> key:int -> bool
+(** Flow-cache tables: LRU hit is near-constant; a miss walks the rule
+    set in memory and then caches the key.  Memory tables: full software
+    match/action walk every time (the Figure 3a regime). *)
+
+val checksum : t -> engine:bool -> bytes:int -> unit
+val crypto : t -> engine:bool -> bytes:int -> unit
+val scan_payload : t -> bytes:int -> bool
+(** Returns whether the scan "matched" (deterministic hash of the packet,
+    ~10% of packets). *)
+
+val meter : t -> unit
+val count : t -> string -> key:int -> unit
+(** Atomic counter increment in the table's region. *)
+
+val fp_op : t -> int -> unit
+
+(** {2 Run-level accounting} *)
+
+val wire_rx : t -> unit
+(** Ingress DMA + hub cost for the context's packet; the engine calls
+    this before the handler. *)
+
+val wire_tx : t -> unit
+
+val flow_cache_hits : sim -> int
+val flow_cache_misses : sim -> int
+val mem : sim -> Mem_model.t

@@ -1,0 +1,158 @@
+module L = Clara_lnic
+module W = Clara_workload
+
+type result = {
+  summary : Stats.summary;
+  emem_hit_rate : float;
+  flow_cache_hit_rate : float;
+  freq_mhz : int;
+}
+
+let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
+  let sim = Device.create_sim lnic prog in
+  let freq_mhz =
+    match L.Graph.general_cores lnic with
+    | u :: _ -> u.L.Unit_.freq_mhz
+    | [] -> invalid_arg "Engine.run: NIC has no general cores"
+  in
+  let nthreads =
+    match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
+  in
+  let queue_capacity =
+    match
+      List.find_opt (fun h -> h.L.Hub.kind = `Ingress) (Array.to_list lnic.L.Graph.hubs)
+    with
+    | Some h -> h.L.Hub.queue_capacity
+    | None -> 512
+  in
+  (* ns -> cycles at the core clock. *)
+  let cycles_of_ns ns = Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L) in
+  let thread_free = Array.make nthreads 0 in
+  let stats = Stats.create () in
+  (* Completion times of accepted-but-unfinished packets, for queue-depth
+     accounting (FIFO). *)
+  let inflight = Queue.create () in
+  W.Trace.iter
+    (fun pkt ->
+      let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
+      (* Retire completed packets from the in-flight window. *)
+      while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
+        ignore (Queue.pop inflight)
+      done;
+      if Queue.length inflight >= queue_capacity + nthreads then
+        (* Ingress queue full: drop. *)
+        Stats.record_drop stats
+      else begin
+        (* Earliest-free thread. *)
+        let ti = ref 0 in
+        for i = 1 to nthreads - 1 do
+          if thread_free.(i) < thread_free.(!ti) then ti := i
+        done;
+        let start = max arrival thread_free.(!ti) in
+        let ctx = Device.make_ctx sim ~now:start pkt in
+        Device.wire_rx ctx;
+        let verdict = prog.Device.handler ctx pkt in
+        (match verdict with
+        | Device.Emit -> Device.wire_tx ctx
+        | Device.Drop -> ());
+        let done_ = Device.now ctx in
+        thread_free.(!ti) <- done_;
+        Queue.push done_ inflight;
+        Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
+          ~latency_cycles:(done_ - arrival)
+      end)
+    trace;
+  let memm = Device.mem sim in
+  let ratio h m =
+    let t = h + m in
+    if t = 0 then Float.nan else float_of_int h /. float_of_int t
+  in
+  {
+    summary = Stats.summarize stats;
+    emem_hit_rate = ratio (Mem_model.emem_hits memm) (Mem_model.emem_misses memm);
+    flow_cache_hit_rate =
+      ratio (Device.flow_cache_hits sim) (Device.flow_cache_misses sim);
+    freq_mhz;
+  }
+
+let mean_latency_cycles r = r.summary.Stats.mean_cycles
+
+let pp_result fmt r =
+  Format.fprintf fmt "%a | emem hit %.0f%% | fc hit %.0f%%" Stats.pp_summary r.summary
+    (100. *. r.emem_hit_rate)
+    (100. *. r.flow_cache_hit_rate)
+
+let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Trace.t)
+    (trace_b : W.Trace.t) =
+  let sim = Device.create_sim_shared lnic [ prog_a; prog_b ] in
+  let freq_mhz =
+    match L.Graph.general_cores lnic with
+    | u :: _ -> u.L.Unit_.freq_mhz
+    | [] -> invalid_arg "Engine.run_pair: NIC has no general cores"
+  in
+  let half_threads = max 1 (L.Graph.total_threads lnic / 2) in
+  let queue_capacity =
+    (match
+       List.find_opt (fun h -> h.L.Hub.kind = `Ingress) (Array.to_list lnic.L.Graph.hubs)
+     with
+    | Some h -> h.L.Hub.queue_capacity
+    | None -> 512)
+    / 2
+  in
+  let cycles_of_ns ns =
+    Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L)
+  in
+  (* Merge the two arrival streams. *)
+  let tagged =
+    Array.append
+      (Array.map (fun p -> (p, `A)) trace_a.W.Trace.packets)
+      (Array.map (fun p -> (p, `B)) trace_b.W.Trace.packets)
+  in
+  Array.sort (fun (p, _) (q, _) -> compare p.W.Packet.arrival_ns q.W.Packet.arrival_ns) tagged;
+  let mk_side prog =
+    (prog, Array.make half_threads 0, Stats.create (), Queue.create ())
+  in
+  let side_a = mk_side prog_a and side_b = mk_side prog_b in
+  Array.iter
+    (fun (pkt, tag) ->
+      let (prog : Device.prog), thread_free, stats, inflight =
+        match tag with `A -> side_a | `B -> side_b
+      in
+      let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
+      while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
+        ignore (Queue.pop inflight)
+      done;
+      if Queue.length inflight >= queue_capacity + half_threads then Stats.record_drop stats
+      else begin
+        let ti = ref 0 in
+        for i = 1 to half_threads - 1 do
+          if thread_free.(i) < thread_free.(!ti) then ti := i
+        done;
+        let start = max arrival thread_free.(!ti) in
+        let ctx = Device.make_ctx sim ~now:start pkt in
+        Device.wire_rx ctx;
+        let verdict = prog.Device.handler ctx pkt in
+        (match verdict with
+        | Device.Emit -> Device.wire_tx ctx
+        | Device.Drop -> ());
+        let done_ = Device.now ctx in
+        thread_free.(!ti) <- done_;
+        Queue.push done_ inflight;
+        Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
+          ~latency_cycles:(done_ - arrival)
+      end)
+    tagged;
+  let memm = Device.mem sim in
+  let ratio h m =
+    let t = h + m in
+    if t = 0 then Float.nan else float_of_int h /. float_of_int t
+  in
+  let finish (_, _, stats, _) =
+    {
+      summary = Stats.summarize stats;
+      emem_hit_rate = ratio (Mem_model.emem_hits memm) (Mem_model.emem_misses memm);
+      flow_cache_hit_rate = ratio (Device.flow_cache_hits sim) (Device.flow_cache_misses sim);
+      freq_mhz;
+    }
+  in
+  (finish side_a, finish side_b)

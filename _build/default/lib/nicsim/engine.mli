@@ -1,0 +1,39 @@
+(** The simulator's run loop.
+
+    Packets arrive at trace timestamps (converted to core cycles), queue
+    at the ingress hub, bind to a free hardware thread (run-to-completion,
+    §3.2), execute the ported handler, and leave through the egress path.
+    Per-packet latency = completion − arrival, so queueing delay at high
+    load and accelerator contention show up in the numbers, just as they
+    would on hardware. *)
+
+type result = {
+  summary : Stats.summary;
+  emem_hit_rate : float;       (** NaN when the NIC has no EMEM cache. *)
+  flow_cache_hit_rate : float; (** NaN when the program never used it. *)
+  freq_mhz : int;
+}
+
+val run :
+  ?threads:int ->
+  Clara_lnic.Graph.t ->
+  Device.prog ->
+  Clara_workload.Trace.t ->
+  result
+(** [threads] defaults to the NIC's total hardware threads. *)
+
+val mean_latency_cycles : result -> float
+val pp_result : Format.formatter -> result -> unit
+
+val run_pair :
+  Clara_lnic.Graph.t ->
+  Device.prog ->
+  Device.prog ->
+  Clara_workload.Trace.t ->
+  Clara_workload.Trace.t ->
+  result * result
+(** Co-resident execution (§3.5): both programs share one simulator —
+    EMEM cache, flow cache, accelerators and DMA lanes contend for real —
+    while each gets half the hardware threads and half the ingress queue
+    (the paper's "half of the NIC" slicing).  Traces are merged by
+    arrival time; results are reported per program. *)

@@ -1,0 +1,24 @@
+(** Dynamic memory-hierarchy model for the simulator.
+
+    Unlike the predictor's static hit-ratio estimate, this tracks the
+    EMEM cache line-by-line (64-byte lines in an LRU), so hit rates
+    emerge from the actual access pattern — Zipf-skewed flows really do
+    hit more often than uniform ones. *)
+
+type region = Local | Ctm | Imem | Emem
+
+type t
+
+val create : Clara_lnic.Graph.t -> t
+(** Latencies and the EMEM cache geometry are read off the LNIC's memory
+    regions; regions absent from the graph fall back to the next slower
+    present level. *)
+
+val access :
+  t -> region -> mode:[ `Read | `Write | `Atomic ] -> addr:int -> int
+(** Cycles for one access.  [addr] identifies the cached line for [Emem]
+    accesses; other regions are flat-latency. *)
+
+val emem_hits : t -> int
+val emem_misses : t -> int
+val reset_stats : t -> unit

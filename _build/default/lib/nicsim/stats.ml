@@ -1,0 +1,84 @@
+module W = Clara_workload
+
+type t = {
+  mutable lat : int array;
+  mutable n : int;
+  mutable drops : int;
+  mutable tcp_sum : float;
+  mutable tcp_n : int;
+  mutable udp_sum : float;
+  mutable udp_n : int;
+  mutable syn_sum : float;
+  mutable syn_n : int;
+}
+
+let create () =
+  { lat = Array.make 1024 0; n = 0; drops = 0; tcp_sum = 0.; tcp_n = 0;
+    udp_sum = 0.; udp_n = 0; syn_sum = 0.; syn_n = 0 }
+
+let record t ~proto ~syn ~latency_cycles =
+  if t.n = Array.length t.lat then begin
+    let bigger = Array.make (2 * t.n) 0 in
+    Array.blit t.lat 0 bigger 0 t.n;
+    t.lat <- bigger
+  end;
+  t.lat.(t.n) <- latency_cycles;
+  t.n <- t.n + 1;
+  let c = float_of_int latency_cycles in
+  (match proto with
+  | W.Packet.Tcp ->
+      t.tcp_sum <- t.tcp_sum +. c;
+      t.tcp_n <- t.tcp_n + 1
+  | W.Packet.Udp ->
+      t.udp_sum <- t.udp_sum +. c;
+      t.udp_n <- t.udp_n + 1
+  | W.Packet.Other _ -> ());
+  if syn then begin
+    t.syn_sum <- t.syn_sum +. c;
+    t.syn_n <- t.syn_n + 1
+  end
+
+let record_drop t = t.drops <- t.drops + 1
+
+type summary = {
+  packets : int;
+  drops : int;
+  mean_cycles : float;
+  p50_cycles : int;
+  p99_cycles : int;
+  max_cycles : int;
+  tcp_mean : float;
+  udp_mean : float;
+  syn_mean : float;
+}
+
+let summarize t =
+  if t.n = 0 then
+    { packets = 0; drops = t.drops; mean_cycles = 0.; p50_cycles = 0; p99_cycles = 0;
+      max_cycles = 0; tcp_mean = Float.nan; udp_mean = Float.nan; syn_mean = Float.nan }
+  else begin
+    let sorted = Array.sub t.lat 0 t.n in
+    Array.sort compare sorted;
+    let pct p = sorted.(min (t.n - 1) (int_of_float (float_of_int t.n *. p))) in
+    let total = Array.fold_left (fun a c -> a +. float_of_int c) 0. sorted in
+    let div_or_nan s n = if n = 0 then Float.nan else s /. float_of_int n in
+    {
+      packets = t.n;
+      drops = t.drops;
+      mean_cycles = total /. float_of_int t.n;
+      p50_cycles = pct 0.5;
+      p99_cycles = pct 0.99;
+      max_cycles = sorted.(t.n - 1);
+      tcp_mean = div_or_nan t.tcp_sum t.tcp_n;
+      udp_mean = div_or_nan t.udp_sum t.udp_n;
+      syn_mean = div_or_nan t.syn_sum t.syn_n;
+    }
+  end
+
+let mean_ns s ~freq_mhz = s.mean_cycles *. 1000. /. float_of_int freq_mhz
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%d pkts (%d drops), mean %.0f cyc, p50 %d, p99 %d, max %d, tcp %.0f, udp %.0f, syn %.0f"
+    s.packets s.drops s.mean_cycles s.p50_cycles s.p99_cycles s.max_cycles s.tcp_mean
+    s.udp_mean s.syn_mean

@@ -1,0 +1,29 @@
+(** Latency and throughput aggregates from a simulator run. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> proto:Clara_workload.Packet.proto -> syn:bool -> latency_cycles:int -> unit
+
+val record_drop : t -> unit
+
+type summary = {
+  packets : int;
+  drops : int;
+  mean_cycles : float;
+  p50_cycles : int;
+  p99_cycles : int;
+  max_cycles : int;
+  tcp_mean : float;    (** NaN when no TCP packets. *)
+  udp_mean : float;
+  syn_mean : float;
+}
+
+val summarize : t -> summary
+
+val mean_ns : summary -> freq_mhz:int -> float
+(** Mean latency converted to nanoseconds at a core clock. *)
+
+val pp_summary : Format.formatter -> summary -> unit

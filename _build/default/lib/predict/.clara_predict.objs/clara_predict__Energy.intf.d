@@ -1,0 +1,1 @@
+lib/predict/energy.mli: Clara_cir Clara_dataflow Clara_lnic Clara_mapping Format

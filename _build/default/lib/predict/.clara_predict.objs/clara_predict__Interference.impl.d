@@ -1,0 +1,1 @@
+lib/predict/interference.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Clara_workload Float Latency List Throughput

@@ -1,0 +1,1 @@
+lib/predict/interference.mli: Clara_lnic Clara_mapping Clara_workload

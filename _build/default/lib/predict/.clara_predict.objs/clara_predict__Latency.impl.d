@@ -1,0 +1,1 @@
+lib/predict/latency.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Clara_util Clara_workload Float Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/predict/latency.mli: Clara_dataflow Clara_lnic Clara_mapping Clara_workload Format

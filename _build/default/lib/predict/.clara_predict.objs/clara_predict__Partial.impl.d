@@ -1,0 +1,1 @@
+lib/predict/partial.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Format Fun Hashtbl List Printf String

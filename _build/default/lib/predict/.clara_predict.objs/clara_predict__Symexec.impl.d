@@ -1,0 +1,1 @@
+lib/predict/symexec.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Format Hashtbl List Option Printf String

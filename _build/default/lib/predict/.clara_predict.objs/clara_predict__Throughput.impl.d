@@ -1,0 +1,1 @@
+lib/predict/throughput.ml: Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping Float Format Hashtbl List Option

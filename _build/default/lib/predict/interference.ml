@@ -1,0 +1,116 @@
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+module W = Clara_workload
+
+type report = {
+  solo_cycles : float;
+  sliced_cycles : float;
+  contended_cycles : float;
+  slowdown : float;
+}
+
+let shrink_emem_cache (g : L.Graph.t) ~by_bytes =
+  let memories =
+    Array.map
+      (fun (m : L.Memory.t) ->
+        match (m.L.Memory.level, m.L.Memory.cache) with
+        | L.Memory.External, Some c ->
+            let remaining = max (64 * 1024) (c.L.Memory.cache_bytes - by_bytes) in
+            { m with L.Memory.cache = Some { c with L.Memory.cache_bytes = remaining } }
+        | _ -> m)
+      g.L.Graph.memories
+  in
+  { g with L.Graph.memories }
+
+let pipeline ?options lnic ~source ~sizes ~prob =
+  match Clara_cir.Lower.lower_source source with
+  | exception Failure m -> Error m
+  | exception Clara_cir.Parser.Error (m, _) -> Error m
+  | exception Clara_cir.Lexer.Error (m, _) -> Error m
+  | ir -> (
+      let ir, _ = Clara_cir.Patterns.run ir in
+      let df = D.Build.of_ir ir in
+      match Clara_mapping.Encode.map_nf ?options lnic df ~sizes ~prob with
+      | Error e -> Error e
+      | Ok m -> Ok (df, m))
+
+let state_footprint_of df =
+  List.fold_left (fun acc s -> acc + Ir.state_bytes s) 0 (D.Graph.states df)
+
+(* Cycles per packet spent on accelerators under a mapping. *)
+let accel_cycles_per_packet lnic df mapping ~sizes ~prob =
+  let tp = Throughput.estimate ~sizes ~prob lnic df mapping in
+  List.fold_left
+    (fun acc (r : Throughput.bottleneck) ->
+      if r.Throughput.parallelism = 1 && r.Throughput.resource <> "wire-dma" then
+        acc +. r.Throughput.cycles_per_packet
+      else acc)
+    0. tp.Throughput.resources
+
+let analyze_pair ?options lnic ~source_a ~source_b ~profile =
+  let sizes =
+    {
+      D.Cost.payload_bytes = W.Profile.mean_payload profile;
+      packet_bytes = W.Profile.mean_packet_bytes profile;
+      header_bytes = 50.;
+      state_entries = (fun _ -> 0.);
+      opaque_trip = 1.;
+    }
+  in
+  let prob = D.Flow.default_probability in
+  let trace = W.Trace.synthesize ~seed:17L profile in
+  let predict lnic' df mapping =
+    let p = Latency.create lnic' df mapping in
+    (Latency.predict_trace p trace).Latency.mean_cycles
+  in
+  let half = L.Graph.slice lnic ~keep_num:1 ~keep_den:2 in
+  let run source other_footprint other_accel_u =
+    match pipeline ?options lnic ~source ~sizes ~prob with
+    | Error e -> Error e
+    | Ok (df_full, m_full) -> (
+        let solo = predict lnic df_full m_full in
+        match pipeline ?options half ~source ~sizes ~prob with
+        | Error e -> Error e
+        | Ok (df_half, m_half) -> (
+            let sliced = predict half df_half m_half in
+            let shrunk = shrink_emem_cache half ~by_bytes:other_footprint in
+            match pipeline ?options shrunk ~source ~sizes ~prob with
+            | Error e -> Error e
+            | Ok (df_c, m_c) ->
+                let base = predict shrunk df_c m_c in
+                (* Head-of-line blocking on shared accelerators: inflate
+                   this NF's accelerator time by the co-resident
+                   utilization (M/M/1-style, capped). *)
+                let own_accel = accel_cycles_per_packet shrunk df_c m_c ~sizes ~prob in
+                let u = Float.min 0.9 other_accel_u in
+                let contended = base +. (own_accel *. (u /. (1. -. u))) in
+                Ok (solo, sliced, contended)))
+  in
+  (* First pass to get each side's footprint and accelerator utilization. *)
+  let precompute source =
+    match pipeline ?options lnic ~source ~sizes ~prob with
+    | Error e -> Error e
+    | Ok (df, m) ->
+        let fp = state_footprint_of df in
+        let accel_cyc = accel_cycles_per_packet lnic df m ~sizes ~prob in
+        let freq =
+          match L.Graph.general_cores lnic with
+          | u :: _ -> float_of_int u.L.Unit_.freq_mhz *. 1e6
+          | [] -> 1e9
+        in
+        Ok (fp, profile.W.Profile.rate_pps *. accel_cyc /. freq)
+  in
+  match (precompute source_a, precompute source_b) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (fp_a, u_a), Ok (fp_b, u_b) -> (
+      match (run source_a fp_b u_b, run source_b fp_a u_a) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (solo_a, sliced_a, cont_a), Ok (solo_b, sliced_b, cont_b) ->
+          let mk solo sliced contended =
+            { solo_cycles = solo;
+              sliced_cycles = sliced;
+              contended_cycles = contended;
+              slowdown = contended /. solo }
+          in
+          Ok (mk solo_a sliced_a cont_a, mk solo_b sliced_b cont_b))

@@ -1,0 +1,28 @@
+(** Co-resident NF interference (§3.5).
+
+    The paper's starting point: slice the LNIC so each NF sees "half" the
+    NIC, then account for footprints the slices leave in each other's
+    shared resources.  We model two cross-terms on top of the sliced
+    prediction:
+    - {e cache contention}: each NF's effective EMEM cache shrinks by the
+      co-resident NF's state footprint (misses rise);
+    - {e accelerator head-of-line blocking}: shared accelerators serve
+      both NFs; each NF's accelerator operations are inflated by the
+      utilization the other NF induces. *)
+
+type report = {
+  solo_cycles : float;     (** NF alone on the full NIC. *)
+  sliced_cycles : float;   (** NF alone on its half-slice. *)
+  contended_cycles : float;  (** Slice + cross-terms. *)
+  slowdown : float;        (** contended / solo. *)
+}
+
+val analyze_pair :
+  ?options:Clara_mapping.Mapping.options ->
+  Clara_lnic.Graph.t ->
+  source_a:string ->
+  source_b:string ->
+  profile:Clara_workload.Profile.t ->
+  ((report * report), string) result
+(** Reports for NF A and NF B when sharing the NIC half-and-half under
+    the same traffic profile each. *)

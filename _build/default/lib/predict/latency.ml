@@ -1,0 +1,260 @@
+module Lru = Clara_util.Lru
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+module W = Clara_workload
+module M = Clara_mapping.Mapping
+module P = Clara_lnic.Params
+
+type config = {
+  scan_match_fraction : float;
+  exceed_fraction : float;
+  opaque_fraction : float;
+  seed : int64;
+  include_wire : bool;
+}
+
+let default_config =
+  { scan_match_fraction = 0.1; exceed_fraction = 0.05; opaque_fraction = 0.5;
+    seed = 7L; include_wire = true }
+
+type t = {
+  lnic : L.Graph.t;
+  df : D.Graph.t;
+  mapping : M.t;
+  config : config;
+  (* Abstract state: which keys each table has seen (bounded). *)
+  flow_seen : (string, Lru.t) Hashtbl.t;
+  (* LPM/route tables are provisioned configuration, not learned state:
+     matches against them succeed. *)
+  provisioned : (string, unit) Hashtbl.t;
+  mutable rng : W.Prng.t;
+  nodes_by_block : (int, D.Node.t list) Hashtbl.t;
+}
+
+let create ?(config = default_config) lnic df mapping =
+  let nodes_by_block = Hashtbl.create 32 in
+  Array.iter
+    (fun (n : D.Node.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt nodes_by_block n.D.Node.block) in
+      Hashtbl.replace nodes_by_block n.D.Node.block (cur @ [ n ]))
+    df.D.Graph.nodes;
+  let flow_seen = Hashtbl.create 8 in
+  let provisioned = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Ir.state_obj) ->
+      Hashtbl.replace flow_seen s.Ir.st_name
+        (Lru.create ~capacity:(max 1 s.Ir.st_entries));
+      if s.Ir.st_kind = Clara_cir.Ast.S_lpm then
+        Hashtbl.replace provisioned s.Ir.st_name ())
+    (D.Graph.states df);
+  { lnic; df; mapping; config; flow_seen; provisioned;
+    rng = W.Prng.create ~seed:config.seed; nodes_by_block }
+
+let reset_state t =
+  Hashtbl.iter (fun _ l -> Lru.clear l) t.flow_seen;
+  t.rng <- W.Prng.create ~seed:t.config.seed
+
+type per_packet = { cycles : float; emitted : bool }
+
+let sizes_of_packet (pkt : W.Packet.t) (states : Ir.state_obj list) =
+  {
+    D.Cost.payload_bytes = float_of_int pkt.W.Packet.payload_bytes;
+    packet_bytes = float_of_int (W.Packet.total_bytes pkt);
+    header_bytes = float_of_int (W.Packet.header_bytes pkt);
+    state_entries =
+      (fun s ->
+        match List.find_opt (fun o -> o.Ir.st_name = s) states with
+        | Some o -> float_of_int o.Ir.st_entries
+        | None -> 0.);
+    opaque_trip = 1.;
+  }
+
+let state_region_of_mapping t s =
+  match M.placement_of_state t.mapping s with
+  | Some (M.In_memory m) -> m
+  | Some (M.In_accel _) | None ->
+      (* Accel-hosted state is costed inside the accelerator vcall; if a
+         stray instruction still asks, charge external memory. *)
+      (match
+         Array.to_list t.lnic.L.Graph.memories
+         |> List.find_opt (fun m -> m.L.Memory.level = L.Memory.External)
+       with
+      | Some m -> m.L.Memory.id
+      | None -> 0)
+
+let node_cost t (pkt : W.Packet.t) (n : D.Node.t) =
+  let unit_ = L.Graph.unit_ t.lnic t.mapping.M.node_unit.(n.D.Node.id) in
+  let sizes = sizes_of_packet pkt (D.Graph.states t.df) in
+  let footprint s =
+    match List.find_opt (fun o -> o.Ir.st_name = s) (D.Graph.states t.df) with
+    | Some o -> Ir.state_bytes o
+    | None -> 0
+  in
+  let ctx =
+    {
+      D.Cost.lnic = t.lnic;
+      exec_unit = unit_;
+      state_region = state_region_of_mapping t;
+      state_footprint = footprint;
+      packet_region =
+        Clara_mapping.Encode.packet_region_for t.lnic unit_
+          ~packet_bytes:sizes.D.Cost.packet_bytes;
+      sizes;
+    }
+  in
+  match D.Cost.node_cycles ctx n with
+  | Some c -> c
+  | None ->
+      (* The mapping guaranteed executability; a None here is a bug. *)
+      failwith
+        (Printf.sprintf "Latency: node n%d unexecutable on its mapped unit" n.D.Node.id)
+
+(* Resolve a guard against the packet and tracked state.  Table-hit
+   guards are pure queries; state only becomes "seen" when the walk
+   actually executes an insertion (V_table_update) for that table —
+   mirroring the NF's real semantics (e.g. a firewall admits state only
+   on SYN). *)
+let rec resolve_guard t (pkt : W.Packet.t) (g : Ir.guard) =
+  match g with
+  | Ir.G_proto k -> W.Packet.proto_number pkt.W.Packet.proto = k
+  | Ir.G_flag k -> pkt.W.Packet.flags land k <> 0
+  | Ir.G_table_hit s ->
+      Hashtbl.mem t.provisioned s
+      || (match Hashtbl.find_opt t.flow_seen s with
+         | None -> false
+         | Some seen -> Lru.mem seen (W.Packet.flow_key pkt))
+  | Ir.G_scan_match -> W.Prng.bool t.rng t.config.scan_match_fraction
+  | Ir.G_count_exceeds -> W.Prng.bool t.rng t.config.exceed_fraction
+  | Ir.G_opaque -> W.Prng.bool t.rng t.config.opaque_fraction
+  | Ir.G_not g' -> not (resolve_guard t pkt g')
+  | Ir.G_or (a, b) -> resolve_guard t pkt a || resolve_guard t pkt b
+
+let wire_cycles lnic (pkt : W.Packet.t) ~emitted =
+  let params = lnic.L.Graph.params in
+  let bytes = W.Packet.total_bytes pkt in
+  let hub kind =
+    match
+      List.find_opt (fun h -> h.L.Hub.kind = kind) (Array.to_list lnic.L.Graph.hubs)
+    with
+    | Some h -> float_of_int h.L.Hub.per_packet_cycles
+    | None -> 0.
+  in
+  let rx = L.Cost_fn.eval params.P.wire_ingress (float_of_int bytes) +. hub `Ingress in
+  let tx =
+    if emitted then L.Cost_fn.eval params.P.wire_egress (float_of_int bytes) +. hub `Egress
+    else 0.
+  in
+  rx +. tx
+
+let wire_costs t pkt ~emitted =
+  if t.config.include_wire then wire_cycles t.lnic pkt ~emitted else 0.
+
+exception Walk_limit
+
+let packet_latency t (pkt : W.Packet.t) =
+  let cir = t.df.D.Graph.cir in
+  let cost = ref 0. in
+  let emitted = ref false in
+  let steps = ref 0 in
+  let charge_block bid =
+    List.iter
+      (fun (n : D.Node.t) ->
+        cost := !cost +. node_cost t pkt n;
+        match n.D.Node.kind with
+        | D.Node.N_vcall v when v.Ir.vc = P.V_emit -> emitted := true
+        | D.Node.N_vcall v when v.Ir.vc = P.V_table_update -> (
+            (* Executed insertion: the flow is now table-resident. *)
+            match v.Ir.state with
+            | Some s -> (
+                match Hashtbl.find_opt t.flow_seen s with
+                | Some seen -> ignore (Lru.touch seen (W.Packet.flow_key pkt))
+                | None -> ())
+            | None -> ())
+        | _ -> ())
+      (Option.value ~default:[] (Hashtbl.find_opt t.nodes_by_block bid))
+  in
+  (* Walk the structured CFG.  [stop] is the loop header whose back edge
+     ends the current iteration walk (None at top level). *)
+  let rec walk bid ~stop =
+    incr steps;
+    if !steps > 10_000 then raise Walk_limit;
+    charge_block bid;
+    match (Ir.block cir bid).Ir.term with
+    | Ir.Ret -> ()
+    | Ir.Jump d ->
+        if Some d = stop then () (* end of one loop iteration *)
+        else walk d ~stop
+    | Ir.Cond { guard; then_; else_ } ->
+        if resolve_guard t pkt guard then walk then_ ~stop
+        else walk else_ ~stop
+    | Ir.Loop { body; exit; trip = _ } ->
+        (* Body nodes carry the trip multiplier; walk the body once for
+           guard resolution, then continue at the exit. *)
+        walk body ~stop:(Some bid);
+        walk exit ~stop
+  in
+  walk cir.Ir.entry ~stop:None;
+  let total = !cost +. wire_costs t pkt ~emitted:!emitted in
+  { cycles = total; emitted = !emitted }
+
+type prediction = {
+  mean_cycles : float;
+  p50_cycles : float;
+  p99_cycles : float;
+  tcp_mean : float;
+  udp_mean : float;
+  syn_mean : float;
+  emitted_fraction : float;
+}
+
+let predict_trace t (trace : W.Trace.t) =
+  reset_state t;
+  let n = Array.length trace.W.Trace.packets in
+  if n = 0 then
+    { mean_cycles = 0.; p50_cycles = 0.; p99_cycles = 0.; tcp_mean = Float.nan;
+      udp_mean = Float.nan; syn_mean = Float.nan; emitted_fraction = 0. }
+  else begin
+    let lats = Array.make n 0. in
+    let tcp = ref 0. and tcp_n = ref 0 in
+    let udp = ref 0. and udp_n = ref 0 in
+    let syn = ref 0. and syn_n = ref 0 in
+    let emits = ref 0 in
+    Array.iteri
+      (fun i pkt ->
+        let r = packet_latency t pkt in
+        lats.(i) <- r.cycles;
+        if r.emitted then incr emits;
+        (match pkt.W.Packet.proto with
+        | W.Packet.Tcp ->
+            tcp := !tcp +. r.cycles;
+            incr tcp_n
+        | W.Packet.Udp ->
+            udp := !udp +. r.cycles;
+            incr udp_n
+        | W.Packet.Other _ -> ());
+        if W.Packet.is_syn pkt then begin
+          syn := !syn +. r.cycles;
+          incr syn_n
+        end)
+      trace.W.Trace.packets;
+    let sorted = Array.copy lats in
+    Array.sort compare sorted;
+    let pct p = sorted.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+    let div_or_nan s k = if k = 0 then Float.nan else s /. float_of_int k in
+    {
+      mean_cycles = Array.fold_left ( +. ) 0. lats /. float_of_int n;
+      p50_cycles = pct 0.5;
+      p99_cycles = pct 0.99;
+      tcp_mean = div_or_nan !tcp !tcp_n;
+      udp_mean = div_or_nan !udp !udp_n;
+      syn_mean = div_or_nan !syn !syn_n;
+      emitted_fraction = float_of_int !emits /. float_of_int n;
+    }
+  end
+
+let pp_prediction fmt p =
+  Format.fprintf fmt
+    "mean %.0f cyc, p50 %.0f, p99 %.0f, tcp %.0f, udp %.0f, syn %.0f, emit %.0f%%"
+    p.mean_cycles p.p50_cycles p.p99_cycles p.tcp_mean p.udp_mean p.syn_mean
+    (100. *. p.emitted_fraction)

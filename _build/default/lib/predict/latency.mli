@@ -1,0 +1,57 @@
+(** Per-packet latency prediction (§3.5).
+
+    Given the mapped NF, Clara simulates how each workload packet
+    traverses the parameterized LNIC: guards resolve against the packet
+    (protocol, flags) and against tracked abstract state (a flow-table
+    membership set, so the first packet of a flow really takes the miss
+    path); node costs are priced by {!Clara_dataflow.Cost} with the
+    packet's own sizes; wire/hub constants bracket the path.  Averaging
+    over a trace yields the Figure 3 "Predicted" series. *)
+
+type config = {
+  scan_match_fraction : float;  (** DPI match probability. *)
+  exceed_fraction : float;      (** Counter-threshold crossing probability. *)
+  opaque_fraction : float;      (** Unrecognized guards. *)
+  seed : int64;                 (** For probabilistic guard resolution. *)
+  include_wire : bool;
+      (** Charge wire DMA + hub constants per packet (on by default);
+          chains turn this off per stage and charge the wire once. *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  Clara_lnic.Graph.t ->
+  Clara_dataflow.Graph.t ->
+  Clara_mapping.Mapping.t ->
+  t
+
+type per_packet = { cycles : float; emitted : bool }
+
+val packet_latency : t -> Clara_workload.Packet.t -> per_packet
+(** Stateful: table-hit guards depend on the packets seen so far. *)
+
+val reset_state : t -> unit
+(** Forget tracked flow state (fresh run). *)
+
+type prediction = {
+  mean_cycles : float;
+  p50_cycles : float;
+  p99_cycles : float;
+  tcp_mean : float;
+  udp_mean : float;
+  syn_mean : float;
+  emitted_fraction : float;
+}
+
+val predict_trace : t -> Clara_workload.Trace.t -> prediction
+(** Resets state, then walks every packet. *)
+
+val pp_prediction : Format.formatter -> prediction -> unit
+
+val wire_cycles :
+  Clara_lnic.Graph.t -> Clara_workload.Packet.t -> emitted:bool -> float
+(** Wire DMA + hub constants for one packet on a target. *)

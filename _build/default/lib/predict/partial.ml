@@ -1,0 +1,209 @@
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+module M = Clara_mapping.Mapping
+
+type side = On_nic | On_host
+
+type split = {
+  cut : int;
+  assignment : (int * side) list;
+  nic_ns : float;
+  host_ns : float;
+  pcie_ns : float;
+  total_ns : float;
+}
+
+let default_sizes =
+  {
+    D.Cost.payload_bytes = 300.;
+    packet_bytes = 354.;
+    header_bytes = 54.;
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1.;
+  }
+
+let node_state (n : D.Node.t) =
+  match n.D.Node.kind with
+  | D.Node.N_vcall v -> v.Ir.state
+  | D.Node.N_compute is ->
+      List.find_map
+        (function
+          | Ir.Load (Ir.L_state s) | Ir.Store (Ir.L_state s) | Ir.Atomic_op (Ir.L_state s) ->
+              Some s
+          | _ -> None)
+        is
+
+(* Cost of one node on a target graph, using the target's fastest core
+   (host) or the mapping's unit (NIC). *)
+let node_ns target unit_ ~sizes ~footprint ~state_region (n : D.Node.t) =
+  let ctx =
+    {
+      D.Cost.lnic = target;
+      exec_unit = unit_;
+      state_region;
+      state_footprint = footprint;
+      packet_region =
+        Clara_mapping.Encode.packet_region_for target unit_
+          ~packet_bytes:sizes.D.Cost.packet_bytes;
+      sizes;
+    }
+  in
+  match D.Cost.node_cycles ctx n with
+  | None -> None
+  | Some cycles -> Some (cycles *. 1000. /. float_of_int unit_.L.Unit_.freq_mhz)
+
+let enumerate_splits ?(sizes = default_sizes) ?(prob = D.Flow.default_probability) lnic
+    (df : D.Graph.t) (mapping : M.t) =
+  let host = L.Host.default in
+  let states = D.Graph.states df in
+  let sizes =
+    { sizes with
+      D.Cost.state_entries =
+        (fun s ->
+          match List.find_opt (fun o -> o.Ir.st_name = s) states with
+          | Some o -> float_of_int o.Ir.st_entries
+          | None -> 0.) }
+  in
+  let footprint s =
+    match List.find_opt (fun o -> o.Ir.st_name = s) states with
+    | Some o -> Ir.state_bytes o
+    | None -> 0
+  in
+  let nic_state_region s =
+    match M.placement_of_state mapping s with
+    | Some (M.In_memory m) -> m
+    | _ -> (
+        match
+          Array.to_list lnic.L.Graph.memories
+          |> List.find_opt (fun m -> m.L.Memory.level = L.Memory.External)
+        with
+        | Some m -> m.L.Memory.id
+        | None -> 0)
+  in
+  (* Host state always lives in host DRAM (LLC-cached). *)
+  let host_dram =
+    match
+      Array.to_list host.L.Graph.memories
+      |> List.find_opt (fun m -> m.L.Memory.level = L.Memory.External)
+    with
+    | Some m -> m.L.Memory.id
+    | None -> 0
+  in
+  let host_core = List.hd (L.Graph.general_cores host) in
+  let weights = D.Flow.node_weights df ~prob in
+  let order = Array.of_list (D.Graph.topo_order df) in
+  let n = Array.length order in
+  (* Per-node expected ns on each side. *)
+  let nic_cost = Array.make n 0. in
+  let host_cost = Array.make n 0. in
+  let feasible_nic = Array.make n true in
+  Array.iteri
+    (fun pos nid ->
+      let node = D.Graph.node df nid in
+      let w = weights.(nid) in
+      (match
+         node_ns lnic
+           (L.Graph.unit_ lnic mapping.M.node_unit.(nid))
+           ~sizes ~footprint ~state_region:nic_state_region node
+       with
+      | Some ns -> nic_cost.(pos) <- w *. ns
+      | None -> feasible_nic.(pos) <- false);
+      match
+        node_ns host host_core ~sizes ~footprint
+          ~state_region:(fun _ -> host_dram)
+          node
+      with
+      | Some ns -> host_cost.(pos) <- w *. ns
+      | None ->
+          (* Host cores run everything in software. *)
+          host_cost.(pos) <- w *. 1000.)
+    order;
+  (* A cut k puts order[0..k-1] on the NIC.  Feasibility: no state used
+     on both sides. *)
+  let state_sides k =
+    let nic_states = Hashtbl.create 4 and host_states = Hashtbl.create 4 in
+    Array.iteri
+      (fun pos nid ->
+        match node_state (D.Graph.node df nid) with
+        | None -> ()
+        | Some s ->
+            if pos < k then Hashtbl.replace nic_states s ()
+            else Hashtbl.replace host_states s ())
+      order;
+    Hashtbl.fold (fun s () acc -> acc && not (Hashtbl.mem host_states s)) nic_states true
+  in
+  let wire_ns target bytes which =
+    let params = target.L.Graph.params in
+    let f =
+      match which with
+      | `In -> params.Clara_lnic.Params.wire_ingress
+      | `Out -> params.Clara_lnic.Params.wire_egress
+    in
+    let freq =
+      match L.Graph.general_cores target with
+      | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+      | [] -> 1000.
+    in
+    L.Cost_fn.eval f bytes *. 1000. /. freq
+  in
+  let bytes = sizes.D.Cost.packet_bytes in
+  let splits = ref [] in
+  for k = 0 to n do
+    let nic_feasible = Array.for_all Fun.id (Array.init k (fun i -> feasible_nic.(i))) in
+    if nic_feasible && state_sides k then begin
+      let sum arr lo hi =
+        let acc = ref 0. in
+        for i = lo to hi - 1 do
+          acc := !acc +. arr.(i)
+        done;
+        !acc
+      in
+      let nic_compute = sum nic_cost 0 k in
+      let host_compute = sum host_cost k n in
+      (* Wire: the NIC always receives the packet; whoever runs the tail
+         transmits.  A non-trivial host part adds one PCIe round trip. *)
+      let nic_ns = wire_ns lnic bytes `In +. nic_compute +. (if k = n then wire_ns lnic bytes `Out else 0.) in
+      let host_ns = if k = n then 0. else host_compute +. wire_ns L.Host.default bytes `Out in
+      let pcie_ns = if k = n then 0. else L.Host.pcie_roundtrip_ns in
+      let assignment =
+        Array.to_list (Array.mapi (fun pos nid -> (nid, if pos < k then On_nic else On_host)) order)
+      in
+      splits :=
+        { cut = k;
+          assignment;
+          nic_ns;
+          host_ns;
+          pcie_ns;
+          total_ns = nic_ns +. host_ns +. pcie_ns }
+        :: !splits
+    end
+  done;
+  List.sort (fun a b -> compare a.total_ns b.total_ns) !splits
+
+let best_split ?sizes ?prob lnic df mapping =
+  match enumerate_splits ?sizes ?prob lnic df mapping with
+  | best :: _ -> best
+  | [] -> failwith "Partial.best_split: no feasible split (not even all-host?)"
+
+let describe (df : D.Graph.t) s =
+  let n = List.length s.assignment in
+  if s.cut = n then "fully offloaded to the NIC"
+  else if s.cut = 0 then "fully on the host"
+  else begin
+    let nic_vcalls =
+      List.filter_map
+        (fun (nid, side) ->
+          if side = On_nic then
+            match (D.Graph.node df nid).D.Node.kind with
+            | D.Node.N_vcall v -> Some (Clara_lnic.Params.vcall_name v.Ir.vc)
+            | _ -> None
+          else None)
+        s.assignment
+    in
+    Printf.sprintf "NIC runs [%s]; rest on host" (String.concat ", " nic_vcalls)
+  end
+
+let pp fmt s =
+  Format.fprintf fmt "cut@%d: nic %.0f ns + pcie %.0f ns + host %.0f ns = %.0f ns" s.cut
+    s.nic_ns s.pcie_ns s.host_ns s.total_ns

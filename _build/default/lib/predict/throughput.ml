@@ -1,0 +1,162 @@
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+module M = Clara_mapping.Mapping
+module P = Clara_lnic.Params
+
+type bottleneck = {
+  resource : string;
+  cycles_per_packet : float;
+  parallelism : int;
+  max_pps : float;
+}
+
+type t = {
+  max_pps : float;
+  gbps_at_mean_packet : float;
+  bottleneck : bottleneck;
+  resources : bottleneck list;
+}
+
+let default_sizes =
+  {
+    D.Cost.payload_bytes = 300.;
+    packet_bytes = 354.;
+    header_bytes = 54.;
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1.;
+  }
+
+let estimate ?(sizes = default_sizes) ?(prob = D.Flow.default_probability) lnic
+    (df : D.Graph.t) (mapping : M.t) =
+  let states = D.Graph.states df in
+  let sizes =
+    { sizes with
+      D.Cost.state_entries =
+        (fun s ->
+          match List.find_opt (fun o -> o.Ir.st_name = s) states with
+          | Some o -> float_of_int o.Ir.st_entries
+          | None -> 0.) }
+  in
+  let footprint s =
+    match List.find_opt (fun o -> o.Ir.st_name = s) states with
+    | Some o -> Ir.state_bytes o
+    | None -> 0
+  in
+  let state_region s =
+    match M.placement_of_state mapping s with
+    | Some (M.In_memory m) -> m
+    | _ -> (
+        match
+          Array.to_list lnic.L.Graph.memories
+          |> List.find_opt (fun m -> m.L.Memory.level = L.Memory.External)
+        with
+        | Some m -> m.L.Memory.id
+        | None -> 0)
+  in
+  let weights = D.Flow.node_weights df ~prob in
+  (* Expected demand per unit: weighted node costs, grouped by the class
+     the node was mapped to.  Units of one placement class pool their
+     threads. *)
+  let demand = Hashtbl.create 8 (* rep unit id -> cycles *) in
+  Array.iter
+    (fun (n : D.Node.t) ->
+      let uid = mapping.M.node_unit.(n.D.Node.id) in
+      let unit_ = L.Graph.unit_ lnic uid in
+      let ctx =
+        {
+          D.Cost.lnic;
+          exec_unit = unit_;
+          state_region;
+          state_footprint = footprint;
+          packet_region =
+            Clara_mapping.Encode.packet_region_for lnic unit_
+              ~packet_bytes:sizes.D.Cost.packet_bytes;
+          sizes;
+        }
+      in
+      match D.Cost.node_cycles ctx n with
+      | None -> ()
+      | Some c ->
+          let cur = Option.value ~default:0. (Hashtbl.find_opt demand uid) in
+          Hashtbl.replace demand uid (cur +. (weights.(n.D.Node.id) *. c)))
+    df.D.Graph.nodes;
+  let resource_of uid cycles =
+    let unit_ = L.Graph.unit_ lnic uid in
+    (* Run-to-completion NFs replicate across every general core; the
+       mapping's class choice matters for latency (NUMA), not for the
+       thread pool.  Accelerators are single servers. *)
+    let parallelism =
+      if Clara_lnic.Unit_.is_general unit_ then L.Graph.total_threads lnic else 1
+    in
+    let hz = float_of_int unit_.L.Unit_.freq_mhz *. 1e6 in
+    {
+      resource = unit_.L.Unit_.name;
+      cycles_per_packet = cycles;
+      parallelism;
+      max_pps = (if cycles <= 0. then Float.infinity else hz *. float_of_int parallelism /. cycles);
+    }
+  in
+  let wire_resource =
+    (* The DMA path handles every packet serially per direction. *)
+    let params = lnic.L.Graph.params in
+    let cycles =
+      L.Cost_fn.eval params.P.wire_ingress sizes.D.Cost.packet_bytes
+      +. L.Cost_fn.eval params.P.wire_egress sizes.D.Cost.packet_bytes
+    in
+    let freq =
+      match L.Graph.general_cores lnic with
+      | u :: _ -> float_of_int u.L.Unit_.freq_mhz *. 1e6
+      | [] -> 1e9
+    in
+    (* Several DMA lanes in practice; model 8. *)
+    { resource = "wire-dma"; cycles_per_packet = cycles; parallelism = 8;
+      max_pps = freq *. 8. /. Float.max 1. cycles }
+  in
+  let resources =
+    wire_resource
+    :: Hashtbl.fold (fun uid c acc -> resource_of uid c :: acc) demand []
+  in
+  let resources =
+    List.sort
+      (fun (a : bottleneck) (b : bottleneck) -> compare a.max_pps b.max_pps)
+      resources
+  in
+  let bottleneck = List.hd resources in
+  let bits = 8. *. sizes.D.Cost.packet_bytes in
+  {
+    max_pps = bottleneck.max_pps;
+    gbps_at_mean_packet = bottleneck.max_pps *. bits /. 1e9;
+    bottleneck;
+    resources;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "max %.0f pps (%.2f Gbps), bottleneck %s (%.0f cyc/pkt, %dx)"
+    t.max_pps t.gbps_at_mean_packet t.bottleneck.resource
+    t.bottleneck.cycles_per_packet t.bottleneck.parallelism
+
+(* Sakasegawa's M/M/k mean-queue-wait approximation:
+   Wq ≈ (rho^(sqrt(2(k+1)) - 1) / (k (1 - rho))) * service. *)
+let mmk_wait ~service ~k ~rho =
+  if rho >= 1. then None
+  else begin
+    let kf = float_of_int k in
+    let expo = Float.sqrt (2. *. (kf +. 1.)) -. 1. in
+    Some (Float.pow rho expo /. (kf *. (1. -. rho)) *. service)
+  end
+
+let latency_at_rate ?sizes ?prob ~base_cycles ~rate_pps lnic df mapping =
+  let t = estimate ?sizes ?prob lnic df mapping in
+  let rec add acc = function
+    | [] -> Some acc
+    | (r : bottleneck) :: rest ->
+        if r.cycles_per_packet <= 0. then add acc rest
+        else begin
+          let rho = rate_pps /. r.max_pps in
+          match mmk_wait ~service:r.cycles_per_packet ~k:r.parallelism ~rho with
+          | None -> None
+          | Some wq -> add (acc +. wq) rest
+        end
+  in
+  add base_cycles t.resources

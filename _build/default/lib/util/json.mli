@@ -1,0 +1,17 @@
+(** Minimal JSON emitter (no parser — Clara only writes JSON, for
+    machine-readable reports and tooling integration). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float     (** NaN/infinities are emitted as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Valid JSON; strings are escaped per RFC 8259.  [pretty] (default
+    true) indents with two spaces. *)
+
+val to_channel : ?pretty:bool -> out_channel -> t -> unit

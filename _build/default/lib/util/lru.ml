@@ -1,0 +1,59 @@
+(* Doubly-linked recency list with a hash index.  Nodes are reused; the
+   list head is most-recent. *)
+
+type node = {
+  key : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (min capacity 4096); head = None; tail = None }
+
+let mem t k = Hashtbl.mem t.table k
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      true
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key
+        | None -> ()
+      end;
+      let n = { key = k; prev = None; next = None } in
+      Hashtbl.add t.table k n;
+      push_front t n;
+      false
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

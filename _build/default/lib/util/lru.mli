@@ -1,0 +1,21 @@
+(** Bounded LRU set over integer keys.
+
+    Backs the simulator's EMEM cache (keys = 64-byte line addresses) and
+    the flow-cache SRAM (keys = flow hashes).  O(1) hit/insert/evict via
+    a hash table + doubly-linked recency list. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val mem : t -> int -> bool
+(** Pure membership test; does not touch recency. *)
+
+val touch : t -> int -> bool
+(** [touch t k]: true (and refreshed) when [k] was present; false (and
+    inserted, evicting the least-recent entry if full) otherwise. *)
+
+val size : t -> int
+val capacity : t -> int
+val clear : t -> unit

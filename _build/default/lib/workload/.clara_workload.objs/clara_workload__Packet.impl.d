@@ -1,0 +1,1 @@
+lib/workload/packet.ml: Format Int32 Printf

@@ -1,0 +1,1 @@
+lib/workload/pcap.ml: Array Buffer Bytes Char Fun Int32 Int64 List Packet String Trace

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Dist Format Hashtbl Int32 Int64 Packet Prng Profile Seq

@@ -1,0 +1,51 @@
+type t =
+  | Fixed of int
+  | Uniform of int * int
+  | Bimodal of int * int * float
+  | Zipf of int * float
+
+let make_zipf ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.make_zipf: n must be positive";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) alpha);
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  fun g ->
+    let u = Prng.float g *. total in
+    (* Binary search for the first index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let sample g = function
+  | Fixed v -> v
+  | Uniform (a, b) ->
+      if b < a then invalid_arg "Dist.sample: empty uniform range";
+      a + Prng.int g (b - a + 1)
+  | Bimodal (a, b, p) -> if Prng.bool g p then a else b
+  | Zipf (n, alpha) -> make_zipf ~n ~alpha g
+
+let exponential g ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";
+  let u = 1. -. Prng.float g in
+  -.mean *. Float.log u
+
+let mean = function
+  | Fixed v -> float_of_int v
+  | Uniform (a, b) -> float_of_int (a + b) /. 2.
+  | Bimodal (a, b, p) -> (p *. float_of_int a) +. ((1. -. p) *. float_of_int b)
+  | Zipf (n, alpha) ->
+      (* Mean rank of the Zipf distribution. *)
+      let num = ref 0. and den = ref 0. in
+      for k = 0 to n - 1 do
+        let w = 1. /. Float.pow (float_of_int (k + 1)) alpha in
+        num := !num +. (float_of_int k *. w);
+        den := !den +. w
+      done;
+      !num /. !den

@@ -1,0 +1,24 @@
+(** Samplers for the distributions workload profiles use: flow popularity
+    (Zipf), packet sizes (uniform / fixed / bimodal), inter-arrival times
+    (exponential). *)
+
+type t =
+  | Fixed of int
+  | Uniform of int * int          (** Inclusive bounds. *)
+  | Bimodal of int * int * float  (** [Bimodal (a, b, p)]: [a] w.p. [p]. *)
+  | Zipf of int * float           (** [Zipf (n, alpha)] over [[0, n)]. *)
+
+val sample : Prng.t -> t -> int
+(** For [Zipf], prefer {!make_zipf} on hot paths: [sample] rebuilds the
+    CDF each call. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** Exponential variate (inter-arrival times for a Poisson process). *)
+
+val make_zipf : n:int -> alpha:float -> Prng.t -> int
+(** [make_zipf ~n ~alpha] precomputes the CDF and returns a sampler for
+    rank-frequency Zipf over [[0, n)]: P(k) ∝ 1/(k+1)^alpha.
+    [alpha = 0] degenerates to uniform. *)
+
+val mean : t -> float
+(** Expected value of the distribution. *)

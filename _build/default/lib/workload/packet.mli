@@ -1,0 +1,33 @@
+(** Packets as Clara's workload layer sees them: parsed 5-tuple plus the
+    size and timing information the predictor and simulator need. *)
+
+type proto = Tcp | Udp | Other of int
+
+type t = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+  flags : int;         (** TCP flags; bit 0x2 = SYN. *)
+  payload_bytes : int;
+  arrival_ns : int64;  (** Arrival time since trace start. *)
+}
+
+val proto_number : proto -> int
+(** IANA protocol numbers: TCP = 6, UDP = 17. *)
+
+val proto_of_number : int -> proto
+
+val header_bytes : t -> int
+(** Ethernet + IPv4 + L4 header bytes (54 TCP / 42 UDP / 34 other). *)
+
+val total_bytes : t -> int
+(** Header + payload. *)
+
+val is_syn : t -> bool
+
+val flow_key : t -> int
+(** Hash of the 5-tuple; equal for packets of the same flow. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** Minimal libpcap (classic, microsecond) reader/writer.
+
+    The paper's workload profile may be "a pcap trace" (§3.5); this module
+    lets Clara ingest real captures and export synthetic ones.  Writing
+    synthesizes Ethernet + IPv4 + TCP/UDP headers (payload zero-filled and
+    truncated to the snap length); reading parses those headers back into
+    {!Packet.t} and ignores non-IPv4 frames. *)
+
+val write_file : string -> Trace.t -> unit
+(** @raise Sys_error on IO failure. *)
+
+val read_file : string -> Trace.t
+(** @raise Failure on malformed files (bad magic, truncated records). *)
+
+val snaplen : int
+(** Capture length used by the writer (262144, tcpdump's default). *)

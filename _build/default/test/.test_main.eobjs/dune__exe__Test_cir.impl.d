@@ -1,0 +1,1 @@
+test/test_cir.ml: Alcotest Array Clara_cir Clara_lnic Format List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Clara Clara_dataflow Clara_lnic Clara_mapping Clara_nfs Clara_nicsim Clara_predict Clara_util Clara_workload Float List String

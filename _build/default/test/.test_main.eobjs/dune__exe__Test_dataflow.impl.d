@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Clara_cir Clara_dataflow Clara_lnic Hashtbl List Option Printf QCheck QCheck_alcotest

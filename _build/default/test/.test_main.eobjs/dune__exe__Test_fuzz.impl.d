@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Clara Clara_cir Clara_dataflow Clara_lnic Clara_predict Clara_workload Float Format List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Clara_ilp Fun List Printf QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_ilp_deep.ml: Alcotest Array Clara_ilp Filename Fun List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_lnic.ml: Alcotest Array Clara_lnic List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cir Test_core Test_dataflow Test_fuzz Test_ilp Test_ilp_deep Test_lnic Test_mapping Test_nfs Test_nicsim Test_predict Test_targets Test_workload

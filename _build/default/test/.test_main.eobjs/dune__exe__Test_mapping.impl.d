@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Clara_cir Clara_dataflow Clara_lnic Clara_mapping List Printf String

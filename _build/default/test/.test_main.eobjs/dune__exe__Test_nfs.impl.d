@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Clara Clara_cir Clara_dataflow Clara_lnic Clara_nfs Clara_nicsim Clara_predict Clara_workload Float Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_nicsim.ml: Alcotest Clara_lnic Clara_nfs Clara_nicsim Clara_util Clara_workload List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Array Clara Clara_cir Clara_dataflow Clara_lnic Clara_mapping Clara_nfs Clara_nicsim Clara_predict Clara_workload Float Int64 List Option

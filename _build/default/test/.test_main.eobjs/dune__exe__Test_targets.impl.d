@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Clara Clara_lnic Clara_nfs Clara_predict Clara_workload List String

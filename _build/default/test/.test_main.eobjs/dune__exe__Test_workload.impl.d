@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Clara_workload Filename Fun Hashtbl Int64 List Option QCheck QCheck_alcotest Sys

@@ -1,0 +1,184 @@
+(* End-to-end fuzzing: random structured NF programs pushed through the
+   whole pipeline (parse → typecheck → lower → coarsen → dataflow → map →
+   predict) must never crash, and the invariants must hold at every
+   stage. *)
+
+module W = Clara_workload
+module L = Clara_lnic
+module D = Clara_dataflow
+module Ir = Clara_cir.Ir
+
+let lnic = L.Netronome.default
+
+(* ------------------------------------------------------------------ *)
+(* Structured program generator                                         *)
+
+(* Generates programs over a fixed set of declared names so they always
+   typecheck: one map table "t", one lpm table "rt", one counter "cnt",
+   int locals v0..v3 initialized up front. *)
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let int_expr depth =
+    let rec go d =
+      if d = 0 then
+        oneof
+          [ map string_of_int (int_range 0 100);
+            oneofl [ "v0"; "v1"; "v2"; "v3"; "hdr.src_ip"; "hdr.dst_port"; "hdr.ttl" ] ]
+      else
+        let* a = go (d - 1) and* b = go (d - 1) in
+        let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+        return (Printf.sprintf "(%s %s %s)" a op b)
+    in
+    go depth
+  in
+  let cond_expr =
+    oneof
+      [ (let* k = oneofl [ 6; 17; 1 ] in
+         return (Printf.sprintf "hdr.proto == %d" k));
+        return "(hdr.flags & 2) != 0";
+        (let* e = int_expr 1 in
+         let* k = int_range 0 50 in
+         return (Printf.sprintf "%s > %d" e k)) ]
+  in
+  let stmt_leaf =
+    oneof
+      [ (let* e = int_expr 1 in
+         let* v = oneofl [ "v0"; "v1"; "v2"; "v3" ] in
+         return (Printf.sprintf "%s = %s;" v e));
+        (let* e = int_expr 1 in
+         return (Printf.sprintf "hdr.ttl = %s;" e));
+        (let* k = int_expr 0 in
+         return (Printf.sprintf "update(t, %s, 1);" k));
+        return "v0 = entry_value(lookup(t, v1));";
+        return "v2 = entry_value(lpm_match(rt, hdr.dst_ip));";
+        return "v3 = count(cnt, v0);";
+        return "meter(hdr.src_ip);";
+        return "checksum_update(hdr);";
+        return "v1 = hash(hdr.src_ip, hdr.dst_ip);" ]
+  in
+  let rec block depth budget =
+    if budget <= 0 then return ""
+    else
+      let* n = int_range 1 (min 3 budget) in
+      let* stmts =
+        list_repeat n
+          (if depth = 0 then stmt_leaf
+           else
+             frequency
+               [ (4, stmt_leaf);
+                 (1,
+                  let* c = cond_expr in
+                  let* t = block (depth - 1) (budget / 2) in
+                  let* e = block (depth - 1) (budget / 2) in
+                  return (Printf.sprintf "if (%s) { %s } else { %s }" c t e));
+                 (1,
+                  let* bound = int_range 1 8 in
+                  let* body = block 0 1 in
+                  return
+                    (Printf.sprintf "for (i%d = 0; i%d < %d; i%d = i%d + 1) { %s }"
+                       depth depth bound depth depth
+                       (if body = "" then "v0 = v0 + 1;" else body))) ])
+      in
+      return (String.concat " " stmts)
+  in
+  let* body = block 2 6 in
+  let* verdict = oneofl [ "emit(pkt);"; "drop(pkt);"; "if (v0 > 10) { emit(pkt); } else { drop(pkt); }" ] in
+  return
+    (Printf.sprintf
+       {|nf fuzz {
+  state map t[1024] entry 16;
+  state lpm rt[512] entry 16;
+  state counter cnt[256] entry 8;
+  handler h(pkt) {
+    var hdr = parse_header(pkt);
+    var v0 = 0;
+    var v1 = 1;
+    var v2 = 2;
+    var v3 = 3;
+    %s
+    %s
+  }
+}|}
+       body verdict)
+
+let profile = W.Profile.make ~packets:200 ~flow_count:50 ()
+
+let prop_pipeline_never_crashes =
+  QCheck.Test.make ~name:"random NFs run the whole pipeline" ~count:120
+    (QCheck.make gen_program)
+    (fun src ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile with
+      | Error _ ->
+          (* Structural mapping errors are acceptable outcomes; crashes
+             are not (they escape as exceptions and fail the test). *)
+          true
+      | Ok a ->
+          let p = Clara.predict_profile a profile in
+          Float.is_finite p.Clara_predict.Latency.mean_cycles
+          && p.Clara_predict.Latency.mean_cycles >= 0.)
+
+let prop_lowered_cfg_well_formed =
+  QCheck.Test.make ~name:"lowered CFGs are well-formed" ~count:120
+    (QCheck.make gen_program)
+    (fun src ->
+      let ir = Clara_cir.Lower.lower_source src in
+      let n = Array.length ir.Ir.blocks in
+      let ids_ok =
+        Array.for_all
+          (fun (b : Ir.block) ->
+            List.for_all (fun s -> s >= 0 && s < n) (Ir.successors b.Ir.term))
+          ir.Ir.blocks
+      in
+      let entry_ok = ir.Ir.entry >= 0 && ir.Ir.entry < n in
+      ids_ok && entry_ok)
+
+let prop_coarsened_dataflow_is_dag =
+  QCheck.Test.make ~name:"dataflow graphs are DAGs with consistent nodes" ~count:120
+    (QCheck.make gen_program)
+    (fun src ->
+      let df = D.Build.of_source src in
+      let order = D.Graph.topo_order df in
+      List.length order = Array.length df.D.Graph.nodes
+      && Array.for_all
+           (fun (node : D.Node.t) ->
+             node.D.Node.block >= 0
+             && node.D.Node.block < Array.length df.D.Graph.cir.Ir.blocks)
+           df.D.Graph.nodes)
+
+let prop_print_reparse_equivalent =
+  QCheck.Test.make ~name:"pp_program then reparse lowers identically" ~count:60
+    (QCheck.make gen_program)
+    (fun src ->
+      let ast = Clara_cir.Parser.parse src in
+      let printed = Format.asprintf "%a" Clara_cir.Ast.pp_program ast in
+      let ast2 = Clara_cir.Parser.parse printed in
+      let key a =
+        let ir = Clara_cir.Lower.lower ast in
+        ignore a;
+        ( Array.length ir.Ir.blocks,
+          Ir.instr_count ir,
+          List.map (fun v -> v.Ir.vc) (Ir.vcalls_of ir) )
+      in
+      key ast = key ast2)
+
+let prop_symexec_paths_finite =
+  QCheck.Test.make ~name:"symbolic paths are bounded and sorted" ~count:60
+    (QCheck.make gen_program)
+    (fun src ->
+      match Clara.analyze_for_profile lnic ~source:src ~profile with
+      | Error _ -> true
+      | Ok a ->
+          let paths =
+            Clara_predict.Symexec.enumerate ~max_paths:32 lnic a.Clara.df a.Clara.mapping
+          in
+          List.length paths <= 32
+          && (let costs = List.map (fun p -> p.Clara_predict.Symexec.cost_cycles) paths in
+              costs = List.sort (fun x y -> compare y x) costs))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pipeline_never_crashes;
+      prop_lowered_cfg_well_formed;
+      prop_coarsened_dataflow_is_dag;
+      prop_print_reparse_equivalent;
+      prop_symexec_paths_finite ]

@@ -1,0 +1,461 @@
+(* Tests for the exact ILP substrate: bignums, rationals, simplex, B&B. *)
+
+module B = Clara_ilp.Bigint
+module R = Clara_ilp.Rat
+module LE = Clara_ilp.Lin_expr
+module M = Clara_ilp.Model
+module Sx = Clara_ilp.Simplex
+module Lp = Clara_ilp.Lp
+module Bb = Clara_ilp.Branch_bound
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+
+let test_bigint_basics () =
+  check_str "zero" "0" (B.to_string B.zero);
+  check_str "small" "42" (B.to_string (B.of_int 42));
+  check_str "negative" "-7" (B.to_string (B.of_int (-7)));
+  check_str "max_int" (string_of_int max_int) (B.to_string (B.of_int max_int));
+  check_str "min_int" (string_of_int min_int) (B.to_string (B.of_int min_int));
+  check_int "roundtrip max" max_int (B.to_int_exn (B.of_int max_int));
+  check_int "roundtrip min" min_int (B.to_int_exn (B.of_int min_int))
+
+let test_bigint_string () =
+  let s = "123456789012345678901234567890" in
+  check_str "of/to_string" s (B.to_string (B.of_string s));
+  check_str "neg of/to_string" ("-" ^ s) (B.to_string (B.of_string ("-" ^ s)));
+  check "to_int_opt overflow" true (B.to_int_opt (B.of_string s) = None)
+
+let test_bigint_arith_large () =
+  let a = B.of_string "99999999999999999999999999" in
+  let b = B.of_string "12345678901234567890123456" in
+  check_str "add" "112345678901234567890123455" B.(to_string (add a b));
+  check_str "sub" "87654321098765432109876543" B.(to_string (sub a b));
+  check_str "mul"
+    "1234567890123456789012345587654321098765432109876544"
+    B.(to_string (mul a b));
+  let q, r = B.divmod a b in
+  check_str "div" "8" (B.to_string q);
+  check_str "rem" "1234568790123456879012351" (B.to_string r);
+  check "a = q*b + r" true B.(equal a (add (mul q b) r))
+
+let test_bigint_division_signs () =
+  (* Truncated division: remainder carries the dividend's sign. *)
+  let dm a b =
+    let q, r = B.divmod (B.of_int a) (B.of_int b) in
+    (B.to_int_exn q, B.to_int_exn r)
+  in
+  Alcotest.(check (pair int int)) "7/2" (3, 1) (dm 7 2);
+  Alcotest.(check (pair int int)) "-7/2" (-3, -1) (dm (-7) 2);
+  Alcotest.(check (pair int int)) "7/-2" (-3, 1) (dm 7 (-2));
+  Alcotest.(check (pair int int)) "-7/-2" (3, -1) (dm (-7) (-2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_bigint_gcd () =
+  let g a b = B.to_int_exn (B.gcd (B.of_int a) (B.of_int b)) in
+  check_int "gcd 12 18" 6 (g 12 18);
+  check_int "gcd -12 18" 6 (g (-12) 18);
+  check_int "gcd 0 5" 5 (g 0 5);
+  check_int "gcd 0 0" 0 (g 0 0);
+  check_int "gcd coprime" 1 (g 17 31)
+
+(* QCheck: bigint arithmetic agrees with native int on values where both
+   are exact. *)
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_bigint_ring =
+  QCheck.Test.make ~name:"bigint add/mul agree with int" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      B.to_int_exn (B.add (B.of_int x) (B.of_int y)) = x + y
+      && B.to_int_exn (B.mul (B.of_int x) (B.of_int y)) = x * y
+      && B.to_int_exn (B.sub (B.of_int x) (B.of_int y)) = x - y)
+
+let prop_bigint_divmod =
+  QCheck.Test.make ~name:"bigint divmod agrees with int" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (y <> 0);
+      let q, r = B.divmod (B.of_int x) (B.of_int y) in
+      B.to_int_exn q = x / y && B.to_int_exn r = x mod y)
+
+let prop_bigint_string_roundtrip =
+  QCheck.Test.make ~name:"bigint decimal roundtrip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 40) (QCheck.int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      (* Strip leading zeros for canonical comparison. *)
+      let canonical =
+        let s' = ref 0 in
+        let n = String.length s in
+        while !s' < n - 1 && s.[!s'] = '0' do incr s' done;
+        String.sub s !s' (n - !s')
+      in
+      B.to_string (B.of_string s) = canonical)
+
+let prop_bigint_mul_assoc =
+  QCheck.Test.make ~name:"bigint mul associative/commutative (large)" ~count:200
+    (QCheck.triple small_int small_int small_int)
+    (fun (x, y, z) ->
+      let bx = B.of_int x and by = B.of_int y and bz = B.of_int z in
+      (* Blow the values up so multi-digit paths are exercised. *)
+      let big = B.of_string "1000000000000000000000" in
+      let bx = B.mul bx big and by = B.mul by big in
+      B.equal (B.mul (B.mul bx by) bz) (B.mul bx (B.mul by bz))
+      && B.equal (B.mul bx by) (B.mul by bx))
+
+let prop_bigint_divmod_large =
+  QCheck.Test.make ~name:"bigint divmod identity (large operands)" ~count:200
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (y <> 0);
+      let big = B.of_string "123456789123456789123456789" in
+      let a = B.mul (B.of_int x) big in
+      let b = B.mul (B.of_int y) (B.of_string "987654321987") in
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+(* ------------------------------------------------------------------ *)
+(* Rat                                                                 *)
+
+let test_rat_normalization () =
+  check "2/4 = 1/2" true R.(equal (of_ints 2 4) (of_ints 1 2));
+  check "-1/-2 = 1/2" true R.(equal (of_ints (-1) (-2)) (of_ints 1 2));
+  check "den positive" true (B.sign (R.den (R.of_ints 1 (-2))) > 0);
+  check_str "print" "-1/2" (R.to_string (R.of_ints 1 (-2)));
+  check_str "int print" "3" (R.to_string (R.of_int 3))
+
+let test_rat_floor_ceil () =
+  let f n d = B.to_int_exn (R.floor (R.of_ints n d)) in
+  let c n d = B.to_int_exn (R.ceil (R.of_ints n d)) in
+  check_int "floor 7/2" 3 (f 7 2);
+  check_int "floor -7/2" (-4) (f (-7) 2);
+  check_int "ceil 7/2" 4 (c 7 2);
+  check_int "ceil -7/2" (-3) (c (-7) 2);
+  check_int "floor 4/2" 2 (f 4 2);
+  check_int "ceil 4/2" 2 (c 4 2)
+
+let test_rat_of_float () =
+  check "0.5 exact" true R.(equal (of_float 0.5) (of_ints 1 2));
+  check "0.25 exact" true R.(equal (of_float 0.25) (of_ints 1 4));
+  check "3.0 exact" true R.(equal (of_float 3.0) (of_int 3));
+  check "roundtrip 0.1" true (R.to_float (R.of_float 0.1) = 0.1)
+
+let rat_gen =
+  QCheck.map
+    (fun (n, d) -> R.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-10_000) 10_000) (QCheck.int_range (-100) 100))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:500 (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      R.(equal (add a b) (add b a))
+      && R.(equal (mul a b) (mul b a))
+      && R.(equal (add (add a b) c) (add a (add b c)))
+      && R.(equal (mul (mul a b) c) (mul a (mul b c)))
+      && R.(equal (mul a (add b c)) (add (mul a b) (mul a c)))
+      && R.(equal (sub (add a b) b) a)
+      && (R.is_zero a || R.(equal (mul a (inv a)) one)))
+
+let prop_rat_order =
+  QCheck.Test.make ~name:"rat order consistent with float" ~count:500
+    (QCheck.pair rat_gen rat_gen)
+    (fun (a, b) ->
+      let cf = Stdlib.compare (R.to_float a) (R.to_float b) in
+      let cr = R.compare a b in
+      (* Floats of our small rats are exact enough for strict orderings;
+         equal floats can only come from equal rats at these magnitudes. *)
+      (cf < 0 && cr < 0) || (cf > 0 && cr > 0) || (cf = 0 && cr = 0))
+
+let prop_rat_floor_frac =
+  QCheck.Test.make ~name:"rat x = floor x + frac x, frac in [0,1)" ~count:500 rat_gen
+    (fun a ->
+      let fl = R.of_bigint (R.floor a) in
+      R.(equal a (add fl (frac a)))
+      && R.(frac a >= zero)
+      && R.(frac a < one))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+
+let r = R.of_int
+let ri = R.of_ints
+
+(* max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0  => x=4,y=0, obj 12
+   (as min of negation) *)
+let test_simplex_basic () =
+  let rows =
+    [ { Sx.coeffs = [| r 1; r 1 |]; sense = M.Le; rhs = r 4 };
+      { Sx.coeffs = [| r 1; r 3 |]; sense = M.Le; rhs = r 6 } ]
+  in
+  let res = Sx.solve ~c:[| r (-3); r (-2) |] ~rows in
+  check "optimal" true (res.Sx.status = Sx.Optimal);
+  check "obj = -12" true R.(equal res.Sx.objective (r (-12)));
+  check "x = 4" true R.(equal res.Sx.solution.(0) (r 4));
+  check "y = 0" true R.(equal res.Sx.solution.(1) (r 0))
+
+let test_simplex_equality () =
+  (* min x + y st x + 2y = 4, x - y = 1  => x=2, y=1, obj 3 *)
+  let rows =
+    [ { Sx.coeffs = [| r 1; r 2 |]; sense = M.Eq; rhs = r 4 };
+      { Sx.coeffs = [| r 1; r (-1) |]; sense = M.Eq; rhs = r 1 } ]
+  in
+  let res = Sx.solve ~c:[| r 1; r 1 |] ~rows in
+  check "optimal" true (res.Sx.status = Sx.Optimal);
+  check "obj 3" true R.(equal res.Sx.objective (r 3));
+  check "x 2" true R.(equal res.Sx.solution.(0) (r 2));
+  check "y 1" true R.(equal res.Sx.solution.(1) (r 1))
+
+let test_simplex_infeasible () =
+  (* x <= 1 and x >= 2 *)
+  let rows =
+    [ { Sx.coeffs = [| r 1 |]; sense = M.Le; rhs = r 1 };
+      { Sx.coeffs = [| r 1 |]; sense = M.Ge; rhs = r 2 } ]
+  in
+  let res = Sx.solve ~c:[| r 1 |] ~rows in
+  check "infeasible" true (res.Sx.status = Sx.Infeasible)
+
+let test_simplex_unbounded () =
+  (* min -x st x >= 1 : x can grow forever *)
+  let rows = [ { Sx.coeffs = [| r 1 |]; sense = M.Ge; rhs = r 1 } ] in
+  let res = Sx.solve ~c:[| r (-1) |] ~rows in
+  check "unbounded" true (res.Sx.status = Sx.Unbounded)
+
+let test_simplex_degenerate () =
+  (* A classically degenerate LP; Bland's rule must terminate.
+     min -0.75x4 + 150x5 - 0.02x6 + 6x7 (Beale's cycling example). *)
+  let rows =
+    [ { Sx.coeffs = [| ri 1 4; r (-60); ri (-1) 25; r 9 |]; sense = M.Le; rhs = r 0 };
+      { Sx.coeffs = [| ri 1 2; r (-90); ri (-1) 50; r 3 |]; sense = M.Le; rhs = r 0 };
+      { Sx.coeffs = [| r 0; r 0; r 1; r 0 |]; sense = M.Le; rhs = r 1 } ]
+  in
+  let res = Sx.solve ~c:[| ri (-3) 4; r 150; ri (-1) 50; r 6 |] ~rows in
+  check "optimal (no cycling)" true (res.Sx.status = Sx.Optimal);
+  check "obj -1/20" true R.(equal res.Sx.objective (ri (-1) 20))
+
+let test_simplex_rational_exact () =
+  (* min x st 3x >= 1  => x = 1/3 exactly *)
+  let rows = [ { Sx.coeffs = [| r 3 |]; sense = M.Ge; rhs = r 1 } ] in
+  let res = Sx.solve ~c:[| r 1 |] ~rows in
+  check "x = 1/3" true R.(equal res.Sx.solution.(0) (ri 1 3))
+
+(* Random LPs: feasibility of the returned point. We construct rows with
+   non-negative rhs and Le sense so the origin is always feasible; optimal
+   solutions must satisfy every row. *)
+let prop_simplex_feasible =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* nvars = int_range 1 4 in
+        let* nrows = int_range 1 5 in
+        let* rows =
+          list_repeat nrows
+            (let* coeffs = list_repeat nvars (int_range (-5) 5) in
+             let* rhs = int_range 0 20 in
+             return (coeffs, rhs))
+        in
+        let* c = list_repeat nvars (int_range (-5) 5) in
+        return (nvars, rows, c))
+  in
+  QCheck.Test.make ~name:"simplex: returned point satisfies all rows" ~count:300 gen
+    (fun (_nvars, rows, c) ->
+      let rows' =
+        List.map
+          (fun (coeffs, rhs) ->
+            { Sx.coeffs = Array.of_list (List.map r coeffs);
+              sense = M.Le;
+              rhs = r rhs })
+          rows
+      in
+      let res = Sx.solve ~c:(Array.of_list (List.map r c)) ~rows:rows' in
+      match res.Sx.status with
+      | Sx.Infeasible -> false (* origin is feasible: cannot happen *)
+      | Sx.Unbounded -> true
+      | Sx.Optimal ->
+          List.for_all
+            (fun { Sx.coeffs; rhs; _ } ->
+              let lhs = ref R.zero in
+              Array.iteri
+                (fun i ci -> lhs := R.add !lhs (R.mul ci res.Sx.solution.(i)))
+                coeffs;
+              R.( <= ) !lhs rhs)
+            rows'
+          && Array.for_all (fun x -> R.( >= ) x R.zero) res.Sx.solution
+          (* objective at the optimum is <= objective at origin (= 0) *)
+          && R.( <= ) res.Sx.objective R.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Lp + Branch & bound                                                 *)
+
+let test_lp_bounds () =
+  (* max x + y with 1 <= x <= 3, 0 <= y <= 2, x + y <= 4 => obj 4 hit at
+     e.g. x in [2,3]. *)
+  let m = M.create () in
+  let x = M.add_var m ~lb:(r 1) ~ub:(r 3) M.Continuous in
+  let y = M.add_var m ~ub:(r 2) M.Continuous in
+  M.add_constraint m LE.(add (var x) (var y)) M.Le (r 4);
+  M.set_objective m M.Maximize LE.(add (var x) (var y));
+  let res = Lp.solve m in
+  check "optimal" true (res.Lp.status = Lp.Optimal);
+  check "obj 4" true R.(equal res.Lp.objective (r 4));
+  check "x within bounds" true R.(res.Lp.values.(x) >= r 1 && res.Lp.values.(x) <= r 3)
+
+let test_lp_negative_lb () =
+  (* min x with x >= -5 (via bound), x >= -2 (via row) => -2. *)
+  let m = M.create () in
+  let x = M.add_var m ~lb:(r (-5)) M.Continuous in
+  M.add_constraint m (LE.var x) M.Ge (r (-2));
+  M.set_objective m M.Minimize (LE.var x);
+  let res = Lp.solve m in
+  check "optimal" true (res.Lp.status = Lp.Optimal);
+  check "obj -2" true R.(equal res.Lp.objective (r (-2)))
+
+let test_lp_infeasible_box () =
+  let m = M.create () in
+  let _x = M.add_var m ~lb:(r 3) ~ub:(r 1) M.Continuous in
+  M.set_objective m M.Minimize LE.zero;
+  check "empty box infeasible" true ((Lp.solve m).Lp.status = Lp.Infeasible)
+
+let test_bb_knapsack () =
+  (* Classic 0/1 knapsack: values 60,100,120; weights 10,20,30; cap 50.
+     Optimum 220 (items 2,3). *)
+  let m = M.create () in
+  let xs = List.init 3 (fun i -> M.add_var m ~name:(Printf.sprintf "item%d" i) M.Binary) in
+  let weights = [ 10; 20; 30 ] and values = [ 60; 100; 120 ] in
+  let wexpr =
+    LE.sum (List.map2 (fun x w -> LE.var ~coeff:(r w) x) xs weights)
+  in
+  M.add_constraint m wexpr M.Le (r 50);
+  M.set_objective m M.Maximize
+    (LE.sum (List.map2 (fun x v -> LE.var ~coeff:(r v) x) xs values));
+  let res = Bb.solve m in
+  check "optimal" true (res.Bb.status = Bb.Optimal);
+  check "obj 220" true R.(equal res.Bb.objective (r 220));
+  (match xs with
+  | [ a; b; c ] ->
+      check "item0 out" true R.(equal res.Bb.values.(a) R.zero);
+      check "item1 in" true R.(equal res.Bb.values.(b) R.one);
+      check "item2 in" true R.(equal res.Bb.values.(c) R.one)
+  | _ -> assert false)
+
+let test_bb_integer_rounding () =
+  (* max y st 2y <= 7, y integer => y = 3 (relaxation 3.5). *)
+  let m = M.create () in
+  let y = M.add_var m M.Integer in
+  M.add_constraint m (LE.var ~coeff:(r 2) y) M.Le (r 7);
+  M.set_objective m M.Maximize (LE.var y);
+  let res = Bb.solve m in
+  check "obj 3" true R.(equal res.Bb.objective (r 3))
+
+let test_bb_infeasible () =
+  (* x binary, x >= 1, x <= 0 contradiction via rows *)
+  let m = M.create () in
+  let x = M.add_var m M.Binary in
+  M.add_constraint m (LE.var x) M.Ge (ri 1 2);
+  M.add_constraint m (LE.var x) M.Le (ri 3 4);
+  M.set_objective m M.Minimize (LE.var x);
+  check "no integer point in [1/2,3/4]" true ((Bb.solve m).Bb.status = Bb.Infeasible)
+
+(* Assignment problem vs brute force. *)
+let brute_force_assignment cost =
+  let n = Array.length cost in
+  let rec perms acc rest =
+    match rest with
+    | [] -> [ List.rev acc ]
+    | _ ->
+        List.concat_map
+          (fun x -> perms (x :: acc) (List.filter (fun y -> y <> x) rest))
+          rest
+  in
+  let all = perms [] (List.init n Fun.id) in
+  List.fold_left
+    (fun best p ->
+      let c = List.fold_left ( + ) 0 (List.mapi (fun i j -> cost.(i).(j)) p) in
+      min best c)
+    max_int all
+
+let prop_bb_assignment =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 2 4 in
+        let* flat = list_repeat (n * n) (int_range 1 20) in
+        return (n, flat))
+  in
+  QCheck.Test.make ~name:"B&B solves assignment = brute force" ~count:50 gen
+    (fun (n, flat) ->
+      let cost = Array.init n (fun i -> Array.init n (fun j -> List.nth flat ((i * n) + j))) in
+      let m = M.create () in
+      let x = Array.init n (fun _ -> Array.init n (fun _ -> M.add_var m M.Binary)) in
+      for i = 0 to n - 1 do
+        M.add_constraint m
+          (LE.sum (List.init n (fun j -> LE.var x.(i).(j))))
+          M.Eq R.one;
+        M.add_constraint m
+          (LE.sum (List.init n (fun j -> LE.var x.(j).(i))))
+          M.Eq R.one
+      done;
+      let obj =
+        LE.sum
+          (List.concat
+             (List.init n (fun i ->
+                  List.init n (fun j -> LE.var ~coeff:(r cost.(i).(j)) x.(i).(j)))))
+      in
+      M.set_objective m M.Minimize obj;
+      let res = Bb.solve m in
+      res.Bb.status = Bb.Optimal
+      && R.equal res.Bb.objective (r (brute_force_assignment cost)))
+
+let test_model_check () =
+  let m = M.create () in
+  let x = M.add_var m M.Binary in
+  let y = M.add_var m ~ub:(r 5) M.Integer in
+  M.add_constraint m LE.(add (var x) (var y)) M.Le (r 4);
+  M.set_objective m M.Maximize LE.(add (var x) (var y));
+  check "feasible point" true (M.check m [| R.one; r 3 |]);
+  check "violates row" false (M.check m [| R.one; r 4 |]);
+  check "violates integrality" false (M.check m [| R.one; ri 1 2 |]);
+  check "violates binary ub" false (M.check m [| r 2; r 1 |])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ Alcotest.test_case "bigint basics" `Quick test_bigint_basics;
+    Alcotest.test_case "bigint strings" `Quick test_bigint_string;
+    Alcotest.test_case "bigint large arithmetic" `Quick test_bigint_arith_large;
+    Alcotest.test_case "bigint division signs" `Quick test_bigint_division_signs;
+    Alcotest.test_case "bigint gcd" `Quick test_bigint_gcd;
+    Alcotest.test_case "rat normalization" `Quick test_rat_normalization;
+    Alcotest.test_case "rat floor/ceil" `Quick test_rat_floor_ceil;
+    Alcotest.test_case "rat of_float" `Quick test_rat_of_float;
+    Alcotest.test_case "simplex basic max" `Quick test_simplex_basic;
+    Alcotest.test_case "simplex equalities" `Quick test_simplex_equality;
+    Alcotest.test_case "simplex infeasible" `Quick test_simplex_infeasible;
+    Alcotest.test_case "simplex unbounded" `Quick test_simplex_unbounded;
+    Alcotest.test_case "simplex degenerate (Beale)" `Quick test_simplex_degenerate;
+    Alcotest.test_case "simplex exact rationals" `Quick test_simplex_rational_exact;
+    Alcotest.test_case "lp bounds" `Quick test_lp_bounds;
+    Alcotest.test_case "lp negative lower bound" `Quick test_lp_negative_lb;
+    Alcotest.test_case "lp empty box" `Quick test_lp_infeasible_box;
+    Alcotest.test_case "b&b knapsack" `Quick test_bb_knapsack;
+    Alcotest.test_case "b&b integer rounding" `Quick test_bb_integer_rounding;
+    Alcotest.test_case "b&b infeasible" `Quick test_bb_infeasible;
+    Alcotest.test_case "model check" `Quick test_model_check ]
+  @ qsuite
+      [ prop_bigint_ring;
+        prop_bigint_divmod;
+        prop_bigint_string_roundtrip;
+        prop_bigint_mul_assoc;
+        prop_bigint_divmod_large;
+        prop_rat_field;
+        prop_rat_order;
+        prop_rat_floor_frac;
+        prop_simplex_feasible;
+        prop_bb_assignment ]

@@ -1,0 +1,318 @@
+(* Deeper correctness checks for the ILP substrate:
+   - strong duality on random LPs (only provable with exact arithmetic);
+   - branch & bound vs exhaustive enumeration on random binary programs;
+   - exactness stress (pivots produce gnarly rationals, results stay exact). *)
+
+module R = Clara_ilp.Rat
+module LE = Clara_ilp.Lin_expr
+module M = Clara_ilp.Model
+module Sx = Clara_ilp.Simplex
+module Lp = Clara_ilp.Lp
+module Bb = Clara_ilp.Branch_bound
+
+let check = Alcotest.(check bool)
+let r = R.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Strong duality:  max { c.x : Ax <= b, x >= 0 } has the same optimum
+   as  min { y.b : yA >= c, y >= 0 }.  With b >= 0 the primal is
+   feasible (origin); if the primal is bounded, both optima exist and
+   are equal — exactly, since everything is rational. *)
+
+let prop_strong_duality =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 4 in
+        let* m = int_range 1 4 in
+        let* a = list_repeat (m * n) (int_range (-4) 6) in
+        let* b = list_repeat m (int_range 0 15) in
+        let* c = list_repeat n (int_range (-3) 6) in
+        return (n, m, a, b, c))
+  in
+  QCheck.Test.make ~name:"strong duality on random LPs" ~count:200 gen
+    (fun (n, m, a, b, c) ->
+      let aij i j = List.nth a ((i * n) + j) in
+      (* Primal: min -c.x st Ax <= b, x >= 0. *)
+      let primal_rows =
+        List.init m (fun i ->
+            { Sx.coeffs = Array.init n (fun j -> r (aij i j));
+              sense = M.Le;
+              rhs = r (List.nth b i) })
+      in
+      let primal =
+        Sx.solve ~c:(Array.of_list (List.map (fun v -> r (-v)) c)) ~rows:primal_rows
+      in
+      match primal.Sx.status with
+      | Sx.Infeasible -> false (* origin is feasible: impossible *)
+      | Sx.Unbounded -> true (* dual infeasible; nothing to compare *)
+      | Sx.Optimal ->
+          (* Dual: min y.b st (A^T)y >= c, y >= 0. *)
+          let dual_rows =
+            List.init n (fun j ->
+                { Sx.coeffs = Array.init m (fun i -> r (aij i j));
+                  sense = M.Ge;
+                  rhs = r (List.nth c j) })
+          in
+          let dual = Sx.solve ~c:(Array.of_list (List.map r b)) ~rows:dual_rows in
+          (match dual.Sx.status with
+          | Sx.Optimal ->
+              (* primal objective is -(max c.x); dual objective is min y.b *)
+              R.equal (R.neg primal.Sx.objective) dual.Sx.objective
+          | Sx.Infeasible | Sx.Unbounded ->
+              (* Primal bounded+feasible implies dual optimal. *)
+              false))
+
+(* ------------------------------------------------------------------ *)
+(* B&B vs brute force on random binary programs.                        *)
+
+let prop_bb_equals_bruteforce =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 6 in
+        let* m = int_range 1 4 in
+        let* a = list_repeat (m * n) (int_range (-5) 5) in
+        let* b = list_repeat m (int_range (-3) 12) in
+        let* c = list_repeat n (int_range (-6) 6) in
+        return (n, m, a, b, c))
+  in
+  QCheck.Test.make ~name:"B&B = brute force on binary programs" ~count:150 gen
+    (fun (n, m, a, b, c) ->
+      let aij i j = List.nth a ((i * n) + j) in
+      let model = M.create () in
+      let xs = List.init n (fun _ -> M.add_var model M.Binary) in
+      for i = 0 to m - 1 do
+        M.add_constraint model
+          (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (aij i j)) x) xs))
+          M.Le
+          (r (List.nth b i))
+      done;
+      M.set_objective model M.Maximize
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth c j)) x) xs));
+      (* Brute force over all 2^n assignments. *)
+      let best = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x = List.init n (fun j -> (mask lsr j) land 1) in
+        let feasible =
+          List.init m (fun i ->
+              List.fold_left ( + ) 0 (List.mapi (fun j xj -> aij i j * xj) x)
+              <= List.nth b i)
+          |> List.for_all Fun.id
+        in
+        if feasible then begin
+          let v = List.fold_left ( + ) 0 (List.mapi (fun j xj -> List.nth c j * xj) x) in
+          match !best with
+          | None -> best := Some v
+          | Some bv -> if v > bv then best := Some v
+        end
+      done;
+      match (Bb.solve model, !best) with
+      | { Bb.status = Bb.Optimal; objective; values; _ }, Some bv ->
+          (* Optimal value matches, and the returned point is genuinely
+             feasible and integral. *)
+          R.equal objective (r bv) && M.check model values
+      | { Bb.status = Bb.Infeasible; _ }, None -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-integer: continuous relaxation bounds the integer optimum.     *)
+
+let prop_relaxation_bounds =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 4 in
+        let* cap = int_range 2 25 in
+        let* w = list_repeat n (int_range 1 9) in
+        let* c = list_repeat n (int_range 1 9) in
+        return (n, cap, w, c))
+  in
+  QCheck.Test.make ~name:"LP relaxation >= ILP optimum (knapsack)" ~count:200 gen
+    (fun (n, cap, w, c) ->
+      let model = M.create () in
+      let xs = List.init n (fun _ -> M.add_var model M.Binary) in
+      M.add_constraint model
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth w j)) x) xs))
+        M.Le (r cap);
+      M.set_objective model M.Maximize
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth c j)) x) xs));
+      let relax = Lp.solve model in
+      let exact = Bb.solve model in
+      match (relax.Lp.status, exact.Bb.status) with
+      | Lp.Optimal, Bb.Optimal -> R.( >= ) relax.Lp.objective exact.Bb.objective
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Exactness stress: Hilbert-like coefficients force huge intermediate
+   rationals; the solution must still satisfy the equalities exactly.   *)
+
+let test_exactness_stress () =
+  (* Hilbert coefficients with rhs derived from x* = (1,...,1), so the
+     system is feasible with x >= 0 by construction. *)
+  let n = 5 in
+  let rhs_of i =
+    List.init n (fun j -> R.of_ints 1 (i + j + 1)) |> List.fold_left R.add R.zero
+  in
+  let rows =
+    List.init n (fun i ->
+        { Sx.coeffs = Array.init n (fun j -> R.of_ints 1 (i + j + 1));
+          sense = M.Eq;
+          rhs = rhs_of i })
+  in
+  let res = Sx.solve ~c:(Array.make n R.one) ~rows in
+  check "optimal" true (res.Sx.status = Sx.Optimal);
+  List.iteri
+    (fun _ { Sx.coeffs; rhs; _ } ->
+      let lhs = ref R.zero in
+      Array.iteri (fun j cj -> lhs := R.add !lhs (R.mul cj res.Sx.solution.(j))) coeffs;
+      check "row satisfied exactly" true (R.equal !lhs rhs))
+    rows
+
+let test_bigint_stress () =
+  (* 2^300 computed two ways. *)
+  let module B = Clara_ilp.Bigint in
+  let rec pow b k = if k = 0 then B.one else B.mul b (pow b (k - 1)) in
+  let a = pow (B.of_int 2) 300 in
+  let b = pow (B.of_int 1024) 30 in
+  check "2^300 = 1024^30" true (B.equal a b);
+  let q, r0 = B.divmod a (B.of_string "1000000007") in
+  check "divmod identity at scale" true B.(equal a (add (mul q (of_string "1000000007")) r0))
+
+let test_lp_format () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"ship" M.Binary in
+  let y = M.add_var m ~name:"1bad name" ~lb:(r 1) ~ub:(r 5) M.Integer in
+  let z = M.add_var m ~name:"load" ~ub:(R.of_ints 7 2) M.Continuous in
+  M.add_constraint m ~name:"cap" LE.(add (var ~coeff:(r 3) x) (var y)) M.Le (r 7);
+  M.add_constraint m ~name:"link" LE.(sub (var z) (var ~coeff:(R.of_ints 1 2) y)) M.Ge (r 0);
+  M.set_objective m M.Maximize LE.(add (var ~coeff:(r 4) x) (var z));
+  let s = Clara_ilp.Lp_format.to_string m in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "maximize header" true (contains "Maximize");
+  check "objective" true (contains "4 ship");
+  check "constraint by name" true (contains "cap: 3 ship");
+  check "ge constraint" true (contains ">= 0");
+  check "bad name sanitized" true (contains "x1") ;
+  check "binary section" true (contains "Binary\n ship");
+  check "general section" true (contains "General\n x1");
+  check "bounds" true (contains "0 <= load <= 3.5");
+  check "end marker" true (contains "End\n")
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                             *)
+
+module Pre = Clara_ilp.Presolve
+
+let test_presolve_singleton_rows () =
+  (* 2x <= 7 with x integer: presolve must conclude x <= 3. *)
+  let m = M.create () in
+  let x = M.add_var m M.Integer in
+  M.add_constraint m (LE.var ~coeff:(r 2) x) M.Le (r 7);
+  (match Pre.run m with
+  | Pre.Tightened b ->
+      check "ub rounded to 3" true (snd b.(x) = Some (r 3));
+      check "lb stays 0" true (R.equal (fst b.(x)) R.zero)
+  | Pre.Proven_infeasible -> Alcotest.fail "feasible model");
+  (* x >= 5/2 integer: lb becomes 3. *)
+  let m2 = M.create () in
+  let y = M.add_var m2 M.Integer in
+  M.add_constraint m2 (LE.var ~coeff:(r 2) y) M.Ge (r 5);
+  match Pre.run m2 with
+  | Pre.Tightened b -> check "lb rounded to 3" true (R.equal (fst b.(y)) (r 3))
+  | Pre.Proven_infeasible -> Alcotest.fail "feasible model"
+
+let test_presolve_propagation () =
+  (* x + y = 10, x <= 3  =>  y >= 7 by propagation. *)
+  let m = M.create () in
+  let x = M.add_var m ~ub:(r 3) M.Continuous in
+  let y = M.add_var m ~ub:(r 100) M.Continuous in
+  M.add_constraint m LE.(add (var x) (var y)) M.Eq (r 10);
+  match Pre.run m with
+  | Pre.Tightened b ->
+      check "y lower bound 7" true (R.( >= ) (fst b.(y)) (r 7));
+      ignore x
+  | Pre.Proven_infeasible -> Alcotest.fail "feasible model"
+
+let test_presolve_detects_infeasible () =
+  (* x + y >= 10 with x, y binary: impossible. *)
+  let m = M.create () in
+  let x = M.add_var m M.Binary in
+  let y = M.add_var m M.Binary in
+  M.add_constraint m LE.(add (var x) (var y)) M.Ge (r 10);
+  check "proven infeasible" true (Pre.run m = Pre.Proven_infeasible);
+  (* And branch & bound agrees without exploring. *)
+  M.set_objective m M.Maximize LE.(add (var x) (var y));
+  let res = Bb.solve m in
+  check "bb infeasible" true (res.Bb.status = Bb.Infeasible);
+  check "no nodes explored" true (res.Bb.nodes = 0)
+
+let prop_presolve_preserves_optimum =
+  (* Presolve must never cut off the integer optimum: B&B with presolve
+     (the default path) still matches brute force. *)
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 5 in
+        let* a = list_repeat n (int_range (-4) 6) in
+        let* b = int_range (-2) 14 in
+        let* c = list_repeat n (int_range (-5) 5) in
+        return (n, a, b, c))
+  in
+  QCheck.Test.make ~name:"presolve preserves the optimum" ~count:200 gen
+    (fun (n, a, b, c) ->
+      let m = M.create () in
+      let xs = List.init n (fun _ -> M.add_var m M.Binary) in
+      M.add_constraint m
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth a j)) x) xs))
+        M.Le (r b);
+      M.set_objective m M.Maximize
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth c j)) x) xs));
+      let best = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x = List.init n (fun j -> (mask lsr j) land 1) in
+        if List.fold_left ( + ) 0 (List.mapi (fun j xj -> List.nth a j * xj) x) <= b
+        then begin
+          let v = List.fold_left ( + ) 0 (List.mapi (fun j xj -> List.nth c j * xj) x) in
+          match !best with None -> best := Some v | Some bv -> if v > bv then best := Some v
+        end
+      done;
+      match (Bb.solve m, !best) with
+      | { Bb.status = Bb.Optimal; objective; _ }, Some bv -> R.equal objective (r bv)
+      | { Bb.status = Bb.Infeasible; _ }, None -> true
+      | _ -> false)
+
+let test_lp_format_file () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" M.Binary in
+  M.add_constraint m (LE.var x) M.Le R.one;
+  M.set_objective m M.Maximize (LE.var x);
+  let path = Filename.temp_file "clara_lp" ".lp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Clara_ilp.Lp_format.write_file path m;
+      let ic = open_in path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check "file round-trips to_string" true
+        (contents = Clara_ilp.Lp_format.to_string m))
+
+let suite =
+  [ Alcotest.test_case "lp-format export" `Quick test_lp_format;
+    Alcotest.test_case "lp-format file writing" `Quick test_lp_format_file;
+    Alcotest.test_case "presolve singleton rows" `Quick test_presolve_singleton_rows;
+    Alcotest.test_case "presolve propagation" `Quick test_presolve_propagation;
+    Alcotest.test_case "presolve proves infeasibility" `Quick test_presolve_detects_infeasible;
+    Alcotest.test_case "exactness stress (Hilbert rows)" `Quick test_exactness_stress;
+    Alcotest.test_case "bigint stress 2^300" `Quick test_bigint_stress ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_strong_duality; prop_bb_equals_bruteforce; prop_relaxation_bounds;
+        prop_presolve_preserves_optimum ]

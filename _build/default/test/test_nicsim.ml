@@ -1,0 +1,347 @@
+(* Tests for the SmartNIC simulator: LRU, memory model, device ops,
+   engine dynamics. *)
+
+module Lru = Clara_util.Lru
+module Mem = Clara_nicsim.Mem_model
+module Dev = Clara_nicsim.Device
+module Eng = Clara_nicsim.Engine
+module Stats = Clara_nicsim.Stats
+module L = Clara_lnic
+module W = Clara_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lnic = L.Netronome.default
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:2 in
+  check "miss on empty" false (Lru.touch l 1);
+  check "hit" true (Lru.touch l 1);
+  check "miss 2" false (Lru.touch l 2);
+  check_int "size 2" 2 (Lru.size l);
+  (* Insert 3: evicts 1 (2 was more recent... no, 1 was touched last
+     before 2; order: 2 most recent, then 1). Evicts 1. *)
+  check "miss 3 evicts lru" false (Lru.touch l 3);
+  check "1 evicted" false (Lru.mem l 1);
+  check "2 kept" true (Lru.mem l 2);
+  check "3 kept" true (Lru.mem l 3)
+
+let test_lru_recency () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.touch l 1);
+  ignore (Lru.touch l 2);
+  ignore (Lru.touch l 1); (* refresh 1: now 2 is LRU *)
+  ignore (Lru.touch l 3);
+  check "2 evicted" false (Lru.mem l 2);
+  check "1 kept" true (Lru.mem l 1)
+
+let prop_lru_capacity =
+  QCheck.Test.make ~name:"lru never exceeds capacity" ~count:100
+    (QCheck.pair (QCheck.int_range 1 16) (QCheck.list_of_size (QCheck.Gen.return 200) (QCheck.int_range 0 50)))
+    (fun (cap, keys) ->
+      let l = Lru.create ~capacity:cap in
+      List.iter (fun k -> ignore (Lru.touch l k)) keys;
+      Lru.size l <= cap)
+
+(* ------------------------------------------------------------------ *)
+(* Memory model                                                        *)
+
+let test_mem_latencies () =
+  let m = Mem.create lnic in
+  check_int "local read" 2 (Mem.access m Mem.Local ~mode:`Read ~addr:0);
+  check_int "ctm read" 50 (Mem.access m Mem.Ctm ~mode:`Read ~addr:0);
+  check_int "imem read" 250 (Mem.access m Mem.Imem ~mode:`Read ~addr:0);
+  (* EMEM: first touch misses (500), second hits the cache (150). *)
+  check_int "emem cold miss" 500 (Mem.access m Mem.Emem ~mode:`Read ~addr:4096);
+  check_int "emem warm hit" 150 (Mem.access m Mem.Emem ~mode:`Read ~addr:4096);
+  check_int "same line hit" 150 (Mem.access m Mem.Emem ~mode:`Read ~addr:4097);
+  check_int "hits counted" 2 (Mem.emem_hits m);
+  check_int "misses counted" 1 (Mem.emem_misses m)
+
+let test_mem_cache_eviction () =
+  let m = Mem.create lnic in
+  (* Touch more lines than the 3MB cache holds, then the first line
+     must miss again. *)
+  let lines = (3 * 1024 * 1024 / 64) + 100 in
+  for i = 0 to lines do
+    ignore (Mem.access m Mem.Emem ~mode:`Read ~addr:(i * 64))
+  done;
+  check_int "first line evicted" 500 (Mem.access m Mem.Emem ~mode:`Read ~addr:0)
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                              *)
+
+let pkt ?(proto = W.Packet.Tcp) ?(payload = 300) ?(flags = 0) () =
+  { W.Packet.src_ip = 1l; dst_ip = 2l; src_port = 9; dst_port = 80; proto; flags;
+    payload_bytes = payload; arrival_ns = 0L }
+
+let fresh_ctx ?(tables = []) ?p () =
+  let prog = { Dev.name = "t"; tables; handler = (fun _ _ -> Dev.Drop) } in
+  let sim = Dev.create_sim lnic prog in
+  Dev.make_ctx sim ~now:0 (Option.value ~default:(pkt ()) p)
+
+let test_device_parse_costs () =
+  let ctx = fresh_ctx () in
+  Dev.parse_header ctx ~engine:false;
+  check_int "software parse 150" 150 (Dev.now ctx);
+  let ctx2 = fresh_ctx () in
+  Dev.parse_header ctx2 ~engine:true;
+  check "engine parse cheaper" true (Dev.now ctx2 < 150)
+
+let test_device_checksum_contrast () =
+  let p = pkt ~payload:946 () in (* total = 1000B *)
+  let ctx = fresh_ctx ~p () in
+  Dev.checksum ctx ~engine:true ~bytes:1000;
+  check_int "engine checksum 300 @1000B" 300 (Dev.now ctx);
+  let ctx2 = fresh_ctx ~p () in
+  Dev.checksum ctx2 ~engine:false ~bytes:1000;
+  check "software ~1700 more (§2.1)" true (Dev.now ctx2 - Dev.now ctx >= 1500)
+
+let test_device_table_statefulness () =
+  let tables =
+    [ { Dev.t_name = "t"; t_entries = 1024; t_entry_bytes = 16; t_placement = Dev.P_ctm } ]
+  in
+  let prog = { Dev.name = "t"; tables; handler = (fun _ _ -> Dev.Drop) } in
+  let sim = Dev.create_sim lnic prog in
+  let ctx = Dev.make_ctx sim ~now:0 (pkt ()) in
+  check "first lookup misses" false (Dev.table_lookup ctx "t" ~key:42);
+  Dev.table_insert ctx "t" ~key:42;
+  check "hit after insert" true (Dev.table_lookup ctx "t" ~key:42);
+  check "other key still misses" false (Dev.table_lookup ctx "t" ~key:43)
+
+let test_device_flow_cache_dynamics () =
+  let tables =
+    [ { Dev.t_name = "r"; t_entries = 10000; t_entry_bytes = 16;
+        t_placement = Dev.P_flow_cache } ]
+  in
+  let prog = { Dev.name = "t"; tables; handler = (fun _ _ -> Dev.Drop) } in
+  let sim = Dev.create_sim lnic prog in
+  let ctx = Dev.make_ctx sim ~now:0 (pkt ()) in
+  ignore (Dev.lpm_lookup ctx "r" ~key:7);
+  let cold = Dev.now ctx in
+  let ctx2 = Dev.make_ctx sim ~now:0 (pkt ()) in
+  ignore (Dev.lpm_lookup ctx2 "r" ~key:7);
+  let warm = Dev.now ctx2 in
+  (* Cold miss walks the rules; warm hit is orders cheaper (§2.1). *)
+  check "cold >> warm" true (cold > 50 * warm);
+  check_int "one miss" 1 (Dev.flow_cache_misses sim);
+  check_int "one hit" 1 (Dev.flow_cache_hits sim)
+
+let test_device_lpm_placement_matters () =
+  let walk placement =
+    let tables =
+      [ { Dev.t_name = "r"; t_entries = 8000; t_entry_bytes = 16; t_placement = placement } ]
+    in
+    let prog = { Dev.name = "t"; tables; handler = (fun _ _ -> Dev.Drop) } in
+    let sim = Dev.create_sim lnic prog in
+    let ctx = Dev.make_ctx sim ~now:0 (pkt ()) in
+    ignore (Dev.lpm_lookup ctx "r" ~key:1);
+    Dev.now ctx
+  in
+  check "ctm walk < imem walk" true (walk Dev.P_ctm < walk Dev.P_imem)
+
+let test_device_accel_serialization () =
+  (* Two back-to-back engine checksums from different contexts at the
+     same start time: the second waits (head-of-line blocking). *)
+  let prog = { Dev.name = "t"; tables = []; handler = (fun _ _ -> Dev.Drop) } in
+  let sim = Dev.create_sim lnic prog in
+  let a = Dev.make_ctx sim ~now:0 (pkt ~payload:946 ()) in
+  Dev.checksum a ~engine:true ~bytes:1000;
+  let b = Dev.make_ctx sim ~now:0 (pkt ~payload:946 ()) in
+  Dev.checksum b ~engine:true ~bytes:1000;
+  check_int "a finishes at 300" 300 (Dev.now a);
+  check_int "b queued behind a" 600 (Dev.now b)
+
+let test_device_errors () =
+  check "unknown table" true
+    (try
+       let ctx = fresh_ctx () in
+       ignore (Dev.table_lookup ctx "nope" ~key:1);
+       false
+     with Invalid_argument _ -> true);
+  check "flow cache table requires lookup accel" true
+    (let soc = L.Soc_nic.default in
+     try
+       ignore
+         (Dev.create_sim soc
+            { Dev.name = "t";
+              tables =
+                [ { Dev.t_name = "r"; t_entries = 8; t_entry_bytes = 16;
+                    t_placement = Dev.P_flow_cache } ];
+              handler = (fun _ _ -> Dev.Drop) });
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let simple_prog ?(cost_ops = 10) () =
+  { Dev.name = "noop";
+    tables = [];
+    handler =
+      (fun ctx _ ->
+        Dev.alu ctx cost_ops;
+        Dev.Emit) }
+
+let trace ?(tcp = 0.8) ~packets ~rate () =
+  W.Trace.synthesize ~seed:5L
+    (W.Profile.make ~packets ~rate_pps:rate ~flow_count:100 ~tcp_fraction:tcp
+       ~payload:(W.Dist.Fixed 300) ())
+
+let test_engine_accounting () =
+  let tr = trace ~packets:1000 ~rate:60_000. () in
+  let r = Eng.run lnic (simple_prog ()) tr in
+  check_int "all packets accounted" 1000
+    (r.Eng.summary.Stats.packets + r.Eng.summary.Stats.drops);
+  check "no drops at low load" true (r.Eng.summary.Stats.drops = 0);
+  check "latency positive" true (r.Eng.summary.Stats.mean_cycles > 0.);
+  check "p99 >= p50" true (r.Eng.summary.Stats.p99_cycles >= r.Eng.summary.Stats.p50_cycles)
+
+let test_engine_latency_composition () =
+  (* At negligible load, latency = wire rx + hub + ops + wire tx + hub. *)
+  let tr = trace ~tcp:1.0 ~packets:50 ~rate:1_000. () in
+  let r = Eng.run lnic (simple_prog ~cost_ops:0 ()) tr in
+  (* 354B packet: rx = 900 + 2*354 + 20; tx same. *)
+  let expect = 2. *. (900. +. (2. *. 354.) +. 20.) in
+  check "uncontended latency = wire costs" true
+    (abs_float (r.Eng.summary.Stats.mean_cycles -. expect) < 2.)
+
+let test_engine_saturation () =
+  (* A handler costing ~1M cycles at 60kpps on 480 threads saturates:
+     latency inflates and/or drops appear. *)
+  let slow =
+    { Dev.name = "slow";
+      tables = [];
+      handler =
+        (fun ctx _ ->
+          Dev.alu ctx 2_000_000;
+          Dev.Emit) }
+  in
+  let tr = trace ~packets:5_000 ~rate:400_000. () in
+  let r = Eng.run lnic slow tr in
+  let tr_slow = trace ~packets:5_000 ~rate:1_000. () in
+  let r_easy = Eng.run lnic slow tr_slow in
+  check "overload inflates latency or drops" true
+    (r.Eng.summary.Stats.drops > 0
+    || r.Eng.summary.Stats.mean_cycles > 2. *. r_easy.Eng.summary.Stats.mean_cycles)
+
+let test_engine_deterministic () =
+  let tr = trace ~packets:500 ~rate:60_000. () in
+  let r1 = Eng.run lnic (Clara_nfs.Nat.ported ~checksum_engine:true ()) tr in
+  let r2 = Eng.run lnic (Clara_nfs.Nat.ported ~checksum_engine:true ()) tr in
+  check "same trace, same result" true
+    (r1.Eng.summary.Stats.mean_cycles = r2.Eng.summary.Stats.mean_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* NF corpus sanity                                                    *)
+
+let test_nfs_run () =
+  let tr = trace ~packets:2000 ~rate:60_000. () in
+  let progs =
+    [ Clara_nfs.Nat.ported ~checksum_engine:true ();
+      Clara_nfs.Nat.ported ~checksum_engine:false ();
+      Clara_nfs.Lpm.ported ~entries:5000 ~use_flow_cache:true ();
+      Clara_nfs.Lpm.ported ~entries:5000 ~use_flow_cache:false ();
+      Clara_nfs.Firewall.ported ~placement:Dev.P_ctm ();
+      Clara_nfs.Firewall.ported ~placement:Dev.P_emem ();
+      Clara_nfs.Dpi.ported ();
+      Clara_nfs.Heavy_hitter.ported ();
+      Clara_nfs.Vnf_chain.ported () ]
+  in
+  List.iter
+    (fun prog ->
+      let r = Eng.run lnic prog tr in
+      check (prog.Dev.name ^ " processes packets") true
+        (r.Eng.summary.Stats.packets > 0);
+      check (prog.Dev.name ^ " positive latency") true
+        (r.Eng.summary.Stats.mean_cycles > 0.))
+    progs
+
+let test_nat_variant_contrast () =
+  (* Figure 1: the software-checksum NAT variant is measurably slower. *)
+  let tr = trace ~packets:3000 ~rate:60_000. () in
+  let fast = Eng.run lnic (Clara_nfs.Nat.ported ~checksum_engine:true ()) tr in
+  let slow = Eng.run lnic (Clara_nfs.Nat.ported ~checksum_engine:false ()) tr in
+  check "sw checksum slower" true
+    (slow.Eng.summary.Stats.mean_cycles > fast.Eng.summary.Stats.mean_cycles +. 500.)
+
+let test_lpm_variant_contrast () =
+  (* Figure 1 / §2.1: flow-cache hits are orders of magnitude cheaper than
+     the software walk (the per-hit contrast is in the device tests); at
+     the workload level the mean ratio is diluted by cold misses, which
+     pay the full walk before populating the cache. *)
+  let tr = trace ~packets:8000 ~rate:60_000. () in
+  let fc = Eng.run lnic (Clara_nfs.Lpm.ported ~entries:20000 ~use_flow_cache:true ()) tr in
+  let sw = Eng.run lnic (Clara_nfs.Lpm.ported ~entries:20000 ~use_flow_cache:false ()) tr in
+  check "flow cache >5x faster on average" true
+    (sw.Eng.summary.Stats.mean_cycles > 5. *. fc.Eng.summary.Stats.mean_cycles);
+  check "flow cache hit rate high" true (fc.Eng.flow_cache_hit_rate > 0.9)
+
+let test_engine_thread_parameter () =
+  (* One thread at a meaningful rate: queueing (and possibly drops) must
+     appear relative to the full thread pool. *)
+  let tr = trace ~packets:2000 ~rate:200_000. () in
+  let prog = Clara_nfs.Nat.ported ~checksum_engine:true () in
+  let wide = Eng.run lnic prog tr in
+  let narrow = Eng.run ~threads:1 lnic prog tr in
+  check "narrow pool slower or dropping" true
+    (narrow.Eng.summary.Stats.mean_cycles > wide.Eng.summary.Stats.mean_cycles
+    || narrow.Eng.summary.Stats.drops > wide.Eng.summary.Stats.drops)
+
+let test_run_pair_coresidency () =
+  let prog_a = Clara_nfs.Firewall.ported ~entries:1_000_000 ~placement:Dev.P_emem () in
+  let prog_b = Clara_nfs.Kv_store.ported ~placement:Dev.P_emem () in
+  let prof rate seed =
+    W.Trace.synthesize ~seed
+      (W.Profile.make ~packets:4000 ~rate_pps:rate ~flow_count:2000
+         ~payload:(W.Dist.Fixed 300) ())
+  in
+  let tr_a = prof 400_000. 31L and tr_b = prof 400_000. 57L in
+  let solo_a = Eng.run lnic prog_a tr_a in
+  let co_a, co_b = Eng.run_pair lnic prog_a prog_b tr_a tr_b in
+  check "both sides processed" true
+    (co_a.Eng.summary.Stats.packets > 0 && co_b.Eng.summary.Stats.packets > 0);
+  (* Sharing the EMEM cache and DMA lanes can only hurt. *)
+  check "co-residency does not speed things up" true
+    (co_a.Eng.summary.Stats.mean_cycles >= solo_a.Eng.summary.Stats.mean_cycles -. 50.);
+  (* Table name clash rejected. *)
+  check "table clash rejected" true
+    (try
+       ignore (Dev.create_sim_shared lnic [ prog_a; prog_a ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_firewall_placement_contrast () =
+  let tr = trace ~packets:3000 ~rate:60_000. () in
+  let ctm = Eng.run lnic (Clara_nfs.Firewall.ported ~entries:4096 ~placement:Dev.P_ctm ()) tr in
+  let emem = Eng.run lnic (Clara_nfs.Firewall.ported ~entries:4096 ~placement:Dev.P_emem ()) tr in
+  check "CTM state faster than EMEM" true
+    (ctm.Eng.summary.Stats.mean_cycles < emem.Eng.summary.Stats.mean_cycles)
+
+let suite =
+  [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru recency" `Quick test_lru_recency;
+    Alcotest.test_case "memory latencies (§3.2 numbers)" `Quick test_mem_latencies;
+    Alcotest.test_case "emem cache eviction" `Quick test_mem_cache_eviction;
+    Alcotest.test_case "device parse costs" `Quick test_device_parse_costs;
+    Alcotest.test_case "device checksum contrast (§2.1)" `Quick test_device_checksum_contrast;
+    Alcotest.test_case "device table statefulness" `Quick test_device_table_statefulness;
+    Alcotest.test_case "flow cache dynamics" `Quick test_device_flow_cache_dynamics;
+    Alcotest.test_case "lpm placement matters" `Quick test_device_lpm_placement_matters;
+    Alcotest.test_case "accelerator serialization" `Quick test_device_accel_serialization;
+    Alcotest.test_case "device errors" `Quick test_device_errors;
+    Alcotest.test_case "engine accounting" `Quick test_engine_accounting;
+    Alcotest.test_case "engine latency composition" `Quick test_engine_latency_composition;
+    Alcotest.test_case "engine saturation" `Quick test_engine_saturation;
+    Alcotest.test_case "engine determinism" `Quick test_engine_deterministic;
+    Alcotest.test_case "all NFs run" `Quick test_nfs_run;
+    Alcotest.test_case "NAT variants (Fig 1)" `Quick test_nat_variant_contrast;
+    Alcotest.test_case "LPM variants (Fig 1)" `Quick test_lpm_variant_contrast;
+    Alcotest.test_case "FW placement (Fig 1)" `Quick test_firewall_placement_contrast;
+    Alcotest.test_case "engine thread parameter" `Quick test_engine_thread_parameter;
+    Alcotest.test_case "co-resident run_pair" `Quick test_run_pair_coresidency ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_lru_capacity ]

@@ -1,0 +1,337 @@
+(* Tests for the prediction stage: per-packet latency, symbolic paths,
+   throughput, interference — and predicted-vs-actual validation against
+   the simulator (the Figure 3 methodology). *)
+
+module W = Clara_workload
+module L = Clara_lnic
+module D = Clara_dataflow
+module Lat = Clara_predict.Latency
+module Sym = Clara_predict.Symexec
+module Tp = Clara_predict.Throughput
+module Inter = Clara_predict.Interference
+module Eng = Clara_nicsim.Engine
+module SStats = Clara_nicsim.Stats
+module Dev = Clara_nicsim.Device
+
+let check = Alcotest.(check bool)
+let lnic = L.Netronome.default
+
+let profile ?(payload = W.Dist.Fixed 300) ?(packets = 5000) ?(tcp = 0.8) () =
+  W.Profile.make ~payload ~packets ~flow_count:1000 ~tcp_fraction:tcp
+    ~rate_pps:60_000. ()
+
+let analyze ?options src prof =
+  match Clara.analyze_for_profile ?options lnic ~source:src ~profile:prof with
+  | Ok a -> a
+  | Error e -> Alcotest.fail e
+
+let test_prediction_positive_and_monotone () =
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let p300 = Clara.predict_profile a (profile ~payload:(W.Dist.Fixed 300) ()) in
+  let p1200 = Clara.predict_profile a (profile ~payload:(W.Dist.Fixed 1200) ()) in
+  check "positive" true (p300.Lat.mean_cycles > 0.);
+  check "bigger packets cost more" true (p1200.Lat.mean_cycles > p300.Lat.mean_cycles)
+
+let test_prediction_tcp_udp_differ () =
+  (* §3.5 example: TCP and UDP incur different cycles (NAT drops others,
+     TCP/UDP take the translation path; SYN packets update the table). *)
+  let prof = profile ~tcp:0.5 () in
+  let a = analyze (Clara_nfs.Firewall.source ()) prof in
+  let p = Clara.predict_profile a prof in
+  check "tcp and udp predictions distinct" true
+    (Float.abs (p.Lat.tcp_mean -. p.Lat.udp_mean) > 1.);
+  check "syn mean exists" true (not (Float.is_nan p.Lat.syn_mean))
+
+let test_prediction_first_packet_miss () =
+  (* A single-flow trace: first packet misses the table (update path),
+     the rest hit.  Check via two-packet micro-trace. *)
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let pkt i =
+    { W.Packet.src_ip = 1l; dst_ip = 2l; src_port = 10; dst_port = 80;
+      proto = W.Packet.Tcp; flags = 0; payload_bytes = 300;
+      arrival_ns = Int64.of_int (i * 1_000_000) }
+  in
+  let pred = Lat.create lnic a.Clara.df a.Clara.mapping in
+  Lat.reset_state pred;
+  let first = Lat.packet_latency pred (pkt 0) in
+  let second = Lat.packet_latency pred (pkt 1) in
+  check "first packet (miss+insert) costs more" true (first.Lat.cycles > second.Lat.cycles)
+
+let test_symexec_nat_paths () =
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let paths = Sym.enumerate lnic a.Clara.df a.Clara.mapping in
+  check "several packet types" true (List.length paths >= 3);
+  (* Sorted by decreasing cost. *)
+  let costs = List.map (fun p -> p.Sym.cost_cycles) paths in
+  check "sorted" true (costs = List.sort (fun a b -> compare b a) costs);
+  (* Some path drops (non-TCP/UDP) and some emits. *)
+  check "a drop path exists" true (List.exists (fun p -> not p.Sym.emits) paths);
+  check "an emit path exists" true (List.exists (fun p -> p.Sym.emits) paths);
+  (* Table-miss path costs more than the hit path (both emitting). *)
+  let miss =
+    List.find_opt
+      (fun p ->
+        p.Sym.emits
+        && List.exists
+             (fun d -> (not d.Sym.taken) && d.Sym.guard = Clara_cir.Ir.G_table_hit "flow_table")
+             p.Sym.decisions)
+      paths
+  in
+  let hit =
+    List.find_opt
+      (fun p ->
+        p.Sym.emits
+        && List.exists
+             (fun d -> d.Sym.taken && d.Sym.guard = Clara_cir.Ir.G_table_hit "flow_table")
+             p.Sym.decisions)
+      paths
+  in
+  match (miss, hit) with
+  | Some m, Some h -> check "miss path > hit path (§3.5)" true (m.Sym.cost_cycles > h.Sym.cost_cycles)
+  | _ -> Alcotest.fail "expected both hit and miss paths"
+
+let test_symexec_no_infeasible_protocols () =
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let paths = Sym.enumerate lnic a.Clara.df a.Clara.mapping in
+  List.iter
+    (fun p ->
+      let protos_true =
+        List.filter
+          (fun d -> d.Sym.taken && match d.Sym.guard with Clara_cir.Ir.G_proto _ -> true | _ -> false)
+          p.Sym.decisions
+      in
+      check "at most one protocol per path" true (List.length protos_true <= 1))
+    paths
+
+let test_throughput_bottleneck () =
+  let prof = profile () in
+  (* Disallow the flow cache so the walk cost actually scales. *)
+  let options =
+    { Clara_mapping.Mapping.default_options with
+      Clara_mapping.Mapping.disallowed_accels = [ L.Unit_.Lookup ] }
+  in
+  let a = analyze ~options (Clara_nfs.Lpm.source ~entries:30000) prof
+  and a_small = analyze ~options (Clara_nfs.Lpm.source ~entries:1000) prof in
+  let tp = Tp.estimate lnic a.Clara.df a.Clara.mapping in
+  let tp_small = Tp.estimate lnic a_small.Clara.df a_small.Clara.mapping in
+  check "finite" true (Float.is_finite tp.Tp.max_pps);
+  check "positive" true (tp.Tp.max_pps > 0.);
+  check "smaller table -> higher throughput" true (tp_small.Tp.max_pps > tp.Tp.max_pps);
+  check "resources sorted" true
+    (let pps = List.map (fun (r : Tp.bottleneck) -> r.Tp.max_pps) tp.Tp.resources in
+     pps = List.sort compare pps)
+
+let test_symexec_flow_weight_consistency () =
+  (* Two independent expectations of the same random walk must agree:
+     (a) Symexec enumerates full paths; weight each by the product of its
+         guard probabilities and average the costs;
+     (b) Flow.node_weights propagates the same probabilities through the
+         DAG; the expected cost is the weight-cost dot product plus wire.
+     They coincide when each guard is independent and appears once per
+     path — true for the firewall (flag + table-hit guards only). *)
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Firewall.source ()) prof in
+  let prob = Clara.prob_of_profile prof in
+  let sizes = Clara.sizes_of_profile prof in
+  let paths = Sym.enumerate ~sizes lnic a.Clara.df a.Clara.mapping in
+  let rec guard_p g =
+    match g with
+    | Clara_cir.Ir.G_not g' -> 1. -. guard_p g'
+    | Clara_cir.Ir.G_or (x, y) -> Float.min 1. (guard_p x +. guard_p y)
+    | g -> prob g
+  in
+  let path_p (p : Sym.path) =
+    List.fold_left
+      (fun acc (d : Sym.decision) ->
+        let pg = guard_p d.Sym.guard in
+        acc *. (if d.Sym.taken then pg else 1. -. pg))
+      1. p.Sym.decisions
+  in
+  let total_p = List.fold_left (fun acc p -> acc +. path_p p) 0. paths in
+  check "path probabilities sum to 1" true (Float.abs (total_p -. 1.) < 1e-9);
+  let expected_via_paths =
+    List.fold_left (fun acc p -> acc +. (path_p p *. p.Sym.cost_cycles)) 0. paths
+  in
+  (* (b): weights × costs + expected wire. *)
+  let weights = D.Flow.node_weights a.Clara.df ~prob in
+  let states = D.Graph.states a.Clara.df in
+  let sizes_resolved =
+    { sizes with
+      Clara_dataflow.Cost.state_entries =
+        (fun s ->
+          match List.find_opt (fun o -> o.Clara_cir.Ir.st_name = s) states with
+          | Some o -> float_of_int o.Clara_cir.Ir.st_entries
+          | None -> 0.) }
+  in
+  let node_cost (n : Clara_dataflow.Node.t) =
+    let unit_ =
+      Clara_lnic.Graph.unit_ lnic a.Clara.mapping.Clara_mapping.Mapping.node_unit.(n.Clara_dataflow.Node.id)
+    in
+    let ctx =
+      { Clara_dataflow.Cost.lnic;
+        exec_unit = unit_;
+        state_region =
+          (fun s ->
+            match Clara_mapping.Mapping.placement_of_state a.Clara.mapping s with
+            | Some (Clara_mapping.Mapping.In_memory m) -> m
+            | _ -> (Clara_lnic.Netronome.emem lnic).Clara_lnic.Memory.id);
+        state_footprint =
+          (fun s ->
+            match List.find_opt (fun o -> o.Clara_cir.Ir.st_name = s) states with
+            | Some o -> Clara_cir.Ir.state_bytes o
+            | None -> 0);
+        packet_region =
+          Clara_mapping.Encode.packet_region_for lnic unit_
+            ~packet_bytes:sizes_resolved.Clara_dataflow.Cost.packet_bytes;
+        sizes = sizes_resolved }
+    in
+    Option.value ~default:0. (Clara_dataflow.Cost.node_cycles ctx n)
+  in
+  let compute_expectation =
+    Array.fold_left
+      (fun acc (n : Clara_dataflow.Node.t) ->
+        acc +. (weights.(n.Clara_dataflow.Node.id) *. node_cost n))
+      0. a.Clara.df.D.Graph.nodes
+  in
+  (* Expected wire: every packet pays rx; emitting paths pay tx too. *)
+  let pkt_bytes = sizes_resolved.Clara_dataflow.Cost.packet_bytes in
+  let dummy payload =
+    { W.Packet.src_ip = 0l; dst_ip = 0l; src_port = 0; dst_port = 0;
+      proto = W.Packet.Tcp; flags = 0;
+      payload_bytes = payload; arrival_ns = 0L }
+  in
+  let payload = int_of_float pkt_bytes - 54 in
+  let rx_tx = Lat.wire_cycles lnic (dummy payload) ~emitted:true in
+  let rx_only = Lat.wire_cycles lnic (dummy payload) ~emitted:false in
+  let p_emit = List.fold_left (fun acc p -> acc +. if p.Sym.emits then path_p p else 0.) 0. paths in
+  let expected_via_weights =
+    compute_expectation +. (p_emit *. rx_tx) +. ((1. -. p_emit) *. rx_only)
+  in
+  check "path expectation ~= flow-weight expectation" true
+    (Float.abs (expected_via_paths -. expected_via_weights)
+    /. expected_via_weights
+    < 0.02)
+
+let test_latency_at_rate () =
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let base = 4000. in
+  let at rate =
+    Tp.latency_at_rate ~base_cycles:base ~rate_pps:rate lnic a.Clara.df a.Clara.mapping
+  in
+  (match (at 10_000., at 1_000_000., at 1_900_000.) with
+  | Some lo, Some mid, Some hi ->
+      check "latency >= base" true (lo >= base);
+      check "monotone in rate" true (lo <= mid && mid <= hi);
+      check "knee visible" true (hi > 1.5 *. lo)
+  | _ -> Alcotest.fail "stable rates must predict");
+  check "unstable past capacity" true (at 5_000_000. = None)
+
+let test_interference_slowdown () =
+  let prof = profile ~packets:2000 () in
+  match
+    Inter.analyze_pair lnic
+      ~source_a:(Clara_nfs.Nat.source ())
+      ~source_b:(Clara_nfs.Firewall.source ())
+      ~profile:prof
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (ra, rb) ->
+      check "A slowdown >= 1" true (ra.Inter.slowdown >= 0.99);
+      check "B slowdown >= 1" true (rb.Inter.slowdown >= 0.99);
+      check "contended >= sliced" true
+        (ra.Inter.contended_cycles >= ra.Inter.sliced_cycles -. 1.
+        && rb.Inter.contended_cycles >= rb.Inter.sliced_cycles -. 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Predicted vs actual (the Figure 3 methodology, spot checks)         *)
+
+let predicted_vs_actual src prog prof ?placement_of ?options () =
+  let a = analyze ?options src prof in
+  let prog =
+    match placement_of with
+    | None -> prog
+    | Some f -> f a
+  in
+  let trace = W.Trace.synthesize ~seed:21L prof in
+  let pred = (Clara.predict a trace).Lat.mean_cycles in
+  let act = (Eng.run lnic prog trace).Eng.summary.SStats.mean_cycles in
+  (pred, act)
+
+let err p a = Float.abs (p -. a) /. a
+
+let test_accuracy_nat () =
+  let prof = profile ~packets:4000 () in
+  let pred, act =
+    predicted_vs_actual (Clara_nfs.Nat.source ())
+      (Clara_nfs.Nat.ported ~checksum_engine:true ())
+      prof ()
+  in
+  check "NAT within 20%" true (err pred act < 0.20)
+
+let test_accuracy_vnf () =
+  let prof = profile ~packets:4000 ~payload:(W.Dist.Fixed 600) () in
+  let pred, act =
+    predicted_vs_actual (Clara_nfs.Vnf_chain.source ()) (Clara_nfs.Vnf_chain.ported ()) prof ()
+  in
+  check "VNF within 10%" true (err pred act < 0.10)
+
+let test_accuracy_lpm () =
+  let prof = profile ~packets:4000 () in
+  let options =
+    { Clara_mapping.Mapping.default_options with
+      Clara_mapping.Mapping.disallowed_accels = [ L.Unit_.Lookup ] }
+  in
+  let pred, act =
+    predicted_vs_actual (Clara_nfs.Lpm.source ~entries:10000)
+      (Clara_nfs.Lpm.ported ~entries:10000 ~use_flow_cache:false ())
+      prof ~options
+      ~placement_of:(fun a ->
+        let placement =
+          Option.value ~default:Dev.P_emem (Clara.device_placement_of_state a "routes")
+        in
+        Clara_nfs.Lpm.ported ~entries:10000 ~use_flow_cache:false ~placement ())
+      ()
+  in
+  check "LPM within 15%" true (err pred act < 0.15)
+
+let test_accuracy_monotone_in_entries () =
+  (* The Figure 3a shape: predictions grow with table entries. *)
+  let prof = profile ~packets:1000 () in
+  let options =
+    { Clara_mapping.Mapping.default_options with
+      Clara_mapping.Mapping.disallowed_accels = [ L.Unit_.Lookup ] }
+  in
+  let pred entries =
+    let a = analyze ~options (Clara_nfs.Lpm.source ~entries) prof in
+    (Clara.predict_profile a prof).Lat.mean_cycles
+  in
+  let p5 = pred 5000 and p15 = pred 15000 and p30 = pred 30000 in
+  check "5k < 15k" true (p5 < p15);
+  check "15k < 30k" true (p15 < p30);
+  (* Roughly linear: the 30k/5k ratio should be in the vicinity of 6. *)
+  check "roughly linear" true (p30 /. p5 > 3. && p30 /. p5 < 12.)
+
+let suite =
+  [ Alcotest.test_case "prediction positive & size-monotone" `Quick
+      test_prediction_positive_and_monotone;
+    Alcotest.test_case "per-proto predictions differ (§3.5)" `Quick
+      test_prediction_tcp_udp_differ;
+    Alcotest.test_case "first packet of flow costs more" `Quick
+      test_prediction_first_packet_miss;
+    Alcotest.test_case "symexec NAT paths" `Quick test_symexec_nat_paths;
+    Alcotest.test_case "symexec feasibility" `Quick test_symexec_no_infeasible_protocols;
+    Alcotest.test_case "throughput bottleneck" `Quick test_throughput_bottleneck;
+    Alcotest.test_case "latency at rate (M/M/k)" `Quick test_latency_at_rate;
+    Alcotest.test_case "symexec = flow-weight expectation" `Quick
+      test_symexec_flow_weight_consistency;
+    Alcotest.test_case "interference slowdown" `Quick test_interference_slowdown;
+    Alcotest.test_case "accuracy: NAT" `Quick test_accuracy_nat;
+    Alcotest.test_case "accuracy: VNF" `Quick test_accuracy_vnf;
+    Alcotest.test_case "accuracy: LPM" `Quick test_accuracy_lpm;
+    Alcotest.test_case "Fig 3a shape: linear in entries" `Quick
+      test_accuracy_monotone_in_entries ]

@@ -1,0 +1,145 @@
+(* Tests for the additional targets (pipeline ASIC, x86 host) and the
+   service-chain combinator. *)
+
+module W = Clara_workload
+module L = Clara_lnic
+module Lat = Clara_predict.Latency
+
+let check = Alcotest.(check bool)
+
+let profile = W.Profile.make ~packets:2_000 ~flow_count:500 ()
+
+let test_asic_valid () =
+  let g = L.Asic_nic.default in
+  check "valid" true (L.Validate.is_valid g);
+  (* Strict pipeline: stages are strictly ordered. *)
+  let stages =
+    L.Graph.general_cores g |> List.map (fun u -> u.L.Unit_.stage) |> List.sort_uniq compare
+  in
+  check "four distinct stages" true (List.length stages = 4)
+
+let test_asic_feasibility_answers () =
+  let asic = L.Asic_nic.default in
+  let feasible src =
+    match Clara.analyze_for_profile asic ~source:src ~profile with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  (* Header-level NFs map; payload/crypto NFs do not (§2.1 ASIC
+     capability gap — the useful "don't port this" answer). *)
+  check "lpm maps" true (feasible (Clara_nfs.Lpm.source ~entries:30_000));
+  check "nat maps" true (feasible (Clara_nfs.Nat.source ()));
+  check "firewall maps" true (feasible (Clara_nfs.Firewall.source ()));
+  check "dpi infeasible" false (feasible Clara_nfs.Dpi.source);
+  check "ipsec infeasible" false (feasible (Clara_nfs.Ipsec_gw.source ()))
+
+let test_asic_beats_npu_on_lpm () =
+  (* The TCAM pipeline crushes the NPU software path on table workloads. *)
+  let wall target src =
+    match Clara.analyze_for_profile target ~source:src ~profile with
+    | Ok a ->
+        let p = Clara.predict_profile a profile in
+        let freq =
+          match L.Graph.general_cores target with
+          | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+          | [] -> 1.
+        in
+        p.Lat.mean_cycles /. freq
+    | Error e -> Alcotest.fail e
+  in
+  let src = Clara_nfs.Lpm.source ~entries:30_000 in
+  check "asic faster than netronome on LPM" true
+    (wall L.Asic_nic.default src < wall L.Netronome.default src)
+
+(* ------------------------------------------------------------------ *)
+(* Chains                                                              *)
+
+let lnic = L.Netronome.default
+
+let chain_sources =
+  [ Clara_nfs.Firewall.source (); Clara_nfs.Nat.source () ]
+
+let test_chain_analyze () =
+  match Clara.Chain.analyze lnic ~sources:chain_sources ~profile with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      check "two stages" true (List.length c.Clara.Chain.stages = 2);
+      check "stage names" true (Clara.Chain.stage_names c = [ "firewall"; "nat" ])
+
+let test_chain_errors () =
+  (match Clara.Chain.analyze lnic ~sources:[] ~profile with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty chain accepted");
+  match
+    Clara.Chain.analyze lnic
+      ~sources:[ Clara_nfs.Nat.source (); "nf broken {" ]
+      ~profile
+  with
+  | Error e ->
+      check "error names the stage" true
+        (String.length e > 7 && String.sub e 0 7 = "stage 1")
+  | Ok _ -> Alcotest.fail "broken stage accepted"
+
+let test_chain_latency_composition () =
+  (* Chain latency exceeds each single stage (with wire) but is below the
+     naive sum of standalone predictions (wire charged once, not twice). *)
+  let trace = W.Trace.synthesize ~seed:23L profile in
+  let standalone src =
+    match Clara.analyze_for_profile lnic ~source:src ~profile with
+    | Ok a -> (Clara.predict a trace).Lat.mean_cycles
+    | Error e -> Alcotest.fail e
+  in
+  let fw = standalone (List.nth chain_sources 0) in
+  let nat = standalone (List.nth chain_sources 1) in
+  match Clara.Chain.analyze lnic ~sources:chain_sources ~profile with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let p = Clara.Chain.predict c trace in
+      (* Packets the firewall drops never reach NAT, so the chain mean can
+         undercut NAT's standalone mean; it can never undercut the first
+         stage (survivors only gain work downstream). *)
+      check "chain >= first stage" true (p.Lat.mean_cycles >= fw -. 1.);
+      check "chain < sum of standalones" true (p.Lat.mean_cycles < fw +. nat)
+
+let test_chain_drop_short_circuits () =
+  (* A chain headed by a drop-everything NF costs at most slightly more
+     than that NF alone: later stages never execute. *)
+  let drop_all =
+    "nf drop_all { handler h(p) { var hdr = parse_header(p); drop(p); } }"
+  in
+  let trace = W.Trace.synthesize ~seed:23L profile in
+  let alone =
+    match Clara.analyze_for_profile lnic ~source:drop_all ~profile with
+    | Ok a -> (Clara.predict a trace).Lat.mean_cycles
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Clara.Chain.analyze lnic ~sources:[ drop_all; Clara_nfs.Vnf_chain.source () ] ~profile
+  with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let p = Clara.Chain.predict c trace in
+      check "everything dropped" true (p.Lat.emitted_fraction = 0.);
+      check "tail stage skipped" true (p.Lat.mean_cycles < alone +. 10.)
+
+let test_chain_on_asic () =
+  (* A pure header chain runs on the pipeline ASIC too. *)
+  match
+    Clara.Chain.analyze L.Asic_nic.default
+      ~sources:[ Clara_nfs.Firewall.source (); Clara_nfs.Lpm.source ~entries:1000 ]
+      ~profile
+  with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let p = Clara.Chain.predict c (W.Trace.synthesize ~seed:3L profile) in
+      check "asic chain predicts" true (p.Lat.mean_cycles > 0.)
+
+let suite =
+  [ Alcotest.test_case "asic graph valid" `Quick test_asic_valid;
+    Alcotest.test_case "asic feasibility answers" `Quick test_asic_feasibility_answers;
+    Alcotest.test_case "asic wins on table workloads" `Quick test_asic_beats_npu_on_lpm;
+    Alcotest.test_case "chain analyze" `Quick test_chain_analyze;
+    Alcotest.test_case "chain error reporting" `Quick test_chain_errors;
+    Alcotest.test_case "chain latency composition" `Quick test_chain_latency_composition;
+    Alcotest.test_case "chain drop short-circuits" `Quick test_chain_drop_short_circuits;
+    Alcotest.test_case "chain on the ASIC" `Quick test_chain_on_asic ]
