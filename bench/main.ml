@@ -701,11 +701,23 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst sections
   in
+  let reg = Clara_obs.Registry.default in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f -> Clara_obs.Registry.span reg ("bench-" ^ name) f
       | None ->
           Printf.printf "unknown section %s; available: %s\n" name
             (String.concat " " (List.map fst sections)))
-    requested
+    requested;
+  (* Per-stage breakdown of everything that just ran: bench sections at
+     the top level, pipeline/ILP/nicsim spans nested under them, plus
+     solver and simulator counters.  CLARA_STATS_JSON=FILE dumps the same
+     registry as JSON so BENCH_* entries can carry stage breakdowns. *)
+  header "Stage breakdown (lib/obs)";
+  Format.printf "%a@." Clara_obs.Export.pp_table reg;
+  match Sys.getenv_opt "CLARA_STATS_JSON" with
+  | None -> ()
+  | Some path ->
+      Clara_obs.Export.write_json path reg;
+      Printf.printf "[obs] wrote %s\n" path

@@ -99,6 +99,31 @@ let trace_of ~pcap ~profile ~seed =
   | Some file -> W.Pcap.read_file file
   | None -> W.Trace.synthesize ~seed:(Int64.of_int seed) profile
 
+(* ---- observability (lib/obs) -------------------------------------- *)
+
+let stats_arg =
+  let doc =
+    "Print the observability registry (per-stage spans, ILP and simulator \
+     counters) as a table after the command."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_json_arg =
+  let doc = "Dump the observability registry as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let emit_stats ~stats ~stats_json =
+  let reg = Clara_obs.Registry.default in
+  if stats then begin
+    Format.printf "@.---- stats (lib/obs) ----@.";
+    Format.printf "%a@." Clara_obs.Export.pp_table reg
+  end;
+  Option.iter
+    (fun file ->
+      Clara_obs.Export.write_json file reg;
+      Format.eprintf "clara: wrote stats to %s@." file)
+    stats_json
+
 (* ---- analyze ------------------------------------------------------ *)
 
 let json_arg =
@@ -106,7 +131,8 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let analyze_cmd =
-  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed json =
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed json
+      stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let source = read_file src in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
@@ -116,19 +142,21 @@ let analyze_cmd =
     let report = Clara.Report.build ~trace ~rate_pps:rate analysis in
     if json then
       print_endline (Clara_util.Json.to_string (Clara.Report.to_json report))
-    else Format.printf "%a" Clara.Report.render report
+    else Format.printf "%a" Clara.Report.render report;
+    emit_stats ~stats ~stats_json
   in
   let doc = "Analyze an unported NF and print its performance profile." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
       $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
-      $ seed_arg $ json_arg)
+      $ seed_arg $ json_arg $ stats_arg $ stats_json_arg)
 
 (* ---- predict ------------------------------------------------------ *)
 
 let predict_cmd =
-  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed =
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed stats
+      stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let source = read_file src in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
@@ -152,14 +180,15 @@ let predict_cmd =
         Format.printf "with queueing at %.0f pps: %.0f cycles@." rate loaded
     | Some _ -> ()
     | None ->
-        Format.printf "warning: %.0f pps exceeds the predicted capacity@." rate)
+        Format.printf "warning: %.0f pps exceeds the predicted capacity@." rate);
+    emit_stats ~stats ~stats_json
   in
   let doc = "Predict workload latency for an unported NF." in
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(
       const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
       $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
-      $ seed_arg)
+      $ seed_arg $ stats_arg $ stats_json_arg)
 
 (* ---- microbench ---------------------------------------------------- *)
 
@@ -289,7 +318,7 @@ let chain_cmd =
     let doc = "NF DSL source files, in chain order." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"NF.clara..." ~doc)
   in
-  let run srcs nic payload packets flows rate tcp seed =
+  let run srcs nic payload packets flows rate tcp seed stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
     let sources = List.map read_file srcs in
@@ -297,13 +326,14 @@ let chain_cmd =
     let trace = W.Trace.synthesize ~seed:(Int64.of_int seed) profile in
     let p = Clara.Chain.predict chain trace in
     Format.printf "chain: %s@." (String.concat " -> " (Clara.Chain.stage_names chain));
-    Format.printf "%a@." Clara_predict.Latency.pp_prediction p
+    Format.printf "%a@." Clara_predict.Latency.pp_prediction p;
+    emit_stats ~stats ~stats_json
   in
   let doc = "Predict end-to-end latency of a service chain." in
   Cmd.v (Cmd.info "chain" ~doc)
     Term.(
       const run $ sources_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
-      $ rate_arg $ tcp_arg $ seed_arg)
+      $ rate_arg $ tcp_arg $ seed_arg $ stats_arg $ stats_json_arg)
 
 (* ---- corpus --------------------------------------------------------- *)
 

@@ -4,7 +4,10 @@ module Lat = Clara_predict.Latency
 
 type t = { stages : Pipeline.analysis list; lnic : Clara_lnic.Graph.t }
 
+let obs = Clara_obs.Registry.default
+
 let analyze ?options lnic ~sources ~profile =
+  Clara_obs.Registry.span obs "chain" @@ fun () ->
   let rec go acc i = function
     | [] -> Ok { stages = List.rev acc; lnic }
     | src :: rest -> (
@@ -22,6 +25,7 @@ let fabric_hop_cycles (lnic : L.Graph.t) =
   | None -> 0.
 
 let predict ?(config = Lat.default_config) t (trace : W.Trace.t) =
+  Clara_obs.Registry.span obs "chain-predict" @@ fun () ->
   (* Per-stage predictors without wire costs; the chain charges the wire
      once and a fabric hop between stages. *)
   let stage_config = { config with Lat.include_wire = false } in
@@ -78,7 +82,10 @@ let predict ?(config = Lat.default_config) t (trace : W.Trace.t) =
       trace.W.Trace.packets;
     let sorted = Array.copy lats in
     Array.sort compare sorted;
-    let pct p = sorted.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+    (* Nearest-rank percentile: the ceil(p*n)-th smallest, 0-indexed. *)
+    let pct p =
+      sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (float_of_int n *. p)) - 1)))
+    in
     let div_or_nan s k = if k = 0 then Float.nan else s /. float_of_int k in
     {
       Lat.mean_cycles = Array.fold_left ( +. ) 0. lats /. float_of_int n;

@@ -1,6 +1,11 @@
 module D = Clara_dataflow
 module W = Clara_workload
 
+(* Every phase runs inside an Obs span so `clara --stats` (and the bench
+   harness) can attribute wall-clock to parse/lower, coarsening, dataflow
+   construction, ILP mapping and prediction. *)
+let obs = Clara_obs.Registry.default
+
 type analysis = {
   lnic : Clara_lnic.Graph.t;
   df : Clara_dataflow.Graph.t;
@@ -46,16 +51,22 @@ let prob_of_profile (p : W.Profile.t) =
 
 let analyze ?(options = Clara_mapping.Mapping.default_options) ?(sizes = default_sizes)
     ?(prob = D.Flow.default_probability) lnic ~source =
-  match Clara_cir.Lower.lower_source source with
+  Clara_obs.Registry.span obs "pipeline" @@ fun () ->
+  match Clara_obs.Registry.span obs "lower" (fun () -> Clara_cir.Lower.lower_source source) with
   | exception Clara_cir.Lexer.Error (msg, pos) ->
       Error (Printf.sprintf "lex error at %d:%d: %s" pos.Clara_cir.Ast.line pos.Clara_cir.Ast.col msg)
   | exception Clara_cir.Parser.Error (msg, pos) ->
       Error (Printf.sprintf "parse error at %d:%d: %s" pos.Clara_cir.Ast.line pos.Clara_cir.Ast.col msg)
   | exception Failure msg -> Error msg
   | ir -> (
-      let ir, pattern_report = Clara_cir.Patterns.run ir in
-      let df = D.Build.of_ir ir in
-      match Clara_mapping.Encode.map_nf ~options lnic df ~sizes ~prob with
+      let ir, pattern_report =
+        Clara_obs.Registry.span obs "coarsen" (fun () -> Clara_cir.Patterns.run ir)
+      in
+      let df = Clara_obs.Registry.span obs "dataflow" (fun () -> D.Build.of_ir ir) in
+      match
+        Clara_obs.Registry.span obs "mapping" (fun () ->
+            Clara_mapping.Encode.map_nf ~options lnic df ~sizes ~prob)
+      with
       | Error e -> Error ("mapping: " ^ e)
       | Ok mapping -> Ok { lnic; df; mapping; pattern_report; options })
 
@@ -64,6 +75,7 @@ let analyze_for_profile ?options lnic ~source ~profile =
     ~source
 
 let predict ?config a trace =
+  Clara_obs.Registry.span obs "predict" @@ fun () ->
   let p = Clara_predict.Latency.create ?config a.lnic a.df a.mapping in
   Clara_predict.Latency.predict_trace p trace
 

@@ -1,5 +1,14 @@
 type status = Optimal | Infeasible | Unbounded
 
+let c_explored = Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.nodes"
+let c_pruned = Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.pruned"
+
+let c_infeasible =
+  Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.infeasible_nodes"
+
+let c_incumbents =
+  Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.incumbents"
+
 type outcome = {
   status : status;
   objective : Rat.t;
@@ -35,9 +44,10 @@ let solve ?(node_limit = 200_000) model =
   let presolved = Presolve.run model in
   let rec explore bounds =
     incr nodes;
+    Clara_obs.Metrics.incr c_explored;
     if !nodes > node_limit then raise Node_limit_exceeded;
     match Lp.solve ~bounds model with
-    | { Lp.status = Infeasible; _ } -> ()
+    | { Lp.status = Infeasible; _ } -> Clara_obs.Metrics.incr c_infeasible
     | { Lp.status = Unbounded; _ } ->
         (* The relaxation being unbounded does not by itself prove the ILP
            unbounded, but for the bounded models Clara emits this only
@@ -49,12 +59,15 @@ let solve ?(node_limit = 200_000) model =
           | None -> false
           | Some (inc_obj, _) -> not (better objective inc_obj)
         in
-        if not dominated then begin
+        if dominated then Clara_obs.Metrics.incr c_pruned
+        else begin
           let fractional =
             List.find_opt (fun v -> not (Rat.is_integer values.(v))) int_vars
           in
           match fractional with
-          | None -> incumbent := Some (objective, values)
+          | None ->
+              Clara_obs.Metrics.incr c_incumbents;
+              incumbent := Some (objective, values)
           | Some v ->
               let x = values.(v) in
               let lb, ub = bounds.(v) in

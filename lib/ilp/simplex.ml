@@ -5,6 +5,14 @@
    rational arithmetic, so "zero" means zero and the phase-1 feasibility
    verdict is decisive. *)
 
+(* Hoisted counters: bumping is one int store, nothing allocated on the
+   pivot path. *)
+let c_solves = Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.simplex.solves"
+let c_pivots = Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.simplex.pivots"
+
+let c_iterations =
+  Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.simplex.iterations"
+
 type row = { coeffs : Rat.t array; sense : Model.sense; rhs : Rat.t }
 type status = Optimal | Infeasible | Unbounded
 
@@ -23,6 +31,7 @@ type tableau = {
 (* Pivot on (row r, col c): scale row r so a.(r).(c) = 1, eliminate column c
    from every other row and from the objective. *)
 let pivot t r c =
+  Clara_obs.Metrics.incr c_pivots;
   let arc = t.a.(r).(c) in
   assert (not (Rat.is_zero arc));
   let inv = Rat.inv arc in
@@ -53,6 +62,7 @@ let pivot t r c =
    phase 2). *)
 let iterate t ~allowed =
   let rec loop () =
+    Clara_obs.Metrics.incr c_iterations;
     (* Bland: entering column = smallest index with negative reduced cost. *)
     let entering = ref (-1) in
     (try
@@ -93,6 +103,7 @@ let iterate t ~allowed =
   loop ()
 
 let solve ~c ~rows =
+  Clara_obs.Metrics.incr c_solves;
   let nstruct = Array.length c in
   List.iter
     (fun r ->

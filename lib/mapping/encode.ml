@@ -5,6 +5,11 @@ module Ir = Clara_cir.Ir
 module M = I.Model
 module LE = I.Lin_expr
 
+let obs = Clara_obs.Registry.default
+let c_vars = Clara_obs.Registry.counter obs "mapping.ilp.vars"
+let c_constraints = Clara_obs.Registry.counter obs "mapping.ilp.constraints"
+let c_bb_nodes = Clara_obs.Registry.counter obs "mapping.ilp.bb_nodes"
+
 (* State object a node touches (at most one, guaranteed by Build). *)
 let node_state (n : D.Node.t) =
   match n.D.Node.kind with
@@ -297,14 +302,20 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
   | e :: _ -> Error e
   | [] -> (
       M.set_objective model M.Minimize !objective;
+      Clara_obs.Metrics.add c_vars (M.num_vars model);
+      Clara_obs.Metrics.add c_constraints (M.num_constraints model);
       Option.iter (fun path -> I.Lp_format.write_file path model) dump_lp;
-      match I.Branch_bound.solve ~node_limit:options.Mapping.node_limit model with
+      match
+        Clara_obs.Registry.span obs "solve" (fun () ->
+            I.Branch_bound.solve ~node_limit:options.Mapping.node_limit model)
+      with
       | exception I.Branch_bound.Node_limit_exceeded -> Error "ILP node limit exceeded"
       | { I.Branch_bound.status = I.Branch_bound.Infeasible; _ } ->
           Error "mapping ILP infeasible (pipeline ordering vs capacities)"
       | { I.Branch_bound.status = I.Branch_bound.Unbounded; _ } ->
           Error "mapping ILP unbounded (encoding bug)"
       | { I.Branch_bound.status = I.Branch_bound.Optimal; objective = obj; values; nodes = bb } ->
+          Clara_obs.Metrics.add c_bb_nodes bb;
           (* Decode. *)
           let node_unit =
             Array.map

@@ -1,6 +1,14 @@
 module L = Clara_lnic
 module W = Clara_workload
 
+(* Per-run packet/drop counters and an ingress queue-depth histogram,
+   hoisted so the per-packet path only bumps preallocated cells. *)
+let obs = Clara_obs.Registry.default
+let c_packets = Clara_obs.Registry.counter obs "nicsim.packets"
+let c_drops = Clara_obs.Registry.counter obs "nicsim.drops"
+let c_runs = Clara_obs.Registry.counter obs "nicsim.runs"
+let h_qdepth = Clara_obs.Registry.histogram obs "nicsim.queue_depth"
+
 type result = {
   summary : Stats.summary;
   emem_hit_rate : float;
@@ -9,6 +17,8 @@ type result = {
 }
 
 let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
+  Clara_obs.Registry.span obs "nicsim" @@ fun () ->
+  Clara_obs.Metrics.incr c_runs;
   let sim = Device.create_sim lnic prog in
   let freq_mhz =
     match L.Graph.general_cores lnic with
@@ -39,9 +49,12 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
       while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
         ignore (Queue.pop inflight)
       done;
-      if Queue.length inflight >= queue_capacity + nthreads then
+      Clara_obs.Metrics.observe h_qdepth (Queue.length inflight);
+      if Queue.length inflight >= queue_capacity + nthreads then begin
         (* Ingress queue full: drop. *)
+        Clara_obs.Metrics.incr c_drops;
         Stats.record_drop stats
+      end
       else begin
         (* Earliest-free thread. *)
         let ti = ref 0 in
@@ -58,6 +71,7 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
         let done_ = Device.now ctx in
         thread_free.(!ti) <- done_;
         Queue.push done_ inflight;
+        Clara_obs.Metrics.incr c_packets;
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)
       end)
@@ -84,6 +98,8 @@ let pp_result fmt r =
 
 let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Trace.t)
     (trace_b : W.Trace.t) =
+  Clara_obs.Registry.span obs "nicsim-pair" @@ fun () ->
+  Clara_obs.Metrics.incr c_runs;
   let sim = Device.create_sim_shared lnic [ prog_a; prog_b ] in
   let freq_mhz =
     match L.Graph.general_cores lnic with
@@ -122,7 +138,11 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
       while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
         ignore (Queue.pop inflight)
       done;
-      if Queue.length inflight >= queue_capacity + half_threads then Stats.record_drop stats
+      Clara_obs.Metrics.observe h_qdepth (Queue.length inflight);
+      if Queue.length inflight >= queue_capacity + half_threads then begin
+        Clara_obs.Metrics.incr c_drops;
+        Stats.record_drop stats
+      end
       else begin
         let ti = ref 0 in
         for i = 1 to half_threads - 1 do
@@ -138,6 +158,7 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
         let done_ = Device.now ctx in
         thread_free.(!ti) <- done_;
         Queue.push done_ inflight;
+        Clara_obs.Metrics.incr c_packets;
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)
       end)

@@ -59,7 +59,11 @@ let summarize t =
   else begin
     let sorted = Array.sub t.lat 0 t.n in
     Array.sort compare sorted;
-    let pct p = sorted.(min (t.n - 1) (int_of_float (float_of_int t.n *. p))) in
+    (* Nearest-rank percentile: the ceil(p*n)-th smallest value,
+       0-indexed — so p50 of [1;2;3;4] is 2, not 3. *)
+    let pct p =
+      sorted.(max 0 (min (t.n - 1) (int_of_float (Float.ceil (float_of_int t.n *. p)) - 1)))
+    in
     let total = Array.fold_left (fun a c -> a +. float_of_int c) 0. sorted in
     let div_or_nan s n = if n = 0 then Float.nan else s /. float_of_int n in
     {

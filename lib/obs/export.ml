@@ -1,0 +1,95 @@
+module J = Clara_util.Json
+
+let json_of_histogram h =
+  J.Obj
+    [ ("count", J.Int (Metrics.hist_count h));
+      ("sum", J.Int (Metrics.hist_sum h));
+      ("min", J.Int (Metrics.hist_min h));
+      ("max", J.Int (Metrics.hist_max h));
+      ("mean", J.Float (Metrics.hist_mean h));
+      ("p50", J.Int (Metrics.quantile h 0.5));
+      ("p99", J.Int (Metrics.quantile h 0.99));
+      ("buckets",
+       J.List
+         (List.map
+            (fun (ub, n) -> J.List [ J.Int ub; J.Int n ])
+            (Metrics.nonzero_buckets h))) ]
+
+let json_of_span s =
+  J.Obj
+    [ ("count", J.Int (Span.count s));
+      ("total_ns", J.Int (Span.total_ns s));
+      ("mean_ns", J.Float (Span.mean_ns s));
+      ("min_ns", J.Int (Span.min_ns s));
+      ("max_ns", J.Int (Span.max_ns s)) ]
+
+let to_json reg =
+  let counters = ref [] and histograms = ref [] and spans = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match (m : Registry.metric) with
+      | Registry.Counter c -> counters := (name, J.Int (Metrics.value c)) :: !counters
+      | Registry.Histogram h -> histograms := (name, json_of_histogram h) :: !histograms
+      | Registry.Span s -> spans := (name, json_of_span s) :: !spans)
+    (Registry.to_list reg);
+  J.Obj
+    [ ("counters", J.Obj (List.rev !counters));
+      ("histograms", J.Obj (List.rev !histograms));
+      ("spans", J.Obj (List.rev !spans)) ]
+
+let write_json path reg =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      J.to_channel oc (to_json reg);
+      output_char oc '\n')
+
+let pp_table fmt reg =
+  let items = Registry.to_list reg in
+  let spans =
+    List.filter_map
+      (function (n, Registry.Span s) when Span.count s > 0 -> Some (n, s) | _ -> None)
+      items
+  in
+  let counters =
+    List.filter_map
+      (function
+        | (n, Registry.Counter c) when Metrics.value c > 0 -> Some (n, c) | _ -> None)
+      items
+  in
+  let hists =
+    List.filter_map
+      (function
+        | (n, Registry.Histogram h) when Metrics.hist_count h > 0 -> Some (n, h)
+        | _ -> None)
+      items
+  in
+  if spans <> [] then begin
+    Format.fprintf fmt "%-40s %8s %12s %12s@." "span" "count" "total ms" "mean us";
+    (* Sort by path so nested spans read as a tree. *)
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf fmt "%-40s %8d %12.3f %12.1f@." name (Span.count s)
+          (float_of_int (Span.total_ns s) /. 1e6)
+          (Span.mean_ns s /. 1e3))
+      (List.sort (fun (a, _) (b, _) -> compare a b) spans)
+  end;
+  if counters <> [] then begin
+    if spans <> [] then Format.pp_print_newline fmt ();
+    Format.fprintf fmt "%-40s %12s@." "counter" "value";
+    List.iter
+      (fun (name, c) -> Format.fprintf fmt "%-40s %12d@." name (Metrics.value c))
+      counters
+  end;
+  if hists <> [] then begin
+    if spans <> [] || counters <> [] then Format.pp_print_newline fmt ();
+    Format.fprintf fmt "%-40s %8s %10s %8s %8s %10s@." "histogram" "count" "mean" "p50"
+      "p99" "max";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf fmt "%-40s %8d %10.1f %8d %8d %10d@." name (Metrics.hist_count h)
+          (Metrics.hist_mean h) (Metrics.quantile h 0.5) (Metrics.quantile h 0.99)
+          (Metrics.hist_max h))
+      hists
+  end

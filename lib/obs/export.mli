@@ -1,0 +1,22 @@
+(** Rendering a registry: JSON (via [Clara_util.Json]) and a human table.
+
+    The JSON shape is stable:
+
+    {v
+    { "counters":   { "<name>": <int>, ... },
+      "histograms": { "<name>": { "count", "sum", "min", "max", "mean",
+                                  "p50", "p99",
+                                  "buckets": [[upper_bound, count], ...] } },
+      "spans":      { "<name>": { "count", "total_ns", "mean_ns",
+                                  "min_ns", "max_ns" } } }
+    v} *)
+
+val to_json : Registry.t -> Clara_util.Json.t
+
+val write_json : string -> Registry.t -> unit
+(** Write [to_json] (pretty-printed) to a file. *)
+
+val pp_table : Format.formatter -> Registry.t -> unit
+(** Human-readable table, spans first (they answer "where did the time
+    go"), then counters, then histograms.  Metrics that never fired are
+    omitted. *)

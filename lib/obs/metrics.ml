@@ -1,0 +1,99 @@
+(* Counters are a single mutable int; histograms keep a preallocated
+   log2 bucket array plus integer running aggregates, so observing is
+   allocation-free (no float fields: a mutable float in a mixed record
+   would box on every store). *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let make_counter name = { c_name = name; c_value = 0 }
+let counter_name c = c.c_name
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+let reset_counter c = c.c_value <- 0
+
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array; (* length [nbuckets] *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let make_histogram name =
+  { h_name = name; buckets = Array.make nbuckets 0; count = 0; sum = 0;
+    min_v = max_int; max_v = min_int }
+
+let histogram_name h = h.h_name
+
+(* Bucket i covers (2^(i-1), 2^i]; bucket 0 covers (-inf, 1]. *)
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 1 and b = ref 2 in
+    while !b < v && !i < nbuckets - 1 do
+      b := !b lsl 1;
+      Stdlib.incr i
+    done;
+    !i
+  end
+
+let bucket_upper_bound i = if i <= 0 then 1 else 1 lsl i
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+let hist_min h = if h.count = 0 then 0 else h.min_v
+let hist_max h = if h.count = 0 then 0 else h.max_v
+let hist_mean h = if h.count = 0 then Float.nan else float_of_int h.sum /. float_of_int h.count
+
+let quantile h q =
+  if h.count = 0 then 0
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    (* Nearest-rank: the ceil(q*n)-th smallest observation (1-based). *)
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+    let acc = ref 0 and i = ref 0 and found = ref (nbuckets - 1) in
+    (try
+       while !i < nbuckets do
+         acc := !acc + h.buckets.(!i);
+         if !acc >= rank then begin
+           found := !i;
+           raise Exit
+         end;
+         Stdlib.incr i
+       done
+     with Exit -> ());
+    (* Tighten with the exact extremes when the quantile lands there. *)
+    if !found = 0 then min h.max_v (bucket_upper_bound 0)
+    else min h.max_v (bucket_upper_bound !found)
+  end
+
+let nonzero_buckets h =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then out := (bucket_upper_bound i, h.buckets.(i)) :: !out
+  done;
+  !out
+
+let reset_histogram h =
+  Array.fill h.buckets 0 nbuckets 0;
+  h.count <- 0;
+  h.sum <- 0;
+  h.min_v <- max_int;
+  h.max_v <- min_int

@@ -1,0 +1,64 @@
+(** Allocation-light counters and fixed-bucket latency histograms.
+
+    These are the primitive instruments behind {!Registry}.  They are
+    designed to stay on by default on hot paths: a counter bump is one
+    mutable-int store, a histogram observation is a handful of integer
+    ops against a preallocated bucket array — no closures, no boxing,
+    no allocation after construction. *)
+
+(** {1 Counters} *)
+
+type counter
+(** A monotonic integer counter. *)
+
+val make_counter : string -> counter
+val counter_name : counter -> string
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] bumps by [n]; negative deltas are rejected with
+    [Invalid_argument] — counters are monotonic by contract. *)
+
+val value : counter -> int
+val reset_counter : counter -> unit
+
+(** {1 Histograms} *)
+
+type histogram
+(** A histogram over non-negative integer observations (cycles,
+    nanoseconds, queue depths, ...) with fixed log2 buckets: bucket 0
+    holds values [<= 1]; bucket [i] holds values in [(2^(i-1), 2^i]].
+    The bucket array is preallocated at construction. *)
+
+val nbuckets : int
+(** Number of buckets (covers the full 62-bit positive int range). *)
+
+val make_histogram : string -> histogram
+val histogram_name : histogram -> string
+
+val observe : histogram -> int -> unit
+(** Record one observation.  Negative values clamp to 0. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_min : histogram -> int
+(** 0 when empty. *)
+
+val hist_max : histogram -> int
+(** 0 when empty. *)
+
+val hist_mean : histogram -> float
+(** [nan] when empty. *)
+
+val quantile : histogram -> float -> int
+(** [quantile h q] — nearest-rank quantile resolved to the upper bound
+    of the containing bucket (so an upper estimate with log2 error).
+    0 when empty; [q] clamps to [0, 1]. *)
+
+val bucket_upper_bound : int -> int
+(** Inclusive upper bound of bucket [i]. *)
+
+val nonzero_buckets : histogram -> (int * int) list
+(** [(upper_bound, count)] for each populated bucket, ascending. *)
+
+val reset_histogram : histogram -> unit

@@ -1,0 +1,87 @@
+type metric =
+  | Counter of Metrics.counter
+  | Histogram of Metrics.histogram
+  | Span of Span.stats
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable order_rev : string list; (* registration order, newest first *)
+  mutable stack : string list;     (* active span paths, innermost first *)
+}
+
+let create () = { metrics = Hashtbl.create 64; order_rev = []; stack = [] }
+let default = create ()
+
+let register t name m =
+  Hashtbl.add t.metrics name m;
+  t.order_rev <- name :: t.order_rev
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Histogram _ -> "histogram"
+  | Span _ -> "span"
+
+let wrong_kind name ~want m =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %S already registered as a %s (wanted %s)" name
+       (kind_name m) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some m -> wrong_kind name ~want:"counter" m
+  | None ->
+      let c = Metrics.make_counter name in
+      register t name (Counter c);
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) -> h
+  | Some m -> wrong_kind name ~want:"histogram" m
+  | None ->
+      let h = Metrics.make_histogram name in
+      register t name (Histogram h);
+      h
+
+let span_stats t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Span s) -> s
+  | Some m -> wrong_kind name ~want:"span" m
+  | None ->
+      let s = Span.make name in
+      register t name (Span s);
+      s
+
+let current_path t = match t.stack with [] -> None | p :: _ -> Some p
+
+let span t name f =
+  let path = match t.stack with [] -> name | p :: _ -> p ^ "/" ^ name in
+  let st = span_stats t path in
+  t.stack <- path :: t.stack;
+  let t0 = Span.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Span.record st (Span.now_ns () - t0);
+      match t.stack with [] -> () | _ :: rest -> t.stack <- rest)
+    f
+
+let find t name = Hashtbl.find_opt t.metrics name
+let mem t name = Hashtbl.mem t.metrics name
+
+let to_list t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.metrics name)) t.order_rev
+
+let counter_value t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> Metrics.value c
+  | _ -> 0
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> Metrics.reset_counter c
+      | Histogram h -> Metrics.reset_histogram h
+      | Span s -> Span.reset s)
+    t.metrics;
+  t.stack <- []

@@ -1,0 +1,56 @@
+(** The metric registry: a named collection of counters, histograms and
+    spans, with find-or-create accessors and span nesting.
+
+    Call sites hoist the find-or-create lookup out of their hot loop:
+
+    {[
+      let obs = Clara_obs.Registry.default
+      let c_pivots = Clara_obs.Registry.counter obs "ilp.simplex.pivots"
+      (* ... per event: *)
+      Clara_obs.Metrics.incr c_pivots
+    ]}
+
+    Spans nest: running [span r "b" f] while [span r "a"] is active
+    records under the path ["a/b"], so one registry dump shows where
+    wall-clock time goes across the whole pipeline.  Registries are not
+    thread-safe (neither is the rest of Clara). *)
+
+type metric =
+  | Counter of Metrics.counter
+  | Histogram of Metrics.histogram
+  | Span of Span.stats
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrument registers in. *)
+
+val counter : t -> string -> Metrics.counter
+(** Find or create.  @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val histogram : t -> string -> Metrics.histogram
+val span_stats : t -> string -> Span.stats
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span r name f] times [f ()] and records the duration under [name],
+    prefixed by the currently-active span path ("outer/name").
+    Exception-safe: the span closes (and the nesting stack pops) even if
+    [f] raises. *)
+
+val current_path : t -> string option
+(** The active span path, if any ([None] outside any span). *)
+
+val find : t -> string -> metric option
+val mem : t -> string -> bool
+
+val to_list : t -> (string * metric) list
+(** All metrics in registration order. *)
+
+val counter_value : t -> string -> int
+(** 0 when absent; convenience for tests and reporting. *)
+
+val reset : t -> unit
+(** Zero every metric (names stay registered) and clear the span stack. *)

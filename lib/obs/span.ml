@@ -1,0 +1,31 @@
+type stats = {
+  s_name : string;
+  mutable count : int;
+  mutable total_ns : int;
+  mutable min_ns : int;
+  mutable max_ns : int;
+}
+
+let make name = { s_name = name; count = 0; total_ns = 0; min_ns = max_int; max_ns = 0 }
+let name s = s.s_name
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let record s d =
+  let d = if d < 0 then 0 else d in
+  s.count <- s.count + 1;
+  s.total_ns <- s.total_ns + d;
+  if d < s.min_ns then s.min_ns <- d;
+  if d > s.max_ns then s.max_ns <- d
+
+let count s = s.count
+let total_ns s = s.total_ns
+let min_ns s = if s.count = 0 then 0 else s.min_ns
+let max_ns s = s.max_ns
+let mean_ns s = if s.count = 0 then Float.nan else float_of_int s.total_ns /. float_of_int s.count
+
+let reset s =
+  s.count <- 0;
+  s.total_ns <- 0;
+  s.min_ns <- max_int;
+  s.max_ns <- 0

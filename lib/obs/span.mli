@@ -1,0 +1,32 @@
+(** Named wall-clock spans.
+
+    A span aggregates the durations of every execution of a named code
+    region (count, total, min, max) — think of it as a timer histogram
+    without the buckets.  Nesting and path construction ("a/b/c") are
+    handled by {!Registry.span}; this module only holds the per-name
+    accumulator and the clock. *)
+
+type stats
+
+val make : string -> stats
+val name : stats -> string
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds (62-bit int: good for ~146 years). *)
+
+val record : stats -> int -> unit
+(** Record one duration in nanoseconds; negative durations (clock went
+    backwards) clamp to 0. *)
+
+val count : stats -> int
+val total_ns : stats -> int
+val min_ns : stats -> int
+(** 0 when no executions were recorded. *)
+
+val max_ns : stats -> int
+(** 0 when no executions were recorded. *)
+
+val mean_ns : stats -> float
+(** [nan] when no executions were recorded. *)
+
+val reset : stats -> unit

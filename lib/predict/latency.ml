@@ -240,7 +240,10 @@ let predict_trace t (trace : W.Trace.t) =
       trace.W.Trace.packets;
     let sorted = Array.copy lats in
     Array.sort compare sorted;
-    let pct p = sorted.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+    (* Nearest-rank percentile: the ceil(p*n)-th smallest, 0-indexed. *)
+    let pct p =
+      sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (float_of_int n *. p)) - 1)))
+    in
     let div_or_nan s k = if k = 0 then Float.nan else s /. float_of_int k in
     {
       mean_cycles = Array.fold_left ( +. ) 0. lats /. float_of_int n;

@@ -81,6 +81,12 @@ let estimate ?(sizes = default_sizes) ?(prob = D.Flow.default_probability) lnic
           let cur = Option.value ~default:0. (Hashtbl.find_opt demand uid) in
           Hashtbl.replace demand uid (cur +. (weights.(n.D.Node.id) *. c)))
     df.D.Graph.nodes;
+  (* Shared zero/negative-cost convention: a non-positive service time
+     means the resource imposes no throughput bound.  Sub-cycle costs are
+     honored as-is rather than being rounded up to a full cycle. *)
+  let pps_of ~hz ~parallelism cycles =
+    if cycles <= 0. then Float.infinity else hz *. float_of_int parallelism /. cycles
+  in
   let resource_of uid cycles =
     let unit_ = L.Graph.unit_ lnic uid in
     (* Run-to-completion NFs replicate across every general core; the
@@ -94,7 +100,7 @@ let estimate ?(sizes = default_sizes) ?(prob = D.Flow.default_probability) lnic
       resource = unit_.L.Unit_.name;
       cycles_per_packet = cycles;
       parallelism;
-      max_pps = (if cycles <= 0. then Float.infinity else hz *. float_of_int parallelism /. cycles);
+      max_pps = pps_of ~hz ~parallelism cycles;
     }
   in
   let wire_resource =
@@ -111,7 +117,7 @@ let estimate ?(sizes = default_sizes) ?(prob = D.Flow.default_probability) lnic
     in
     (* Several DMA lanes in practice; model 8. *)
     { resource = "wire-dma"; cycles_per_packet = cycles; parallelism = 8;
-      max_pps = freq *. 8. /. Float.max 1. cycles }
+      max_pps = pps_of ~hz:freq ~parallelism:8 cycles }
   in
   let resources =
     wire_resource

@@ -4,8 +4,12 @@ type t =
   | Bimodal of int * int * float
   | Zipf of int * float
 
+let c_cdf_builds =
+  Clara_obs.Registry.counter Clara_obs.Registry.default "workload.zipf.cdf_builds"
+
 let make_zipf ~n ~alpha =
   if n <= 0 then invalid_arg "Dist.make_zipf: n must be positive";
+  Clara_obs.Metrics.incr c_cdf_builds;
   let cdf = Array.make n 0. in
   let acc = ref 0. in
   for k = 0 to n - 1 do
@@ -23,13 +27,28 @@ let make_zipf ~n ~alpha =
     done;
     !lo
 
+(* [sample] used to rebuild the O(n) Zipf CDF on every draw; memoize the
+   sampler per (n, alpha) so repeated draws are O(log n).  The cache is
+   tiny in practice (profiles use a handful of shapes); reset it if it
+   ever grows past a sane bound. *)
+let zipf_cache : (int * float, Prng.t -> int) Hashtbl.t = Hashtbl.create 8
+
+let zipf_sampler ~n ~alpha =
+  match Hashtbl.find_opt zipf_cache (n, alpha) with
+  | Some f -> f
+  | None ->
+      if Hashtbl.length zipf_cache >= 64 then Hashtbl.reset zipf_cache;
+      let f = make_zipf ~n ~alpha in
+      Hashtbl.add zipf_cache (n, alpha) f;
+      f
+
 let sample g = function
   | Fixed v -> v
   | Uniform (a, b) ->
       if b < a then invalid_arg "Dist.sample: empty uniform range";
       a + Prng.int g (b - a + 1)
   | Bimodal (a, b, p) -> if Prng.bool g p then a else b
-  | Zipf (n, alpha) -> make_zipf ~n ~alpha g
+  | Zipf (n, alpha) -> zipf_sampler ~n ~alpha g
 
 let exponential g ~mean =
   if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";

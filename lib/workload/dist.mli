@@ -9,8 +9,10 @@ type t =
   | Zipf of int * float           (** [Zipf (n, alpha)] over [[0, n)]. *)
 
 val sample : Prng.t -> t -> int
-(** For [Zipf], prefer {!make_zipf} on hot paths: [sample] rebuilds the
-    CDF each call. *)
+(** Draw one value.  [Zipf] samplers are memoized per [(n, alpha)], so
+    repeated draws cost O(log n) each; only the first draw of a given
+    shape pays the O(n) CDF build (counted by the
+    ["workload.zipf.cdf_builds"] Obs counter). *)
 
 val exponential : Prng.t -> mean:float -> float
 (** Exponential variate (inter-arrival times for a Poisson process). *)

@@ -1,6 +1,9 @@
-(* Classic pcap, little-endian, microsecond timestamps, LINKTYPE_ETHERNET. *)
+(* Classic pcap, microsecond timestamps, LINKTYPE_ETHERNET.  The writer
+   emits little-endian; the reader accepts both byte orders (magic
+   0xa1b2c3d4 native or 0xd4c3b2a1 byte-swapped). *)
 
 let magic = 0xa1b2c3d4
+let magic_swapped = 0xd4c3b2a1
 let snaplen = 262144
 
 (* -- little-endian byte IO on Buffer / Bytes ----------------------- *)
@@ -26,6 +29,7 @@ let wbe32 buf (v : int32) =
 let r16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
 let r32 b off = r16 b off lor (r16 b (off + 2) lsl 16)
 let rbe16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+let rbe32i b off = (rbe16 b off lsl 16) lor rbe16 b (off + 2)
 
 let rbe32 b off =
   Int32.logor
@@ -148,14 +152,34 @@ let read_file path =
     (fun () ->
       let ghdr = Bytes.create 24 in
       really_input ic ghdr 0 24;
-      if r32 ghdr 0 <> magic then failwith "Pcap.read_file: bad magic (or byte-swapped file)";
+      let file_magic = r32 ghdr 0 in
+      let swapped = file_magic = magic_swapped in
+      if file_magic <> magic && not swapped then
+        failwith
+          (Printf.sprintf "Pcap.read_file: bad magic 0x%08x (expected 0x%08x or 0x%08x)"
+             file_magic magic magic_swapped);
+      (* Header fields are in the writer's byte order: little-endian for
+         the native magic, big-endian for the swapped one. *)
+      let ru32 b off = if swapped then rbe32i b off else r32 b off in
+      let declared_snaplen =
+        let s = ru32 ghdr 16 in
+        if s > 0 then s else snaplen
+      in
       let packets = ref [] in
       (try
          while true do
            let rhdr = Bytes.create 16 in
            really_input ic rhdr 0 16;
-           let ts_sec = r32 rhdr 0 and ts_us = r32 rhdr 4 in
-           let incl = r32 rhdr 8 in
+           let ts_sec = ru32 rhdr 0 and ts_us = ru32 rhdr 4 in
+           let incl = ru32 rhdr 8 in
+           (* Never trust incl: a corrupt record would otherwise drive a
+              multi-GB Bytes.create or an Invalid_argument. *)
+           if incl > declared_snaplen then
+             failwith
+               (Printf.sprintf
+                  "Pcap.read_file: record claims %d captured bytes, above the file's \
+                   snaplen %d (corrupt or truncated capture)"
+                  incl declared_snaplen);
            let frame = Bytes.create incl in
            really_input ic frame 0 incl;
            let ts_ns =

@@ -4,7 +4,10 @@
     lets Clara ingest real captures and export synthetic ones.  Writing
     synthesizes Ethernet + IPv4 + TCP/UDP headers (payload zero-filled and
     truncated to the snap length); reading parses those headers back into
-    {!Packet.t} and ignores non-IPv4 frames. *)
+    {!Packet.t} and ignores non-IPv4 frames.  Reading accepts both byte
+    orders (native 0xa1b2c3d4 and byte-swapped 0xd4c3b2a1 magics) and
+    rejects records whose captured length exceeds the file's declared
+    snap length rather than trusting a corrupt header. *)
 
 val write_file : string -> Trace.t -> unit
 (** @raise Sys_error on IO failure. *)

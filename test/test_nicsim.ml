@@ -322,6 +322,31 @@ let test_firewall_placement_contrast () =
   check "CTM state faster than EMEM" true
     (ctm.Eng.summary.Stats.mean_cycles < emem.Eng.summary.Stats.mean_cycles)
 
+let test_stats_nearest_rank_percentile () =
+  (* Regression: [Stats.summarize] used to index round(p*n), reporting
+     p50 of [1;2;3;4] as 3.  Nearest-rank is ceil(p*n)-th smallest. *)
+  let s = Stats.create () in
+  List.iter
+    (fun c -> Stats.record s ~proto:W.Packet.Udp ~syn:false ~latency_cycles:c)
+    [ 4; 1; 3; 2 ];
+  let sum = Stats.summarize s in
+  check_int "p50 of [1;2;3;4]" 2 sum.Stats.p50_cycles;
+  check_int "p99 of [1;2;3;4]" 4 sum.Stats.p99_cycles;
+  check_int "max of [1;2;3;4]" 4 sum.Stats.max_cycles;
+  let s2 = Stats.create () in
+  for i = 1 to 100 do
+    Stats.record s2 ~proto:W.Packet.Tcp ~syn:false ~latency_cycles:i
+  done;
+  let sum2 = Stats.summarize s2 in
+  check_int "p50 of 1..100" 50 sum2.Stats.p50_cycles;
+  check_int "p99 of 1..100" 99 sum2.Stats.p99_cycles;
+  (* Single sample: every percentile is that sample. *)
+  let s3 = Stats.create () in
+  Stats.record s3 ~proto:W.Packet.Udp ~syn:false ~latency_cycles:7;
+  let sum3 = Stats.summarize s3 in
+  check_int "p50 of singleton" 7 sum3.Stats.p50_cycles;
+  check_int "p99 of singleton" 7 sum3.Stats.p99_cycles
+
 let suite =
   [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
     Alcotest.test_case "lru recency" `Quick test_lru_recency;
@@ -343,5 +368,7 @@ let suite =
     Alcotest.test_case "LPM variants (Fig 1)" `Quick test_lpm_variant_contrast;
     Alcotest.test_case "FW placement (Fig 1)" `Quick test_firewall_placement_contrast;
     Alcotest.test_case "engine thread parameter" `Quick test_engine_thread_parameter;
-    Alcotest.test_case "co-resident run_pair" `Quick test_run_pair_coresidency ]
+    Alcotest.test_case "co-resident run_pair" `Quick test_run_pair_coresidency;
+    Alcotest.test_case "stats nearest-rank percentiles" `Quick
+      test_stats_nearest_rank_percentile ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_lru_capacity ]

@@ -316,6 +316,39 @@ let test_accuracy_monotone_in_entries () =
   (* Roughly linear: the 30k/5k ratio should be in the vicinity of 6. *)
   check "roughly linear" true (p30 /. p5 > 3. && p30 /. p5 < 12.)
 
+let test_throughput_wire_cost_convention () =
+  (* Regression: the wire-dma resource used [Float.max 1. cycles],
+     silently rounding sub-cycle DMA costs up to a full cycle and
+     treating a zero cost as one cycle instead of "no bound" — unlike
+     every compute resource.  Both paths now share one convention. *)
+  let prof = profile () in
+  let a = analyze (Clara_nfs.Nat.source ()) prof in
+  let base = lnic.L.Graph.params in
+  let with_wire c =
+    { lnic with
+      L.Graph.params =
+        { base with L.Params.wire_ingress = L.Cost_fn.const c;
+          L.Params.wire_egress = L.Cost_fn.const c } }
+  in
+  let wire_of t =
+    List.find (fun (r : Tp.bottleneck) -> r.Tp.resource = "wire-dma") t.Tp.resources
+  in
+  let freq =
+    match L.Graph.general_cores lnic with
+    | u :: _ -> float_of_int u.L.Unit_.freq_mhz *. 1e6
+    | [] -> 1e9
+  in
+  (* 0.125 cycles each way = 0.25 cycles/packet over 8 lanes: pre-fix
+     this clamped to 1 cycle (max 8*freq pps); honored, it is 32*freq. *)
+  let sub = wire_of (Tp.estimate (with_wire 0.125) a.Clara.df a.Clara.mapping) in
+  check "sub-cycle wire cost honored" true (sub.Tp.max_pps > 12. *. freq);
+  (* Zero cost means the wire imposes no throughput bound at all. *)
+  let free = wire_of (Tp.estimate (with_wire 0.) a.Clara.df a.Clara.mapping) in
+  check "zero wire cost is unbounded" true (free.Tp.max_pps = Float.infinity);
+  let t0 = Tp.estimate (with_wire 0.) a.Clara.df a.Clara.mapping in
+  check "free wire is never the bottleneck" true
+    (t0.Tp.bottleneck.Tp.resource <> "wire-dma")
+
 let suite =
   [ Alcotest.test_case "prediction positive & size-monotone" `Quick
       test_prediction_positive_and_monotone;
@@ -334,4 +367,6 @@ let suite =
     Alcotest.test_case "accuracy: VNF" `Quick test_accuracy_vnf;
     Alcotest.test_case "accuracy: LPM" `Quick test_accuracy_lpm;
     Alcotest.test_case "Fig 3a shape: linear in entries" `Quick
-      test_accuracy_monotone_in_entries ]
+      test_accuracy_monotone_in_entries;
+    Alcotest.test_case "throughput wire-cost convention" `Quick
+      test_throughput_wire_cost_convention ]

@@ -220,6 +220,133 @@ let test_pcap_snaplen_truncation () =
           check "one packet survives" true (p.W.Packet.proto = W.Packet.Udp)
       | _ -> Alcotest.fail "expected exactly one packet")
 
+let test_zipf_sampler_memoized () =
+  (* Regression: [Dist.sample] used to rebuild the O(n) Zipf CDF on
+     every draw.  The observability counter makes the fix testable
+     without timing: 100k draws over one (n, alpha) pair must build the
+     CDF exactly once.  Use a pair no other test touches so the
+     process-wide cache can't hide a rebuild. *)
+  let n = 4096 and alpha = 1.37 in
+  let builds () =
+    Clara_obs.Registry.counter_value Clara_obs.Registry.default "workload.zipf.cdf_builds"
+  in
+  let g = W.Prng.create ~seed:21L in
+  let before = builds () in
+  let counts = Hashtbl.create 512 in
+  for _ = 1 to 100_000 do
+    let k = W.Dist.sample g (W.Dist.Zipf (n, alpha)) in
+    check "zipf sample in range" true (k >= 0 && k < n);
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  check_int "CDF built once for 100k draws" 1 (builds () - before);
+  (* The memoized sampler still produces the Zipf shape. *)
+  let freq k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  check "memoized sampler still skewed" true (freq 0 > 5. *. freq 19);
+  (* Further draws of the same pair reuse the cached sampler. *)
+  ignore (W.Dist.sample g (W.Dist.Zipf (n, alpha)));
+  check_int "cache hit on later draw" 1 (builds () - before)
+
+let bswap32 b off =
+  let x0 = Bytes.get b off and x1 = Bytes.get b (off + 1) in
+  let x2 = Bytes.get b (off + 2) and x3 = Bytes.get b (off + 3) in
+  Bytes.set b off x3;
+  Bytes.set b (off + 1) x2;
+  Bytes.set b (off + 2) x1;
+  Bytes.set b (off + 3) x0
+
+let bswap16 b off =
+  let x0 = Bytes.get b off and x1 = Bytes.get b (off + 1) in
+  Bytes.set b off x1;
+  Bytes.set b (off + 1) x0
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b)
+
+let write_bytes path b =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc b)
+
+(* Little-endian u32, for peeking at headers the writer produced. *)
+let le32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+(* Rewrite a little-endian classic pcap into the byte-swapped (0xd4c3b2a1)
+   form: swap every global- and record-header field, leave frame bytes
+   alone (their endianness is defined by the network protocols, not the
+   file). *)
+let byteswap_pcap src dst =
+  let b = read_bytes src in
+  List.iter (bswap32 b) [ 0; 8; 12; 16; 20 ];
+  List.iter (bswap16 b) [ 4; 6 ];
+  let off = ref 24 in
+  while !off + 16 <= Bytes.length b do
+    let incl = le32 b (!off + 8) in
+    List.iter (fun d -> bswap32 b (!off + d)) [ 0; 4; 8; 12 ];
+    off := !off + 16 + incl
+  done;
+  write_bytes dst b
+
+let test_pcap_swapped_endian () =
+  let profile = W.Profile.make ~flow_count:40 ~packets:200 () in
+  let tr = W.Trace.synthesize ~seed:17L profile in
+  let native = Filename.temp_file "clara_native" ".pcap" in
+  let swapped = Filename.temp_file "clara_swapped" ".pcap" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove native;
+      Sys.remove swapped)
+    (fun () ->
+      W.Pcap.write_file native tr;
+      byteswap_pcap native swapped;
+      (* Sanity: the transform really produced the swapped magic. *)
+      check "swapped magic on disk" true (le32 (read_bytes swapped) 0 = 0xd4c3b2a1);
+      let a = W.Pcap.read_file native in
+      let b = W.Pcap.read_file swapped in
+      check_int "same packet count" (Array.length a.W.Trace.packets)
+        (Array.length b.W.Trace.packets);
+      check "byte order is transparent" true (a.W.Trace.packets = b.W.Trace.packets))
+
+let test_pcap_corrupt_incl () =
+  (* A record whose captured-length field exceeds the file's declared
+     snaplen must fail cleanly instead of attempting a giant read. *)
+  let pkt =
+    { W.Packet.src_ip = 1l; dst_ip = 2l; src_port = 3; dst_port = 4;
+      proto = W.Packet.Udp; flags = 0; payload_bytes = 64; arrival_ns = 0L }
+  in
+  let path = Filename.temp_file "clara_corrupt" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.Pcap.write_file path (W.Trace.of_packets [| pkt |]);
+      let b = read_bytes path in
+      (* First record header starts right after the 24-byte global
+         header; incl lives at +8.  0x7fffffff dwarfs any snaplen. *)
+      Bytes.set b (24 + 8) '\xff';
+      Bytes.set b (24 + 9) '\xff';
+      Bytes.set b (24 + 10) '\xff';
+      Bytes.set b (24 + 11) '\x7f';
+      write_bytes path b;
+      check "corrupt incl rejected" true
+        (try ignore (W.Pcap.read_file path); false
+         with Failure m ->
+           (* The error should say what went wrong, not just explode. *)
+           let has_snaplen =
+             let n = String.length m in
+             let rec go i = i + 7 <= n && (String.sub m i 7 = "snaplen" || go (i + 1)) in
+             go 0
+           in
+           has_snaplen))
+
 let prop_trace_respects_profile =
   QCheck.Test.make ~name:"synthesized mix tracks the profile" ~count:20
     (QCheck.pair (QCheck.float_range 0.1 0.9) (QCheck.int_range 100 2000))
@@ -267,6 +394,9 @@ let suite =
     Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
     Alcotest.test_case "pcap bad magic" `Quick test_pcap_bad_magic;
     Alcotest.test_case "trace utilities" `Quick test_trace_utilities;
-    Alcotest.test_case "pcap snaplen truncation" `Quick test_pcap_snaplen_truncation ]
+    Alcotest.test_case "pcap snaplen truncation" `Quick test_pcap_snaplen_truncation;
+    Alcotest.test_case "zipf sampler memoized" `Quick test_zipf_sampler_memoized;
+    Alcotest.test_case "pcap swapped byte order" `Quick test_pcap_swapped_endian;
+    Alcotest.test_case "pcap corrupt record length" `Quick test_pcap_corrupt_incl ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_trace_respects_profile; prop_pcap_roundtrip ]
