@@ -4,8 +4,8 @@
 
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
-             ablations interference nics throughput chains energy partial
-             zoo bechamel   (default: all) *)
+             ablations ilp interference nics throughput chains energy
+             partial zoo bechamel   (default: all) *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -334,6 +334,77 @@ let ablations () =
         (without.Clara.mapping.Map_.objective_cycles
         /. with_acc.Clara.mapping.Map_.objective_cycles))
     [ ("nat", Clara_nfs.Nat.source ()); ("lpm-10k", Clara_nfs.Lpm.source ~entries:10_000) ]
+
+(* ------------------------------------------------------------------ *)
+(* ILP solver microbenchmarks                                          *)
+
+let ilp_bench () =
+  header "ILP solver: pivots / iterations / warm starts per model";
+  let reg = Clara_obs.Registry.default in
+  let keys =
+    [ "ilp.simplex.pivots"; "ilp.simplex.iterations"; "ilp.simplex.warm_starts";
+      "ilp.bb.nodes"; "ilp.bb.best_bound_prunes" ]
+  in
+  let snap () = List.map (fun k -> (k, Clara_obs.Registry.counter_value reg k)) keys in
+  let run name f =
+    let before = snap () in
+    f ();
+    let d = List.map2 (fun (k, b) (_, a) -> (k, a - b)) before (snap ()) in
+    let get k = List.assoc k d in
+    Printf.printf "%-16s pivots %5d  iters %5d  warm %4d  nodes %4d  bb-prunes %4d\n"
+      name
+      (get "ilp.simplex.pivots")
+      (get "ilp.simplex.iterations")
+      (get "ilp.simplex.warm_starts")
+      (get "ilp.bb.nodes")
+      (get "ilp.bb.best_bound_prunes")
+  in
+  let prof = profile () in
+  let sizes = Clara.sizes_of_profile prof in
+  let prob = Clara.prob_of_profile prof in
+  List.iter
+    (fun (name, src) ->
+      run name (fun () ->
+          ignore
+            (Clara_mapping.Encode.map_nf lnic
+               (Clara_dataflow.Build.of_source src)
+               ~sizes ~prob)))
+    [ ("nat", Clara_nfs.Nat.source ());
+      ("lpm-10k", Clara_nfs.Lpm.source ~entries:10_000);
+      ("firewall", Clara_nfs.Firewall.source ());
+      ("vnf-chain", Clara_nfs.Vnf_chain.source ());
+      ("heavy-hitter", Clara_nfs.Heavy_hitter.source ()) ];
+  (* The mapping models above mostly solve at the root; a deliberately
+     fractional covering model branches at every node, so the
+     warm-started dual simplex and best-bound pruning do real work. *)
+  run "branchy-cover" (fun () ->
+      let module M = Clara_ilp.Model in
+      let module LE = Clara_ilp.Lin_expr in
+      let module R = Clara_ilp.Rat in
+      let m = M.create () in
+      let xs = List.init 14 (fun _ -> M.add_var m M.Binary) in
+      M.add_constraint m
+        (LE.sum (List.map (fun x -> LE.var ~coeff:(R.of_int 2) x) xs))
+        M.Le (R.of_int 13);
+      M.set_objective m M.Maximize (LE.sum (List.map LE.var xs));
+      ignore (Clara_ilp.Branch_bound.solve m));
+  (* A knapsack with spread-out profit densities: early dives find good
+     incumbents whose objective closes later subtrees by best bound. *)
+  run "knapsack-18" (fun () ->
+      let module M = Clara_ilp.Model in
+      let module LE = Clara_ilp.Lin_expr in
+      let module R = Clara_ilp.Rat in
+      let m = M.create () in
+      let n = 18 in
+      let value j = ((3 * j) mod 11) + 2 and weight j = ((5 * j) mod 7) + 3 in
+      let xs = List.init n (fun _ -> M.add_var m M.Binary) in
+      M.add_constraint m
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(R.of_int (weight j)) x) xs))
+        M.Le
+        (R.of_int (List.fold_left ( + ) 0 (List.init n weight) / 3));
+      M.set_objective m M.Maximize
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(R.of_int (value j)) x) xs));
+      ignore (Clara_ilp.Branch_bound.solve m))
 
 (* ------------------------------------------------------------------ *)
 (* Interference (§3.5)                                                 *)
@@ -685,6 +756,7 @@ let sections =
     ("microbench", microbench);
     ("mapping", mapping_example);
     ("ablations", ablations);
+    ("ilp", ilp_bench);
     ("interference", interference);
     ("nics", nic_selection);
     ("throughput", throughput_validation);

@@ -2,22 +2,43 @@
 
     Because the relaxation is solved in exact rational arithmetic, the
     integrality test ([Rat.is_integer]) is never confused by round-off,
-    and the returned solution is a true optimum of the mixed-integer
-    model. *)
+    and an [Optimal] outcome is a true optimum of the mixed-integer
+    model.
 
-type status = Optimal | Infeasible | Unbounded
+    The search is warm-started: a child node copies its parent's final
+    simplex tableau, tightens one variable's bounds, and re-optimizes
+    with dual-simplex pivots ({!Lp.rebound}).  Subtrees are additionally
+    closed by best-bound pruning against the incumbent, and each node
+    runs a few {!Presolve} propagation passes on its branched bounds. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Node_limit
+      (** The node budget ran out.  Not an error: the outcome still
+          carries the best incumbent found (see [incumbent]/[gap]). *)
 
 type outcome = {
   status : status;
   objective : Rat.t;
   values : Rat.t array;
-  nodes : int;          (** Number of branch-and-bound nodes explored. *)
+  nodes : int;          (** Number of branch-and-bound nodes visited. *)
+  incumbent : bool;
+      (** Whether [objective]/[values] hold a feasible integer point.
+          [true] for [Optimal]; for [Node_limit] it distinguishes a
+          degraded-but-usable answer from no answer at all. *)
+  gap : Rat.t option;
+      (** For [Node_limit] with an incumbent: absolute distance between
+          the incumbent objective and the most promising open subtree's
+          relaxation bound (zero when no open subtree can improve).
+          [None] otherwise. *)
 }
-
-exception Node_limit_exceeded
 
 val solve : ?node_limit:int -> Model.t -> outcome
 (** Runs {!Presolve} first (tightened bounds shrink the tree; proven
-    infeasibility skips the search entirely), then depth-first branch and
-    bound on the LP relaxation.  [node_limit] defaults to 200_000.
-    @raise Node_limit_exceeded when the search exceeds it. *)
+    infeasibility skips the search entirely), then depth-first branch
+    and bound on the LP relaxation, exploring the branch nearest each
+    fractional relaxation value first.  [node_limit] defaults to
+    200_000; exceeding it returns a [Node_limit] outcome instead of
+    raising. *)

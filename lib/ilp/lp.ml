@@ -2,65 +2,87 @@ type status = Optimal | Infeasible | Unbounded
 
 type result = { status : status; objective : Rat.t; values : Rat.t array }
 
-let solve ?bounds model =
+type node = {
+  tab : Simplex.t;
+  bounds : (Rat.t * Rat.t option) array;
+  model : Model.t;
+}
+
+(* Compile the model's constraints and objective to Simplex inputs.
+   Bounds are NOT lowered here — the bounded-variable simplex takes
+   them natively, so the tableau stays at one row per constraint. *)
+let build_inputs model =
+  let nv = Model.num_vars model in
+  let rows = ref [] in
+  Model.iter_constraints model (fun ~name:_ e sense rhs ->
+      let coeffs = Array.make nv Rat.zero in
+      Lin_expr.fold (fun v c () -> coeffs.(v) <- c) e ();
+      rows :=
+        { Simplex.coeffs; sense; rhs = Rat.sub rhs (Lin_expr.constant e) }
+        :: !rows);
+  let dir, obj_expr = Model.objective model in
+  let c = Array.make nv Rat.zero in
+  Lin_expr.fold (fun v cf () -> c.(v) <- cf) obj_expr ();
+  let c =
+    match dir with Model.Minimize -> c | Model.Maximize -> Array.map Rat.neg c
+  in
+  (c, List.rev !rows)
+
+let result_of_tab model tab st =
+  match st with
+  | Simplex.Infeasible ->
+      { status = Infeasible; objective = Rat.zero;
+        values = Array.make (Model.num_vars model) Rat.zero }
+  | Simplex.Unbounded ->
+      { status = Unbounded; objective = Rat.zero; values = Simplex.solution tab }
+  | Simplex.Optimal ->
+      let values = Simplex.solution tab in
+      let _, obj_expr = Model.objective model in
+      (* Evaluating the model's own objective keeps the reported value
+         in the model's direction and includes its constant term. *)
+      let objective = Lin_expr.eval (fun v -> values.(v)) obj_expr in
+      { status = Optimal; objective; values }
+
+let root ?bounds model =
   let nv = Model.num_vars model in
   let bounds =
     match bounds with
     | Some b ->
         if Array.length b <> nv then invalid_arg "Lp.solve: bounds arity";
-        b
+        Array.copy b
     | None -> Array.init nv (fun v -> Model.var_bounds model v)
   in
-  (* Empty bound intervals mean immediate infeasibility. *)
-  let empty =
-    Array.exists
-      (fun (lb, ub) -> match ub with Some u -> Rat.( < ) u lb | None -> false)
-      bounds
-  in
-  if empty then { status = Infeasible; objective = Rat.zero; values = Array.make nv Rat.zero }
-  else begin
-    (* Shift: x_v = y_v + lb_v with y_v >= 0. *)
-    let lbs = Array.map fst bounds in
-    let shift_expr e =
-      (* a.x = a.y + a.lb : returns coefficient array over y and the
-         constant a.lb. *)
-      let coeffs = Array.make nv Rat.zero in
-      let const = ref (Lin_expr.constant e) in
-      Lin_expr.fold
-        (fun v c () ->
-          coeffs.(v) <- c;
-          const := Rat.add !const (Rat.mul c lbs.(v)))
-        e ();
-      (coeffs, !const)
-    in
-    let rows = ref [] in
-    Model.iter_constraints model (fun ~name:_ e sense rhs ->
-        let coeffs, const = shift_expr e in
-        rows := { Simplex.coeffs; sense; rhs = Rat.sub rhs const } :: !rows);
-    (* Upper bounds become explicit rows on y. *)
-    Array.iteri
-      (fun v (lb, ub) ->
-        match ub with
-        | None -> ()
-        | Some u ->
-            let coeffs = Array.make nv Rat.zero in
-            coeffs.(v) <- Rat.one;
-            rows := { Simplex.coeffs; sense = Model.Le; rhs = Rat.sub u lb } :: !rows)
-      bounds;
-    let dir, obj_expr = Model.objective model in
-    let c, obj_shift = shift_expr obj_expr in
-    let c = match dir with Model.Minimize -> c | Model.Maximize -> Array.map Rat.neg c in
-    let r = Simplex.solve ~c ~rows:(List.rev !rows) in
-    let values = Array.mapi (fun v y -> Rat.add y lbs.(v)) r.solution in
-    match r.status with
-    | Simplex.Infeasible ->
-        { status = Infeasible; objective = Rat.zero; values }
-    | Simplex.Unbounded -> { status = Unbounded; objective = Rat.zero; values }
-    | Simplex.Optimal ->
-        let value =
-          match dir with
-          | Model.Minimize -> Rat.add r.objective obj_shift
-          | Model.Maximize -> Rat.add (Rat.neg r.objective) obj_shift
-        in
-        { status = Optimal; objective = value; values }
-  end
+  let c, rows = build_inputs model in
+  let tab = Simplex.create ~c ~rows ~bounds in
+  let st = Simplex.solve_primal tab in
+  ({ tab; bounds; model }, result_of_tab model tab st)
+
+let bounds_equal (pl, pu) (l, u) =
+  Rat.( = ) pl l
+  &&
+  match (pu, u) with
+  | None, None -> true
+  | Some a, Some b -> Rat.( = ) a b
+  | _ -> false
+
+let rebound parent ~bounds =
+  let nv = Array.length parent.bounds in
+  if Array.length bounds <> nv then invalid_arg "Lp.rebound: bounds arity";
+  let tab = Simplex.copy parent.tab in
+  for v = 0 to nv - 1 do
+    if not (bounds_equal parent.bounds.(v) bounds.(v)) then
+      Simplex.set_bound tab v bounds.(v)
+  done;
+  match Simplex.reoptimize tab with
+  | st ->
+      ( { tab; bounds = Array.copy bounds; model = parent.model },
+        result_of_tab parent.model tab st )
+  | exception Simplex.Stalled ->
+      (* The warm start was unusable; a cold solve is always correct. *)
+      root ~bounds parent.model
+
+let node_bounds node = node.bounds
+
+let solve ?bounds model =
+  let _, r = root ?bounds model in
+  r

@@ -1,6 +1,8 @@
-(** LP relaxation of a {!Model}: variable bounds and the objective
-    direction are compiled away to the non-negative standard form
-    {!Simplex} expects, and solutions are translated back. *)
+(** LP relaxation of a {!Model} over the bounded-variable {!Simplex}.
+
+    Variable bounds are passed to the simplex natively (no shifting, no
+    upper-bound rows); the objective direction is compiled to the
+    minimizing form and reported values are translated back. *)
 
 type status = Optimal | Infeasible | Unbounded
 
@@ -12,6 +14,28 @@ type result = {
 
 val solve : ?bounds:(Rat.t * Rat.t option) array -> Model.t -> result
 (** [solve ?bounds m] solves the continuous relaxation (integrality is
-    ignored).  [bounds] overrides the per-variable bounds — this is how
-    {!Branch_bound} expresses branching decisions without copying the
-    model. *)
+    ignored).  [bounds] overrides the per-variable bounds. *)
+
+(** {1 Warm-started nodes}
+
+    {!Branch_bound} solves the root relaxation once, then derives each
+    child from its parent's final tableau: only the branched variable's
+    bounds change, so a dual-simplex {!rebound} needs a handful of
+    cleanup pivots instead of a phase-1 cold start. *)
+
+type node
+(** An immutable-by-convention solved relaxation: the final simplex
+    tableau plus the bounds it was solved under. *)
+
+val root : ?bounds:(Rat.t * Rat.t option) array -> Model.t -> node * result
+(** Cold-solve the relaxation and keep the tableau for warm starts. *)
+
+val rebound : node -> bounds:(Rat.t * Rat.t option) array -> node * result
+(** [rebound parent ~bounds] re-optimizes a copy of [parent]'s tableau
+    under [bounds].  Intended for bounds that only {e tighten} the
+    parent's (as branching and presolve do) — that keeps the tableau
+    dual feasible.  Falls back to a cold solve automatically when the
+    warm start is unusable, so the result is always correct. *)
+
+val node_bounds : node -> (Rat.t * Rat.t option) array
+(** The bounds the node was solved under (do not mutate). *)

@@ -24,9 +24,15 @@ let activity bounds terms ~extreme =
               | None -> None))
     (Some Rat.zero) terms
 
-let run ?(max_passes = 10) model =
+let run ?(max_passes = 10) ?bounds model =
   let nv = Model.num_vars model in
-  let bounds = Array.init nv (fun v -> Model.var_bounds model v) in
+  let bounds =
+    match bounds with
+    | Some b ->
+        if Array.length b <> nv then invalid_arg "Presolve.run: bounds arity";
+        Array.copy b
+    | None -> Array.init nv (fun v -> Model.var_bounds model v)
+  in
   let is_int v =
     match Model.var_type model v with
     | Model.Integer | Model.Binary -> true

@@ -13,5 +13,9 @@ type result =
           model's own. *)
   | Proven_infeasible
 
-val run : ?max_passes:int -> Model.t -> result
-(** [max_passes] defaults to 10. *)
+val run :
+  ?max_passes:int -> ?bounds:(Rat.t * Rat.t option) array -> Model.t -> result
+(** [max_passes] defaults to 10.  [bounds] overrides the model's own
+    variable bounds as the starting point — {!Branch_bound} uses this to
+    propagate a freshly branched bound through each node's subproblem.
+    The input array is not mutated. *)

@@ -1,9 +1,13 @@
-(** Exact two-phase primal simplex on dense rational tableaus.
+(** Exact bounded-variable two-phase primal simplex on dense rational
+    tableaus, with a dual-simplex re-optimizer for warm starts.
 
-    Solves: minimize [c . x] subject to the given rows and [x >= 0].
+    Solves: minimize [c . x] subject to the given rows and
+    [lo <= x <= up].  Variable bounds are handled natively in the ratio
+    test (nonbasic-at-lower / nonbasic-at-upper states plus bound
+    flips), so a finite upper bound costs nothing in tableau size.
     Bland's rule guarantees termination; exact {!Rat} arithmetic makes
-    optimality and feasibility verdicts certain, which
-    {!Branch_bound} relies on when testing integrality. *)
+    optimality and feasibility verdicts certain, which {!Branch_bound}
+    relies on when testing integrality. *)
 
 type row = { coeffs : Rat.t array; sense : Model.sense; rhs : Rat.t }
 
@@ -16,5 +20,59 @@ type result = {
 }
 
 val solve : c:Rat.t array -> rows:row list -> result
-(** All [coeffs] arrays must have the same length as [c].
+(** One-shot solve over [x >= 0] (all bounds [(0, None)]).  All
+    [coeffs] arrays must have the same length as [c].
     @raise Invalid_argument on dimension mismatch. *)
+
+(** {1 Warm-startable tableaus}
+
+    The stateful API below is what {!Lp} and {!Branch_bound} build on:
+    solve a root tableau once with {!solve_primal}, then for each child
+    node {!copy} it, tighten bounds with {!set_bound}, and
+    {!reoptimize} with dual-simplex cleanup pivots. *)
+
+type t
+
+exception Stalled
+(** Raised by {!reoptimize} when the warm start is not usable (the
+    tableau is not dual feasible, or an internal pivot budget is
+    exhausted).  Callers should fall back to a cold {!create} +
+    {!solve_primal}; correctness is never compromised. *)
+
+val create :
+  c:Rat.t array ->
+  rows:row list ->
+  bounds:(Rat.t * Rat.t option) array ->
+  t
+(** Build a tableau for minimize [c . x] s.t. [rows],
+    [fst bounds.(j) <= x_j <= snd bounds.(j)] ([None] = unbounded
+    above).  [bounds] must have the same length as [c].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_primal : t -> status
+(** Two-phase primal solve from scratch.  On [Optimal] the tableau is
+    left in a state suitable for {!copy} / {!set_bound} /
+    {!reoptimize}. *)
+
+val copy : t -> t
+(** Deep copy; the original is not affected by pivots on the copy. *)
+
+val set_bound : t -> int -> Rat.t * Rat.t option -> unit
+(** [set_bound t j (lo, up)] replaces variable [j]'s bounds.  A
+    nonbasic [j] is slid onto the new bound (updating dependent basic
+    values); a basic [j] may be left violating its bounds, which the
+    next {!reoptimize} repairs.
+    @raise Invalid_argument if [j] is not a structural variable. *)
+
+val reoptimize : t -> status
+(** Dual-simplex re-optimization after bound changes.  Requires a dual
+    feasible tableau — i.e. a copy of an [Optimal] one whose bounds
+    were only changed through {!set_bound}.  Never returns [Unbounded]
+    (shrinking a feasible region cannot unbound the objective).
+    @raise Stalled when the warm start is unusable; cold-solve instead. *)
+
+val objective_value : t -> Rat.t
+(** [c . x] at the tableau's current point. *)
+
+val solution : t -> Rat.t array
+(** Current values of the structural variables (length = [Array.length c]). *)

@@ -309,12 +309,14 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
         Clara_obs.Registry.span obs "solve" (fun () ->
             I.Branch_bound.solve ~node_limit:options.Mapping.node_limit model)
       with
-      | exception I.Branch_bound.Node_limit_exceeded -> Error "ILP node limit exceeded"
       | { I.Branch_bound.status = I.Branch_bound.Infeasible; _ } ->
           Error "mapping ILP infeasible (pipeline ordering vs capacities)"
       | { I.Branch_bound.status = I.Branch_bound.Unbounded; _ } ->
           Error "mapping ILP unbounded (encoding bug)"
-      | { I.Branch_bound.status = I.Branch_bound.Optimal; objective = obj; values; nodes = bb } ->
+      | { I.Branch_bound.status = I.Branch_bound.Node_limit; incumbent = false; _ } ->
+          Error "ILP node limit exceeded with no feasible mapping"
+      | { I.Branch_bound.status = I.Branch_bound.Optimal | I.Branch_bound.Node_limit;
+          objective = obj; values; nodes = bb; gap; _ } ->
           Clara_obs.Metrics.add c_bb_nodes bb;
           (* Decode. *)
           let node_unit =
@@ -371,4 +373,8 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
               objective_cycles = I.Rat.to_float obj;
               ilp_nodes = bb;
               ilp_vars = M.num_vars model;
+              (* A node-limited solve yields a degraded-but-usable
+                 mapping; the gap tells the caller how far off it can
+                 be.  [gap] is [None] on exact solves. *)
+              ilp_gap = Option.map I.Rat.to_float gap;
             })

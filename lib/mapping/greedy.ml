@@ -123,4 +123,5 @@ let map_nf ?(options = Mapping.default_options) lnic (df : D.Graph.t) ~sizes ~pr
               objective_cycles = !total;
               ilp_nodes = 0;
               ilp_vars = 0;
+              ilp_gap = None;
             })

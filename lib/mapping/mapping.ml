@@ -6,6 +6,7 @@ type t = {
   objective_cycles : float;
   ilp_nodes : int;
   ilp_vars : int;
+  ilp_gap : float option;
 }
 
 type options = {
@@ -20,8 +21,13 @@ let unit_of_node t n = t.node_unit.(n)
 let placement_of_state t s = List.assoc_opt s t.state_place
 
 let pp lnic fmt t =
-  Format.fprintf fmt "mapping (objective %.0f cycles, %d B&B nodes, %d vars)@."
-    t.objective_cycles t.ilp_nodes t.ilp_vars;
+  let degraded =
+    match t.ilp_gap with
+    | None -> ""
+    | Some g -> Format.asprintf ", node-limited, gap <= %.0f" g
+  in
+  Format.fprintf fmt "mapping (objective %.0f cycles, %d B&B nodes, %d vars%s)@."
+    t.objective_cycles t.ilp_nodes t.ilp_vars degraded;
   Array.iteri
     (fun n u ->
       Format.fprintf fmt "  n%d -> %s@." n (Clara_lnic.Graph.unit_ lnic u).Clara_lnic.Unit_.name)

@@ -13,6 +13,11 @@ type t = {
           weights (hub/wire constants excluded; the predictor adds them). *)
   ilp_nodes : int;        (** Branch-and-bound nodes explored (0 = greedy). *)
   ilp_vars : int;
+  ilp_gap : float option;
+      (** [None] when the mapping is exact (or greedy).  [Some g] when
+          the branch-and-bound node budget ran out: the mapping is the
+          best incumbent found and its objective is within [g] cycles of
+          the true optimum — degraded but usable. *)
 }
 
 type options = {

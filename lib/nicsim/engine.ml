@@ -1,5 +1,6 @@
 module L = Clara_lnic
 module W = Clara_workload
+module Heap = Clara_util.Heap
 
 (* Per-run packet/drop counters and an ingress queue-depth histogram,
    hoisted so the per-packet path only bumps preallocated cells. *)
@@ -40,17 +41,20 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
   let thread_free = Array.make nthreads 0 in
   let stats = Stats.create () in
   (* Completion times of accepted-but-unfinished packets, for queue-depth
-     accounting (FIFO). *)
-  let inflight = Queue.create () in
+     accounting.  A min-heap, not a FIFO: with multiple threads the
+     completion times are not monotone in arrival order, and retiring in
+     FIFO order would leave early finishers stuck behind a slow packet,
+     overstating the queue depth and firing spurious drops. *)
+  let inflight = Heap.create () in
   W.Trace.iter
     (fun pkt ->
       let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
       (* Retire completed packets from the in-flight window. *)
-      while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
-        ignore (Queue.pop inflight)
+      while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
+        ignore (Heap.pop inflight)
       done;
-      Clara_obs.Metrics.observe h_qdepth (Queue.length inflight);
-      if Queue.length inflight >= queue_capacity + nthreads then begin
+      Clara_obs.Metrics.observe h_qdepth (Heap.length inflight);
+      if Heap.length inflight >= queue_capacity + nthreads then begin
         (* Ingress queue full: drop. *)
         Clara_obs.Metrics.incr c_drops;
         Stats.record_drop stats
@@ -70,7 +74,7 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
         | Device.Drop -> ());
         let done_ = Device.now ctx in
         thread_free.(!ti) <- done_;
-        Queue.push done_ inflight;
+        Heap.push inflight done_;
         Clara_obs.Metrics.incr c_packets;
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)
@@ -96,8 +100,8 @@ let pp_result fmt r =
     (100. *. r.emem_hit_rate)
     (100. *. r.flow_cache_hit_rate)
 
-let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Trace.t)
-    (trace_b : W.Trace.t) =
+let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
+    (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim-pair" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
   let sim = Device.create_sim_shared lnic [ prog_a; prog_b ] in
@@ -106,14 +110,22 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
     | u :: _ -> u.L.Unit_.freq_mhz
     | [] -> invalid_arg "Engine.run_pair: NIC has no general cores"
   in
-  let half_threads = max 1 (L.Graph.total_threads lnic / 2) in
+  let total_threads =
+    match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
+  in
+  let half_threads = max 1 (total_threads / 2) in
+  (* Halving the ingress queue must never round a small hub down to
+     zero capacity, which would drop every queued packet. *)
   let queue_capacity =
-    (match
-       List.find_opt (fun h -> h.L.Hub.kind = `Ingress) (Array.to_list lnic.L.Graph.hubs)
-     with
-    | Some h -> h.L.Hub.queue_capacity
-    | None -> 512)
-    / 2
+    max 1
+      ((match
+          List.find_opt
+            (fun h -> h.L.Hub.kind = `Ingress)
+            (Array.to_list lnic.L.Graph.hubs)
+        with
+       | Some h -> h.L.Hub.queue_capacity
+       | None -> 512)
+      / 2)
   in
   let cycles_of_ns ns =
     Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L)
@@ -126,7 +138,7 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
   in
   Array.sort (fun (p, _) (q, _) -> compare p.W.Packet.arrival_ns q.W.Packet.arrival_ns) tagged;
   let mk_side prog =
-    (prog, Array.make half_threads 0, Stats.create (), Queue.create ())
+    (prog, Array.make half_threads 0, Stats.create (), Heap.create ())
   in
   let side_a = mk_side prog_a and side_b = mk_side prog_b in
   Array.iter
@@ -135,11 +147,11 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
         match tag with `A -> side_a | `B -> side_b
       in
       let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
-      while (not (Queue.is_empty inflight)) && Queue.peek inflight <= arrival do
-        ignore (Queue.pop inflight)
+      while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
+        ignore (Heap.pop inflight)
       done;
-      Clara_obs.Metrics.observe h_qdepth (Queue.length inflight);
-      if Queue.length inflight >= queue_capacity + half_threads then begin
+      Clara_obs.Metrics.observe h_qdepth (Heap.length inflight);
+      if Heap.length inflight >= queue_capacity + half_threads then begin
         Clara_obs.Metrics.incr c_drops;
         Stats.record_drop stats
       end
@@ -157,7 +169,7 @@ let run_pair lnic (prog_a : Device.prog) (prog_b : Device.prog) (trace_a : W.Tra
         | Device.Drop -> ());
         let done_ = Device.now ctx in
         thread_free.(!ti) <- done_;
-        Queue.push done_ inflight;
+        Heap.push inflight done_;
         Clara_obs.Metrics.incr c_packets;
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)

@@ -26,6 +26,7 @@ val mean_latency_cycles : result -> float
 val pp_result : Format.formatter -> result -> unit
 
 val run_pair :
+  ?threads:int ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Device.prog ->
@@ -35,5 +36,7 @@ val run_pair :
 (** Co-resident execution (§3.5): both programs share one simulator —
     EMEM cache, flow cache, accelerators and DMA lanes contend for real —
     while each gets half the hardware threads and half the ingress queue
-    (the paper's "half of the NIC" slicing).  Traces are merged by
-    arrival time; results are reported per program. *)
+    (the paper's "half of the NIC" slicing, each half clamped to at
+    least 1).  Traces are merged by arrival time; results are reported
+    per program.  [threads] overrides the NIC's total hardware thread
+    count before halving, like {!run}'s. *)

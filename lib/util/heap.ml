@@ -1,0 +1,60 @@
+(* Array-backed binary min-heap of ints.  Used by the nicsim engine to
+   retire in-flight packets by completion time: multi-threaded
+   completions are not monotone, so a FIFO overstates queue depth. *)
+
+type t = { mutable data : int array; mutable size : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max 1 capacity) 0; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i) < h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.data.(l) < h.data.(!smallest) then smallest := l;
+  if r < h.size && h.data.(r) < h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    let grown = Array.make (2 * h.size) 0 in
+    Array.blit h.data 0 grown 0 h.size;
+    h.data <- grown
+  end;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min_elt h =
+  if h.size = 0 then invalid_arg "Heap.min_elt: empty";
+  h.data.(0)
+
+let pop h =
+  if h.size = 0 then invalid_arg "Heap.pop: empty";
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let clear h = h.size <- 0

@@ -413,6 +413,220 @@ let prop_bb_assignment =
       res.Bb.status = Bb.Optimal
       && R.equal res.Bb.objective (r (brute_force_assignment cost)))
 
+(* ------------------------------------------------------------------ *)
+(* Bounded-variable simplex                                            *)
+
+let test_simplex_bounds_only () =
+  (* No rows at all (m = 0): the optimum sits on the bounds. *)
+  let t =
+    Sx.create ~c:[| r 1; r (-1) |] ~rows:[]
+      ~bounds:[| (r (-2), Some (r 3)); (r 0, Some (r 5)) |]
+  in
+  check "optimal" true (Sx.solve_primal t = Sx.Optimal);
+  check "obj -7" true R.(equal (Sx.objective_value t) (r (-7)));
+  check "x at lower" true R.(equal (Sx.solution t).(0) (r (-2)));
+  check "y at upper" true R.(equal (Sx.solution t).(1) (r 5));
+  (* A missing upper bound under a negative cost is unbounded. *)
+  let u = Sx.create ~c:[| r (-1) |] ~rows:[] ~bounds:[| (r 0, None) |] in
+  check "unbounded" true (Sx.solve_primal u = Sx.Unbounded)
+
+let test_simplex_bound_flip () =
+  (* min -(x+y) st x + y <= 3 with x,y in [0,2]: the optimum needs one
+     variable flipped to its upper bound without ever entering the
+     basis. *)
+  let t =
+    Sx.create ~c:[| r (-1); r (-1) |]
+      ~rows:[ { Sx.coeffs = [| r 1; r 1 |]; sense = M.Le; rhs = r 3 } ]
+      ~bounds:[| (r 0, Some (r 2)); (r 0, Some (r 2)) |]
+  in
+  check "optimal" true (Sx.solve_primal t = Sx.Optimal);
+  check "obj -3" true R.(equal (Sx.objective_value t) (r (-3)))
+
+let test_simplex_empty_interval () =
+  let t = Sx.create ~c:[| r 1 |] ~rows:[] ~bounds:[| (r 2, Some (r 1)) |] in
+  check "lo > ub infeasible" true (Sx.solve_primal t = Sx.Infeasible)
+
+(* Differential: native bounds vs the old formulation that spelled the
+   box out as explicit Ge/Le unit rows over x >= 0.  Same costs, same
+   rows; both solvers must agree on status and on the exact optimal
+   objective (the optimal points may legitimately differ). *)
+let prop_bounds_native_vs_rows =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* nvars = int_range 1 4 in
+        let* nrows = int_range 0 4 in
+        let* boxes = list_repeat nvars (pair (int_range 0 3) (int_range 0 4)) in
+        let* rows =
+          list_repeat nrows
+            (let* coeffs = list_repeat nvars (int_range (-4) 4) in
+             let* sense = oneofl [ M.Le; M.Ge; M.Eq ] in
+             let* rhs = int_range (-6) 12 in
+             return (coeffs, sense, rhs))
+        in
+        let* c = list_repeat nvars (int_range (-5) 5) in
+        return (boxes, rows, c))
+  in
+  QCheck.Test.make ~name:"bounded simplex = bounds-as-rows formulation" ~count:300 gen
+    (fun (boxes, rows, c) ->
+      let nvars = List.length c in
+      let shared_rows =
+        List.map
+          (fun (coeffs, sense, rhs) ->
+            { Sx.coeffs = Array.of_list (List.map r coeffs); sense; rhs = r rhs })
+          rows
+      in
+      let bounds =
+        Array.of_list (List.map (fun (lo, w) -> (r lo, Some (r (lo + w)))) boxes)
+      in
+      let t = Sx.create ~c:(Array.of_list (List.map r c)) ~rows:shared_rows ~bounds in
+      let st = Sx.solve_primal t in
+      let unit_row j v sense =
+        { Sx.coeffs = Array.init nvars (fun k -> if k = j then R.one else R.zero);
+          sense;
+          rhs = v }
+      in
+      let box_rows =
+        List.concat
+          (List.mapi
+             (fun j (lo, w) -> [ unit_row j (r lo) M.Ge; unit_row j (r (lo + w)) M.Le ])
+             boxes)
+      in
+      let res =
+        Sx.solve ~c:(Array.of_list (List.map r c)) ~rows:(shared_rows @ box_rows)
+      in
+      match (st, res.Sx.status) with
+      | Sx.Optimal, Sx.Optimal -> R.equal (Sx.objective_value t) res.Sx.objective
+      | Sx.Infeasible, Sx.Infeasible -> true
+      | _ -> false (* a finite box can never be unbounded *))
+
+(* B&B over general integer boxes (negative lower bounds included) vs
+   exhaustive enumeration of every lattice point. *)
+let prop_bb_box_bruteforce =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 3 in
+        let* boxes = list_repeat n (pair (int_range (-2) 2) (int_range 0 3)) in
+        let* m = int_range 1 3 in
+        let* a = list_repeat (m * n) (int_range (-4) 4) in
+        let* b = list_repeat m (int_range (-4) 10) in
+        let* c = list_repeat n (int_range (-5) 5) in
+        return (n, boxes, m, a, b, c))
+  in
+  QCheck.Test.make ~name:"B&B on integer boxes = brute force" ~count:150 gen
+    (fun (n, boxes, m, a, b, c) ->
+      let aij i j = List.nth a ((i * n) + j) in
+      let model = M.create () in
+      let xs =
+        List.map
+          (fun (lo, w) -> M.add_var model ~lb:(r lo) ~ub:(r (lo + w)) M.Integer)
+          boxes
+      in
+      for i = 0 to m - 1 do
+        M.add_constraint model
+          (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (aij i j)) x) xs))
+          M.Le
+          (r (List.nth b i))
+      done;
+      M.set_objective model M.Minimize
+        (LE.sum (List.mapi (fun j x -> LE.var ~coeff:(r (List.nth c j)) x) xs));
+      let best = ref None in
+      let rec go j acc =
+        if j = n then begin
+          let x = List.rev acc in
+          let feasible =
+            List.init m (fun i ->
+                List.fold_left ( + ) 0 (List.mapi (fun k xk -> aij i k * xk) x)
+                <= List.nth b i)
+            |> List.for_all Fun.id
+          in
+          if feasible then begin
+            let v =
+              List.fold_left ( + ) 0 (List.mapi (fun k xk -> List.nth c k * xk) x)
+            in
+            match !best with
+            | None -> best := Some v
+            | Some bv -> if v < bv then best := Some v
+          end
+        end
+        else
+          let lo, w = List.nth boxes j in
+          for v = lo to lo + w do
+            go (j + 1) (v :: acc)
+          done
+      in
+      go 0 [];
+      match (Bb.solve model, !best) with
+      | { Bb.status = Bb.Optimal; objective; values; _ }, Some bv ->
+          R.equal objective (r bv) && M.check model values
+      | { Bb.status = Bb.Infeasible; _ }, None -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Warm starts and node limits                                         *)
+
+let test_lp_rebound_matches_cold () =
+  (* Re-optimizing a copied tableau after tightening one bound must
+     agree exactly with a cold solve under the same bounds, and the
+     warm-start counter must record that the cheap path ran. *)
+  let m = M.create () in
+  let x = M.add_var m ~ub:(r 4) M.Continuous in
+  let y = M.add_var m ~ub:(r 4) M.Continuous in
+  M.add_constraint m LE.(add (var x) (var ~coeff:(r 2) y)) M.Le (r 9);
+  M.set_objective m M.Maximize LE.(add (var ~coeff:(r 3) x) (var ~coeff:(r 2) y));
+  let root, r0 = Lp.root m in
+  check "root optimal" true (r0.Lp.status = Lp.Optimal);
+  let bounds = Array.copy (Lp.node_bounds root) in
+  bounds.(x) <- (R.zero, Some (r 2));
+  let warm0 =
+    Clara_obs.Registry.counter_value Clara_obs.Registry.default "ilp.simplex.warm_starts"
+  in
+  let _, rw = Lp.rebound root ~bounds in
+  let warm1 =
+    Clara_obs.Registry.counter_value Clara_obs.Registry.default "ilp.simplex.warm_starts"
+  in
+  let rc = Lp.solve ~bounds m in
+  check "warm = cold status" true (rw.Lp.status = rc.Lp.status);
+  check "warm = cold objective" true R.(equal rw.Lp.objective rc.Lp.objective);
+  check "warm-start counter bumped" true (warm1 > warm0)
+
+let test_bb_node_limit () =
+  (* Sum 2x_j <= 13 over 14 binaries, maximize Sum x_j: the relaxation
+     is fractional at every node, so proving optimality takes many
+     nodes, but a depth-first dive reaches an integer incumbent almost
+     immediately.  Regression: exceeding the budget used to raise and
+     throw the incumbent away. *)
+  let mk () =
+    let m = M.create () in
+    let xs = List.init 14 (fun _ -> M.add_var m M.Binary) in
+    M.add_constraint m
+      (LE.sum (List.map (fun x -> LE.var ~coeff:(r 2) x) xs))
+      M.Le (r 13);
+    M.set_objective m M.Maximize (LE.sum (List.map LE.var xs));
+    m
+  in
+  let full = Bb.solve (mk ()) in
+  check "full solve optimal" true (full.Bb.status = Bb.Optimal);
+  check "full obj 6" true R.(equal full.Bb.objective (r 6));
+  let m = mk () in
+  let lim = Bb.solve ~node_limit:10 m in
+  check "node-limited" true (lim.Bb.status = Bb.Node_limit);
+  check "incumbent found" true lim.Bb.incumbent;
+  check "incumbent is feasible" true (M.check m lim.Bb.values);
+  check "node budget respected" true (lim.Bb.nodes <= 10);
+  (match lim.Bb.gap with
+  | None -> Alcotest.fail "node-limited incumbent must carry a gap"
+  | Some g ->
+      check "gap nonnegative" true R.(g >= zero);
+      check "true optimum within gap" true
+        (R.( <= ) full.Bb.objective (R.add lim.Bb.objective g)));
+  (* A budget too small to finish even one dive yields no incumbent —
+     and says so rather than inventing one. *)
+  let none = Bb.solve ~node_limit:1 (mk ()) in
+  check "no incumbent" true (none.Bb.status = Bb.Node_limit && not none.Bb.incumbent);
+  check "no gap without incumbent" true (none.Bb.gap = None)
+
 let test_model_check () =
   let m = M.create () in
   let x = M.add_var m M.Binary in
@@ -447,6 +661,11 @@ let suite =
     Alcotest.test_case "b&b knapsack" `Quick test_bb_knapsack;
     Alcotest.test_case "b&b integer rounding" `Quick test_bb_integer_rounding;
     Alcotest.test_case "b&b infeasible" `Quick test_bb_infeasible;
+    Alcotest.test_case "simplex bounds only (m = 0)" `Quick test_simplex_bounds_only;
+    Alcotest.test_case "simplex bound flip" `Quick test_simplex_bound_flip;
+    Alcotest.test_case "simplex empty interval" `Quick test_simplex_empty_interval;
+    Alcotest.test_case "lp warm restart = cold solve" `Quick test_lp_rebound_matches_cold;
+    Alcotest.test_case "b&b node limit keeps incumbent" `Quick test_bb_node_limit;
     Alcotest.test_case "model check" `Quick test_model_check ]
   @ qsuite
       [ prop_bigint_ring;
@@ -458,4 +677,6 @@ let suite =
         prop_rat_order;
         prop_rat_floor_frac;
         prop_simplex_feasible;
+        prop_bounds_native_vs_rows;
+        prop_bb_box_bruteforce;
         prop_bb_assignment ]

@@ -2,6 +2,7 @@
    engine dynamics. *)
 
 module Lru = Clara_util.Lru
+module Heap = Clara_util.Heap
 module Mem = Clara_nicsim.Mem_model
 module Dev = Clara_nicsim.Device
 module Eng = Clara_nicsim.Engine
@@ -46,6 +47,37 @@ let prop_lru_capacity =
       let l = Lru.create ~capacity:cap in
       List.iter (fun k -> ignore (Lru.touch l k)) keys;
       Lru.size l <= cap)
+
+(* ------------------------------------------------------------------ *)
+(* Min-heap                                                            *)
+
+let test_heap_basics () =
+  let h = Heap.create () in
+  check "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  check_int "size" 5 (Heap.length h);
+  check_int "min" 1 (Heap.min_elt h);
+  check_int "pop 1" 1 (Heap.pop h);
+  check_int "pop duplicate 1" 1 (Heap.pop h);
+  check_int "pop 3" 3 (Heap.pop h);
+  Heap.push h 0;
+  check_int "new min after push" 0 (Heap.min_elt h);
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h);
+  check "min_elt on empty raises" true
+    (try
+       ignore (Heap.min_elt h);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_heap_drains_sorted =
+  QCheck.Test.make ~name:"heap drains in nondecreasing order" ~count:200
+    (QCheck.list (QCheck.int_range (-1000) 1000))
+    (fun xs ->
+      let h = Heap.create ~capacity:1 () in
+      List.iter (Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Heap.pop h) in
+      Heap.is_empty h && out = List.sort compare xs)
 
 (* ------------------------------------------------------------------ *)
 (* Memory model                                                        *)
@@ -315,6 +347,53 @@ let test_run_pair_coresidency () =
        false
      with Invalid_argument _ -> true)
 
+let test_engine_out_of_order_retirement () =
+  (* Regression: the in-flight window used to retire in FIFO order, so
+     every packet that finished early stayed "queued" behind one slow
+     packet and the engine fired spurious drops.  One pathological
+     packet on one of three threads must not drop anything at a rate
+     the other two threads absorb easily. *)
+  let first = ref true in
+  let prog =
+    { Dev.name = "one-slow";
+      tables = [];
+      handler =
+        (fun ctx _ ->
+          if !first then begin
+            first := false;
+            Dev.alu ctx 200_000_000
+          end
+          else Dev.alu ctx 10;
+          Dev.Emit) }
+  in
+  let tr = trace ~packets:2000 ~rate:100_000. () in
+  let r = Eng.run ~threads:3 lnic prog tr in
+  check "no spurious drops behind one slow packet" true
+    (r.Eng.summary.Stats.drops = 0);
+  check_int "everything processed" 2000 r.Eng.summary.Stats.packets
+
+let test_run_pair_capacity_clamp () =
+  (* Regression: run_pair halves the ingress queue; a capacity-1 hub
+     used to round down to zero and drop any packet that found the
+     thread busy. *)
+  let hubs =
+    Array.map
+      (fun (h : L.Hub.t) ->
+        if h.L.Hub.kind = `Ingress then { h with L.Hub.queue_capacity = 1 } else h)
+      lnic.L.Graph.hubs
+  in
+  let tiny = { lnic with L.Graph.hubs = hubs } in
+  let mk arrival_ns =
+    { W.Packet.src_ip = 1l; dst_ip = 2l; src_port = 1; dst_port = 2;
+      proto = W.Packet.Udp; flags = 0; payload_bytes = 64; arrival_ns }
+  in
+  let tr_a = W.Trace.of_packets [| mk 0L; mk 10L |] in
+  let tr_b = W.Trace.of_packets [||] in
+  let prog_b = { (simple_prog ()) with Dev.name = "noop-b" } in
+  let ra, _rb = Eng.run_pair ~threads:2 tiny (simple_prog ()) prog_b tr_a tr_b in
+  check_int "both packets accepted" 2 ra.Eng.summary.Stats.packets;
+  check "no drops with clamped half-queue" true (ra.Eng.summary.Stats.drops = 0)
+
 let test_firewall_placement_contrast () =
   let tr = trace ~packets:3000 ~rate:60_000. () in
   let ctm = Eng.run lnic (Clara_nfs.Firewall.ported ~entries:4096 ~placement:Dev.P_ctm ()) tr in
@@ -350,6 +429,7 @@ let test_stats_nearest_rank_percentile () =
 let suite =
   [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
     Alcotest.test_case "lru recency" `Quick test_lru_recency;
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
     Alcotest.test_case "memory latencies (§3.2 numbers)" `Quick test_mem_latencies;
     Alcotest.test_case "emem cache eviction" `Quick test_mem_cache_eviction;
     Alcotest.test_case "device parse costs" `Quick test_device_parse_costs;
@@ -368,7 +448,9 @@ let suite =
     Alcotest.test_case "LPM variants (Fig 1)" `Quick test_lpm_variant_contrast;
     Alcotest.test_case "FW placement (Fig 1)" `Quick test_firewall_placement_contrast;
     Alcotest.test_case "engine thread parameter" `Quick test_engine_thread_parameter;
+    Alcotest.test_case "out-of-order retirement" `Quick test_engine_out_of_order_retirement;
     Alcotest.test_case "co-resident run_pair" `Quick test_run_pair_coresidency;
+    Alcotest.test_case "run_pair capacity clamp" `Quick test_run_pair_capacity_clamp;
     Alcotest.test_case "stats nearest-rank percentiles" `Quick
       test_stats_nearest_rank_percentile ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_lru_capacity ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_lru_capacity; prop_heap_drains_sorted ]
