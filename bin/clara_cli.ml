@@ -10,7 +10,9 @@
      energy      per-packet energy prediction
      chain       predict a service chain of several NF sources
      corpus      list/dump the bundled NF sources
-     trace-gen   synthesize a pcap trace from an abstract profile *)
+     trace-gen   synthesize a pcap trace from an abstract profile
+     sweep       parallel design-space exploration from a spec file
+     interfere   slowdown of two NFs co-resident on one NIC *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -22,12 +24,7 @@ let nic_arg =
   let doc = "Target: 'netronome' (default), 'soc', 'asic', or 'host'." in
   Arg.(value & opt string "netronome" & info [ "nic" ] ~docv:"NIC" ~doc)
 
-let lnic_of_name = function
-  | "netronome" -> Ok L.Netronome.default
-  | "soc" -> Ok L.Soc_nic.default
-  | "asic" -> Ok L.Asic_nic.default
-  | "host" -> Ok L.Host.default
-  | other -> Error (Printf.sprintf "unknown NIC %S (expected netronome|soc|asic|host)" other)
+let lnic_of_name = L.Targets.of_name
 
 let source_arg =
   let doc = "NF DSL source file." in
@@ -223,8 +220,7 @@ let nics_cmd =
               name p.Clara_predict.Latency.mean_cycles
               (p.Clara_predict.Latency.mean_cycles /. float_of_int freq)
               tp.Clara_predict.Throughput.max_pps)
-      [ ("netronome", L.Netronome.default); ("soc", L.Soc_nic.default);
-        ("asic", L.Asic_nic.default) ]
+      L.Targets.nics
   in
   let doc = "Compare SmartNIC targets for one NF and workload." in
   Cmd.v (Cmd.info "nics" ~doc)
@@ -335,6 +331,124 @@ let chain_cmd =
       const run $ sources_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
       $ rate_arg $ tcp_arg $ seed_arg $ stats_arg $ stats_json_arg)
 
+(* ---- sweep ---------------------------------------------------------- *)
+
+let sweep_cmd =
+  let spec_arg =
+    let doc = "Sweep specification file (JSON; see README for the schema)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SWEEP.json" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: the runtime's recommendation, capped at 8)." in
+    Arg.(value & opt int 0 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Result cache directory." in
+    Arg.(value & opt string ".clara-cache/sweep" & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the result cache (recompute every cell)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: 'text', 'json', or 'csv'." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-cell budget in milliseconds; an over-budget cell is reported as \
+       failed without aborting the sweep."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let run spec_file domains cache_dir no_cache format out timeout_ms stats stats_json =
+    let spec = or_die (Clara_explore.Spec.load spec_file) in
+    let domains =
+      if domains > 0 then domains else min 8 (Domain.recommended_domain_count ())
+    in
+    let cache =
+      if no_cache then None else Some (Clara_explore.Cache.create ~dir:cache_dir)
+    in
+    let report = Clara_explore.Sweep.run ~domains ?timeout_ms ?cache spec in
+    let emit oc =
+      match format with
+      | `Text ->
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "%a@?" Clara_explore.Sweep.render report
+      | `Json ->
+          Clara_util.Json.to_channel oc (Clara_explore.Sweep.to_json report);
+          output_char oc '\n'
+      | `Csv -> output_string oc (Clara_explore.Sweep.to_csv report)
+    in
+    (match out with
+    | None -> emit stdout
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+        Format.eprintf "clara: wrote %s@." file);
+    emit_stats ~stats ~stats_json;
+    if Array.exists
+         (fun (o : Clara_explore.Sweep.outcome) ->
+           match o.Clara_explore.Sweep.status with
+           | Clara_explore.Sweep.Failed _ -> true
+           | _ -> false)
+         report.Clara_explore.Sweep.outcomes
+    then exit 3
+  in
+  let doc =
+    "Evaluate a design-space sweep (NFs x NICs x options x workloads) in \
+     parallel, with a content-addressed result cache."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ spec_arg $ domains_arg $ cache_arg $ no_cache_arg $ format_arg
+      $ out_arg $ timeout_arg $ stats_arg $ stats_json_arg)
+
+(* ---- interfere ------------------------------------------------------ *)
+
+let interfere_cmd =
+  let src_a_arg =
+    let doc = "First NF DSL source file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.clara" ~doc)
+  in
+  let src_b_arg =
+    let doc = "Second NF DSL source file." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.clara" ~doc)
+  in
+  let run src_a src_b nic payload packets flows rate tcp =
+    let lnic = or_die (lnic_of_name nic) in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let source_a = read_file src_a and source_b = read_file src_b in
+    let ra, rb =
+      or_die (Clara_predict.Interference.analyze_pair lnic ~source_a ~source_b ~profile)
+    in
+    let show name (r : Clara_predict.Interference.report) =
+      Printf.printf "%-24s solo %9.0f cyc   half-NIC %9.0f cyc   contended %9.0f cyc   slowdown %.2fx\n"
+        name r.Clara_predict.Interference.solo_cycles
+        r.Clara_predict.Interference.sliced_cycles
+        r.Clara_predict.Interference.contended_cycles
+        r.Clara_predict.Interference.slowdown
+    in
+    Printf.printf "co-residence on %s:\n" nic;
+    show (Filename.basename src_a) ra;
+    show (Filename.basename src_b) rb
+  in
+  let doc =
+    "Predict the slowdown of two NFs sharing one NIC (sliced cores, shrunken \
+     cache, accelerator contention)."
+  in
+  Cmd.v (Cmd.info "interfere" ~doc)
+    Term.(
+      const run $ src_a_arg $ src_b_arg $ nic_arg $ payload_arg $ packets_arg
+      $ flows_arg $ rate_arg $ tcp_arg)
+
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
@@ -371,4 +485,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
-            paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd ]))
+            paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
+            interfere_cmd ]))

@@ -12,9 +12,8 @@ module W = Clara_workload
 module L = Clara_lnic
 
 let () =
-  let targets =
-    [ ("netronome-like", L.Netronome.default); ("arm-soc-like", L.Soc_nic.default) ]
-  in
+  (* The shared registry of NIC models the CLI and sweep specs use. *)
+  let targets = L.Targets.nics in
   let workloads =
     [ ( "lpm-20k / small packets (table-heavy)",
         Clara_nfs.Lpm.source ~entries:20_000,

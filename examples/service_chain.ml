@@ -39,6 +39,4 @@ let () =
             p.Clara_predict.Latency.mean_cycles
             (100. *. p.Clara_predict.Latency.emitted_fraction)
             p.Clara_predict.Latency.p99_cycles)
-    [ ("netronome-like", L.Netronome.default);
-      ("arm-soc-like", L.Soc_nic.default);
-      ("asic-pipeline", L.Asic_nic.default) ]
+    L.Targets.nics

@@ -1,0 +1,31 @@
+(* Pareto post-processing over the sweep's three objectives:
+   p99 latency (minimize), throughput (maximize), energy per packet
+   (minimize).  Input order is preserved in the output so frontiers are
+   deterministic regardless of which domain computed which cell. *)
+
+type point = {
+  p99_us : float;
+  max_pps : float;
+  nj_per_packet : float;
+}
+
+(* [a] dominates [b]: no worse on every objective, strictly better on
+   at least one. *)
+let dominates a b =
+  a.p99_us <= b.p99_us && a.max_pps >= b.max_pps
+  && a.nj_per_packet <= b.nj_per_packet
+  && (a.p99_us < b.p99_us || a.max_pps > b.max_pps
+      || a.nj_per_packet < b.nj_per_packet)
+
+(* Non-dominated subset of [pts], input order kept.  O(n^2), fine for
+   sweep-sized inputs. *)
+let pareto pts =
+  List.filter
+    (fun (_, p) -> not (List.exists (fun (_, q) -> dominates q p) pts))
+    pts
+
+(* Best element by [cmp]; ties resolved by input order (first wins). *)
+let best_by cmp = function
+  | [] -> None
+  | x :: rest ->
+      Some (List.fold_left (fun acc y -> if cmp y acc < 0 then y else acc) x rest)

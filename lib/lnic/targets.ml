@@ -1,0 +1,25 @@
+(* Central name -> LNIC-model resolution.  The CLI, the examples, and
+   the sweep-spec parser all accept the same target names; keep the
+   table in one place so adding a NIC model is a one-line change. *)
+
+let all =
+  [ ("netronome", Netronome.default);
+    ("soc", Soc_nic.default);
+    ("asic", Asic_nic.default);
+    ("host", Host.default) ]
+
+(* Offload targets only — what `clara nics` and the selection examples
+   compare; the host is the baseline, not a NIC. *)
+let nics = List.filter (fun (n, _) -> n <> "host") all
+
+let names = List.map fst all
+
+let find name = List.assoc_opt name all
+
+let of_name name =
+  match find name with
+  | Some g -> Ok g
+  | None ->
+      Error
+        (Printf.sprintf "unknown NIC %S (expected %s)" name
+           (String.concat "|" names))

@@ -34,4 +34,9 @@ val is_accelerator : t -> accel_kind -> bool
 val threads : t -> int
 (** 1 for accelerators. *)
 
+val accel_name : accel_kind -> string
+(** Stable lower-case name ("checksum", "crypto", "lookup", "parse") —
+    used in reports and in sweep cache keys, so renaming one
+    invalidates cached results. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,5 @@
-(** Minimal JSON emitter (no parser — Clara only writes JSON, for
-    machine-readable reports and tooling integration). *)
+(** Minimal JSON emitter and parser, for machine-readable reports,
+    sweep-spec files and the on-disk result cache. *)
 
 type t =
   | Null
@@ -15,3 +15,32 @@ val to_string : ?pretty:bool -> t -> string
     true) indents with two spaces. *)
 
 val to_channel : ?pretty:bool -> out_channel -> t -> unit
+
+exception Parse_error of string * int
+(** Message and byte offset. *)
+
+val parse_exn : string -> t
+(** Parse one JSON value (with optional surrounding whitespace); raises
+    [Parse_error].  Numbers without a fraction or exponent that fit in
+    an OCaml [int] parse as [Int], all others as [Float]. *)
+
+val parse : string -> (t, string) result
+(** [parse_exn] with the error rendered as ["JSON parse error at byte
+    %d: %s"]. *)
+
+(** {2 Accessors} — shallow, total helpers for picking spec/cache
+    fields apart. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    non-objects. *)
+
+val to_int_opt : t -> int option
+(** [Int], or [Float] with an integral value. *)
+
+val to_float_opt : t -> float option
+(** [Float], or [Int] widened. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

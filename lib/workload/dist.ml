@@ -30,17 +30,28 @@ let make_zipf ~n ~alpha =
 (* [sample] used to rebuild the O(n) Zipf CDF on every draw; memoize the
    sampler per (n, alpha) so repeated draws are O(log n).  The cache is
    tiny in practice (profiles use a handful of shapes); reset it if it
-   ever grows past a sane bound. *)
+   ever grows past a sane bound.  Guarded by a mutex: sweep workers
+   (lib/explore) synthesize traces on several domains at once, and a
+   shared Hashtbl must not be mutated concurrently.  The sampler itself
+   closes over an immutable CDF array, so sharing samplers across
+   domains is safe. *)
 let zipf_cache : (int * float, Prng.t -> int) Hashtbl.t = Hashtbl.create 8
+let zipf_mu = Mutex.create ()
 
 let zipf_sampler ~n ~alpha =
+  Mutex.lock zipf_mu;
   match Hashtbl.find_opt zipf_cache (n, alpha) with
-  | Some f -> f
+  | Some f ->
+      Mutex.unlock zipf_mu;
+      f
   | None ->
       if Hashtbl.length zipf_cache >= 64 then Hashtbl.reset zipf_cache;
-      let f = make_zipf ~n ~alpha in
-      Hashtbl.add zipf_cache (n, alpha) f;
-      f
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock zipf_mu)
+        (fun () ->
+          let f = make_zipf ~n ~alpha in
+          Hashtbl.add zipf_cache (n, alpha) f;
+          f)
 
 let sample g = function
   | Fixed v -> v
