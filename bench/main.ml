@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
              ablations ilp interference nics throughput chains energy
-             partial zoo sweep bechamel   (default: all) *)
+             partial zoo sweep trace bechamel   (default: all) *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -832,6 +832,50 @@ let sweep_bench () =
   rm_rf dir4
 
 (* ------------------------------------------------------------------ *)
+(* Trace guard: tracing must not perturb simulation results            *)
+
+let trace_guard () =
+  header "Trace guard: sink off vs on must be byte-identical";
+  Printf.printf
+    "Runs the same NF + workload with the trace sink disabled and enabled;\n\
+     any divergence in the latency summary means instrumentation leaked\n\
+     into simulation semantics.  Also reports the tracing overhead.\n\n";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun (name, prog, prof) ->
+      let trace = W.Trace.synthesize ~seed:31L prof in
+      (* Warm-up run so neither timed run pays one-time costs. *)
+      ignore (Eng.run lnic prog trace);
+      let r_off, t_off = time (fun () -> Eng.run lnic prog trace) in
+      let sink = Clara_nicsim.Trace.create () in
+      let r_on, t_on = time (fun () -> Eng.run lnic prog ~sink trace) in
+      (* [compare] (not [=]) so NaN hit rates on cache-free NFs compare
+         equal instead of poisoning the check. *)
+      if compare r_off.Eng.summary r_on.Eng.summary <> 0 then
+        failwith (name ^ ": latency summary differs with tracing on");
+      if compare r_off.Eng.emem_hit_rate r_on.Eng.emem_hit_rate <> 0 then
+        failwith (name ^ ": emem hit rate differs with tracing on");
+      if compare r_off.Eng.flow_cache_hit_rate r_on.Eng.flow_cache_hit_rate <> 0
+      then failwith (name ^ ": flow cache hit rate differs with tracing on");
+      if Clara_nicsim.Trace.total sink = 0 then
+        failwith (name ^ ": sink recorded no events");
+      Printf.printf
+        "%-14s identical results; %8d events   off %6.1f ms   on %6.1f ms   overhead %.2fx\n"
+        name
+        (Clara_nicsim.Trace.total sink)
+        (1e3 *. t_off) (1e3 *. t_on)
+        (t_on /. t_off))
+    [ ("nat", Clara_nfs.Nat.ported ~checksum_engine:true (), profile ~packets:10_000 ());
+      ("lpm-4k", Clara_nfs.Lpm.ported ~entries:4_000 ~use_flow_cache:true (), profile ~packets:10_000 ());
+      ( "firewall-hot",
+        Clara_nfs.Firewall.ported ~entries:8192 ~placement:Dev.P_imem (),
+        profile ~packets:10_000 ~rate:1_500_000. () ) ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("figure1", figure1);
@@ -852,6 +896,7 @@ let sections =
     ("partial", partial);
     ("zoo", zoo);
     ("sweep", sweep_bench);
+    ("trace", trace_guard);
     ("bechamel", bechamel) ]
 
 let () =

@@ -12,7 +12,9 @@
      corpus      list/dump the bundled NF sources
      trace-gen   synthesize a pcap trace from an abstract profile
      sweep       parallel design-space exploration from a spec file
-     interfere   slowdown of two NFs co-resident on one NIC *)
+     interfere   slowdown of two NFs co-resident on one NIC
+     trace       simulate a ported NF with per-packet event tracing
+     json-check  validate that a file parses as JSON *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -151,9 +153,24 @@ let analyze_cmd =
 
 (* ---- predict ------------------------------------------------------ *)
 
+let write_json_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Clara_util.Json.to_channel ~pretty:false oc j;
+      output_char oc '\n')
+
 let predict_cmd =
-  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed stats
-      stats_json =
+  let trace_out_arg =
+    let doc =
+      "Write the predicted per-packet timeline as Chrome/Perfetto trace-event \
+       JSON to $(docv) (load at ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed
+      trace_out stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let source = read_file src in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
@@ -168,6 +185,13 @@ let predict_cmd =
     Format.printf "mean latency: %.2f us at %d MHz@."
       (p.Clara_predict.Latency.mean_cycles /. float_of_int freq)
       freq;
+    (* Where the predicted cycles go, per packet type. *)
+    let predictor =
+      Clara_predict.Latency.create lnic analysis.Clara.df analysis.Clara.mapping
+    in
+    let att = Clara_predict.Latency.attribute_trace predictor trace in
+    Format.printf "attribution (mean cycles per packet):@.%a"
+      Clara_predict.Latency.pp_attribution att;
     (match
        Clara_predict.Throughput.latency_at_rate
          ~base_cycles:p.Clara_predict.Latency.mean_cycles ~rate_pps:rate lnic
@@ -178,6 +202,11 @@ let predict_cmd =
     | Some _ -> ()
     | None ->
         Format.printf "warning: %.0f pps exceeds the predicted capacity@." rate);
+    Option.iter
+      (fun file ->
+        write_json_file file (Clara_predict.Latency.perfetto_timeline predictor trace);
+        Format.eprintf "clara: wrote predicted timeline to %s@." file)
+      trace_out;
     emit_stats ~stats ~stats_json
   in
   let doc = "Predict workload latency for an unported NF." in
@@ -185,7 +214,7 @@ let predict_cmd =
     Term.(
       const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
       $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
-      $ seed_arg $ stats_arg $ stats_json_arg)
+      $ seed_arg $ trace_out_arg $ stats_arg $ stats_json_arg)
 
 (* ---- microbench ---------------------------------------------------- *)
 
@@ -411,21 +440,154 @@ let sweep_cmd =
       const run $ spec_arg $ domains_arg $ cache_arg $ no_cache_arg $ format_arg
       $ out_arg $ timeout_arg $ stats_arg $ stats_json_arg)
 
+(* ---- trace ---------------------------------------------------------- *)
+
+module Nsim = Clara_nicsim
+
+let corpus_entry name =
+  match Clara_nfs.Corpus.find name with
+  | Some e -> e
+  | None ->
+      prerr_endline
+        ("clara: unknown NF '" ^ name ^ "' (try: "
+        ^ String.concat " " Clara_nfs.Corpus.names
+        ^ ")");
+      exit 1
+
+let trace_cmd =
+  let nf_arg =
+    let doc = "Corpus NF to trace (see 'clara corpus')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  in
+  let nf_b_arg =
+    let doc = "Optional second corpus NF: trace both co-resident (run_pair)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NF_B" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the trace as Chrome/Perfetto trace-event JSON to $(docv) (load at \
+       ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Trace ring capacity in events (oldest overwritten beyond this)." in
+    Arg.(value & opt int 1_000_000 & info [ "trace-limit" ] ~docv:"N" ~doc)
+  in
+  let slowest_arg =
+    let doc = "Print full event timelines for the $(docv) slowest packets." in
+    Arg.(value & opt int 3 & info [ "slowest" ] ~docv:"N" ~doc)
+  in
+  let timeline_arg =
+    let doc = "Print the compact text timeline of the recorded events." in
+    Arg.(value & flag & info [ "timeline" ] ~doc)
+  in
+  let threads_arg =
+    let doc = "Override the NIC's hardware thread count." in
+    Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let run nf nf_b nic payload packets flows rate tcp pcap seed out limit slowest timeline
+      threads stats stats_json =
+    let lnic = or_die (lnic_of_name nic) in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let sink = Nsim.Trace.create ~limit () in
+    let ea = corpus_entry nf in
+    let freq_mhz =
+      match nf_b with
+      | None ->
+          let wtrace = trace_of ~pcap ~profile ~seed in
+          let r = Nsim.Engine.run ?threads ~sink lnic ea.Clara_nfs.Corpus.ported wtrace in
+          Format.printf "%s on %s: %a@." nf nic Nsim.Engine.pp_result r;
+          r.Nsim.Engine.freq_mhz
+      | Some nfb ->
+          let eb = corpus_entry nfb in
+          let ta = trace_of ~pcap ~profile ~seed in
+          let tb = trace_of ~pcap:None ~profile ~seed:(seed + 1) in
+          let ra, rb =
+            Nsim.Engine.run_pair ?threads ~sink lnic ea.Clara_nfs.Corpus.ported
+              eb.Clara_nfs.Corpus.ported ta tb
+          in
+          Format.printf "co-resident on %s:@." nic;
+          Format.printf "  %-14s %a@." nf Nsim.Engine.pp_result ra;
+          Format.printf "  %-14s %a@." nfb Nsim.Engine.pp_result rb;
+          ra.Nsim.Engine.freq_mhz
+    in
+    Format.printf "trace: %d events recorded, %d retained, %d lost to ring wrap@."
+      (Nsim.Trace.total sink)
+      (Array.length (Nsim.Trace.events sink))
+      (Nsim.Trace.dropped sink);
+    let report = Nsim.Attribution.analyze sink in
+    Format.printf "@.latency attribution (mean cycles per packet):@.%a"
+      Nsim.Attribution.pp_report report;
+    Format.printf "@.%a" Nsim.Attribution.pp_utilization (Nsim.Attribution.utilization sink);
+    if slowest > 0 then
+      Format.printf "@.slowest packets:@.%a" Nsim.Attribution.pp_slowest
+        (Nsim.Attribution.slowest sink report ~n:slowest);
+    if timeline then Format.printf "@.%a" (Nsim.Trace_export.pp_text ?limit:None) sink;
+    Option.iter
+      (fun path ->
+        Nsim.Trace_export.write_perfetto sink ~freq_mhz ~path;
+        Format.eprintf "clara: wrote Perfetto trace to %s@." path)
+      out;
+    emit_stats ~stats ~stats_json
+  in
+  let doc =
+    "Run a ported corpus NF in the simulator with per-packet event tracing: \
+     bottleneck attribution, per-unit utilization, slowest-packet timelines, \
+     and Chrome/Perfetto export."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ nf_arg $ nf_b_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
+      $ rate_arg $ tcp_arg $ pcap_arg $ seed_arg $ out_arg $ limit_arg $ slowest_arg
+      $ timeline_arg $ threads_arg $ stats_arg $ stats_json_arg)
+
+(* ---- json-check ------------------------------------------------------ *)
+
+let json_check_cmd =
+  let file_arg =
+    let doc = "JSON file to validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let s = read_file file in
+    match Clara_util.Json.parse s with
+    | Ok _ -> Printf.printf "%s: valid JSON (%d bytes)\n" file (String.length s)
+    | Error e ->
+        prerr_endline ("clara: " ^ file ^ ": " ^ e);
+        exit 1
+  in
+  let doc = "Validate that a file parses as JSON (used by CI smoke tests)." in
+  Cmd.v (Cmd.info "json-check" ~doc) Term.(const run $ file_arg)
+
 (* ---- interfere ------------------------------------------------------ *)
 
 let interfere_cmd =
   let src_a_arg =
-    let doc = "First NF DSL source file." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.clara" ~doc)
+    let doc = "First NF: a DSL source file, or a corpus NF name." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
   in
   let src_b_arg =
-    let doc = "Second NF DSL source file." in
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.clara" ~doc)
+    let doc = "Second NF: a DSL source file, or a corpus NF name." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
   in
-  let run src_a src_b nic payload packets flows rate tcp =
+  let trace_out_arg =
+    let doc =
+      "Also run the two NFs co-resident in the simulator with event tracing and \
+       write the shared timeline as Perfetto JSON to $(docv); both NFs must be \
+       corpus names (the simulator needs their ported handlers)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  (* A source argument is a file path if one exists, else a corpus name. *)
+  let resolve arg =
+    if Sys.file_exists arg then (Filename.basename arg, read_file arg)
+    else (arg, (corpus_entry arg).Clara_nfs.Corpus.source)
+  in
+  let run src_a src_b nic payload packets flows rate tcp trace_out =
     let lnic = or_die (lnic_of_name nic) in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
-    let source_a = read_file src_a and source_b = read_file src_b in
+    let name_a, source_a = resolve src_a and name_b, source_b = resolve src_b in
     let ra, rb =
       or_die (Clara_predict.Interference.analyze_pair lnic ~source_a ~source_b ~profile)
     in
@@ -437,8 +599,31 @@ let interfere_cmd =
         r.Clara_predict.Interference.slowdown
     in
     Printf.printf "co-residence on %s:\n" nic;
-    show (Filename.basename src_a) ra;
-    show (Filename.basename src_b) rb
+    show name_a ra;
+    show name_b rb;
+    Option.iter
+      (fun path ->
+        match (Clara_nfs.Corpus.find src_a, Clara_nfs.Corpus.find src_b) with
+        | Some ea, Some eb ->
+            let sink = Nsim.Trace.create () in
+            let ta = W.Trace.synthesize ~seed:42L profile in
+            let tb = W.Trace.synthesize ~seed:43L profile in
+            let sa, sb =
+              Nsim.Engine.run_pair ~sink lnic ea.Clara_nfs.Corpus.ported
+                eb.Clara_nfs.Corpus.ported ta tb
+            in
+            Printf.printf "simulated co-residence:\n";
+            Format.printf "  %-14s %a@." src_a Nsim.Engine.pp_result sa;
+            Format.printf "  %-14s %a@." src_b Nsim.Engine.pp_result sb;
+            Format.printf "%a" Nsim.Attribution.pp_report (Nsim.Attribution.analyze sink);
+            Nsim.Trace_export.write_perfetto sink ~freq_mhz:sa.Nsim.Engine.freq_mhz ~path;
+            Format.eprintf "clara: wrote Perfetto trace to %s@." path
+        | _ ->
+            prerr_endline
+              "clara: --trace needs corpus NF names (the simulator runs ported \
+               handlers); see 'clara corpus'";
+            exit 1)
+      trace_out
   in
   let doc =
     "Predict the slowdown of two NFs sharing one NIC (sliced cores, shrunken \
@@ -447,7 +632,7 @@ let interfere_cmd =
   Cmd.v (Cmd.info "interfere" ~doc)
     Term.(
       const run $ src_a_arg $ src_b_arg $ nic_arg $ payload_arg $ packets_arg
-      $ flows_arg $ rate_arg $ tcp_arg)
+      $ flows_arg $ rate_arg $ tcp_arg $ trace_out_arg)
 
 (* ---- corpus --------------------------------------------------------- *)
 
@@ -486,4 +671,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
-            interfere_cmd ]))
+            interfere_cmd; trace_cmd; json_check_cmd ]))

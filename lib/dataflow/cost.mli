@@ -46,3 +46,18 @@ val instr_cycles : ctx -> Clara_cir.Ir.instr -> float option
 
 val node_cycles : ctx -> Node.t -> float option
 (** Sum over the node's instructions, multiplied by its loop trip. *)
+
+(** {2 Component breakdown} — the same prices split into where the
+    cycles go, for latency attribution. *)
+
+type breakdown = {
+  b_compute : float;  (** Core op/vcall base cost. *)
+  b_mem : float;      (** Memory-region access charges. *)
+  b_accel : float;    (** Accelerator service time. *)
+}
+
+val node_breakdown : ctx -> Node.t -> breakdown option
+(** Mirrors {!node_cycles} ([None] in exactly the same cases).  The
+    fields sum to {!node_cycles} up to float rounding; consumers needing
+    an exact decomposition should recompute compute as the residual
+    [node_cycles - b_mem - b_accel]. *)

@@ -38,7 +38,15 @@ type sim = {
   mutable fc_misses : int;
 }
 
-type t = { sim : sim; mutable clock : int; pkt : W.Packet.t }
+type t = {
+  sim : sim;
+  mutable clock : int;
+  pkt : W.Packet.t;
+  seq : int;       (* packet sequence number within the run, for tracing *)
+  prog_id : int;   (* owning program index (run_pair tags events with it) *)
+  thread : int;    (* bound hardware thread, -1 outside the engine *)
+  trace : Trace.t option;
+}
 
 type handler = t -> W.Packet.t -> verdict
 
@@ -123,11 +131,43 @@ let create_sim_shared lnic progs =
 
 let create_sim lnic prog = create_sim_shared lnic [ prog ]
 
-let make_ctx sim ~now pkt = { sim; clock = now; pkt }
+let make_ctx ?(seq = -1) ?(prog = 0) ?(thread = -1) ?trace sim ~now pkt =
+  { sim; clock = now; pkt; seq; prog_id = prog; thread; trace }
+
 let now ctx = ctx.clock
 let sim_of ctx = ctx.sim
 
 let spend ctx cycles = ctx.clock <- ctx.clock + max 0 cycles
+
+(* Trace emission.  Every helper is a plain [match] on the optional sink:
+   with tracing off the hot loop does no allocation and no extra stores
+   (kind constructors are constant, labels are literals, timestamps are
+   immediate ints). *)
+
+let[@inline] emit ctx ~kind ~label ~t0 ~arg =
+  match ctx.trace with
+  | None -> ()
+  | Some s ->
+      Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread ~kind ~label ~t0
+        ~t1:ctx.clock ~arg
+
+let[@inline] emit_compute ctx ~label ~t0 ~arg =
+  emit ctx ~kind:Trace.Compute ~label ~t0 ~arg
+
+let[@inline] emit_mem ctx ~region ~outcome ~t0 =
+  match ctx.trace with
+  | None -> ()
+  | Some s ->
+      let arg =
+        match (outcome : Mem_model.outcome) with
+        | Mem_model.Hit -> 1
+        | Mem_model.Miss -> 0
+        | Mem_model.Uncached -> -1
+      in
+      Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread
+        ~kind:Trace.Mem_access
+        ~label:(Mem_model.region_name region)
+        ~t0 ~t1:ctx.clock ~arg
 
 let op_cost ctx cls n =
   spend ctx
@@ -139,10 +179,20 @@ let use_accel ctx kind cycles =
   match Hashtbl.find_opt ctx.sim.accel_free kind with
   | None -> invalid_arg "Device.use_accel: no such accelerator on this NIC"
   | Some free ->
+      let req = ctx.clock in
       let start = max ctx.clock !free in
       let done_ = start + cycles in
       free := done_;
-      ctx.clock <- done_
+      ctx.clock <- done_;
+      (match ctx.trace with
+      | None -> ()
+      | Some s ->
+          let label = L.Unit_.accel_name kind in
+          if start > req then
+            Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread
+              ~kind:Trace.Accel_wait ~label ~t0:req ~t1:start ~arg:0;
+          Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread
+            ~kind:Trace.Accel_use ~label ~t0:start ~t1:done_ ~arg:cycles)
 
 let core_vcall_cost ctx vc n =
   match P.core_vcall_cost ctx.sim.params vc with
@@ -169,12 +219,16 @@ let table_access ctx (ts : table_state) ~mode ~key =
   let region = region_of_placement ts.decl.t_placement in
   let slot = (key land max_int) mod ts.decl.t_entries in
   let addr = ts.base_addr + (slot * ts.decl.t_entry_bytes) in
-  spend ctx (Mem_model.access ctx.sim.memm region ~mode ~addr);
+  let t0 = ctx.clock in
+  let cycles, outcome = Mem_model.access' ctx.sim.memm region ~mode ~addr in
+  spend ctx cycles;
   (* CTM is per-island: a CTM-resident table lives on island 0, and
      threads elsewhere pay the cross-island bus (NUMA, §3.1) — an effect
-     the static predictor does not model. *)
+     the static predictor does not model.  The penalty is part of the
+     access's memory-stall span. *)
   if region = Mem_model.Ctm && packet_island ctx <> 0 then
-    spend ctx ctx.sim.ctm_remote_penalty
+    spend ctx ctx.sim.ctm_remote_penalty;
+  emit_mem ctx ~region ~outcome ~t0
 
 (* ------------------------------------------------------------------ *)
 (* Handler operations                                                  *)
@@ -183,24 +237,55 @@ let parse_header ctx ~engine =
   if engine then
     use_accel ctx L.Unit_.Parse
       (accel_vcall_cost ctx L.Unit_.Parse P.V_parse_header (W.Packet.header_bytes ctx.pkt))
-  else spend ctx (core_vcall_cost ctx P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+  else begin
+    let t0 = ctx.clock in
+    spend ctx (core_vcall_cost ctx P.V_parse_header (W.Packet.header_bytes ctx.pkt));
+    emit_compute ctx ~label:"parse" ~t0 ~arg:(W.Packet.header_bytes ctx.pkt)
+  end
 
-let alu ctx n = op_cost ctx P.Alu n
-let mul ctx n = op_cost ctx P.Mul n
-let hash_op ctx = op_cost ctx P.Hash 1
-let move ctx n = op_cost ctx P.Move n
-let branch ctx = op_cost ctx P.Branch 1
-let fp_op ctx n = op_cost ctx P.Fp n
+let alu ctx n =
+  let t0 = ctx.clock in
+  op_cost ctx P.Alu n;
+  emit_compute ctx ~label:"alu" ~t0 ~arg:n
+
+let mul ctx n =
+  let t0 = ctx.clock in
+  op_cost ctx P.Mul n;
+  emit_compute ctx ~label:"mul" ~t0 ~arg:n
+
+let hash_op ctx =
+  let t0 = ctx.clock in
+  op_cost ctx P.Hash 1;
+  emit_compute ctx ~label:"hash" ~t0 ~arg:1
+
+let move ctx n =
+  let t0 = ctx.clock in
+  op_cost ctx P.Move n;
+  emit_compute ctx ~label:"move" ~t0 ~arg:n
+
+let branch ctx =
+  let t0 = ctx.clock in
+  op_cost ctx P.Branch 1;
+  emit_compute ctx ~label:"branch" ~t0 ~arg:1
+
+let fp_op ctx n =
+  let t0 = ctx.clock in
+  op_cost ctx P.Fp n;
+  emit_compute ctx ~label:"fp" ~t0 ~arg:n
 
 let local_read ctx n =
+  let t0 = ctx.clock in
   for _ = 1 to n do
     spend ctx (Mem_model.access ctx.sim.memm Mem_model.Local ~mode:`Read ~addr:0)
-  done
+  done;
+  emit_mem ctx ~region:Mem_model.Local ~outcome:Mem_model.Uncached ~t0
 
 let local_write ctx n =
+  let t0 = ctx.clock in
   for _ = 1 to n do
     spend ctx (Mem_model.access ctx.sim.memm Mem_model.Local ~mode:`Write ~addr:0)
-  done
+  done;
+  emit_mem ctx ~region:Mem_model.Local ~outcome:Mem_model.Uncached ~t0
 
 let packet_region ctx =
   if W.Packet.total_bytes ctx.pkt <= ctx.sim.params.P.packet_ctm_threshold then
@@ -211,12 +296,19 @@ let packet_read ctx n =
   let region = packet_region ctx in
   let base = 0x7000_0000 + (W.Packet.flow_key ctx.pkt land 0xffff) * 2048 in
   for i = 0 to n - 1 do
-    spend ctx (Mem_model.access ctx.sim.memm region ~mode:`Read ~addr:(base + (i * 64)))
+    let t0 = ctx.clock in
+    let cycles, outcome =
+      Mem_model.access' ctx.sim.memm region ~mode:`Read ~addr:(base + (i * 64))
+    in
+    spend ctx cycles;
+    emit_mem ctx ~region ~outcome ~t0
   done
 
 let table_lookup ctx name ~key =
   let ts = table ctx name in
+  let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_table_lookup ts.decl.t_entries);
+  emit_compute ctx ~label:"table-lookup" ~t0 ~arg:ts.decl.t_entries;
   (* Two probe reads: bucket head + entry. *)
   table_access ctx ts ~mode:`Read ~key;
   table_access ctx ts ~mode:`Read ~key;
@@ -224,7 +316,9 @@ let table_lookup ctx name ~key =
 
 let table_insert ctx name ~key =
   let ts = table ctx name in
+  let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_table_update ts.decl.t_entries);
+  emit_compute ctx ~label:"table-update" ~t0 ~arg:ts.decl.t_entries;
   table_access ctx ts ~mode:`Read ~key;
   table_access ctx ts ~mode:`Write ~key;
   ignore (Lru.touch ts.contents key)
@@ -232,18 +326,21 @@ let table_insert ctx name ~key =
 (* Software match/action walk: per-entry compute plus one memory burst
    per 8 entries (entries are small relative to a 64B line/burst). *)
 let lpm_walk ctx (ts : table_state) ~key =
+  let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_lpm_lookup ts.decl.t_entries);
+  emit_compute ctx ~label:"lpm-walk" ~t0 ~arg:ts.decl.t_entries;
   let region = region_of_placement ts.decl.t_placement in
   let bursts = max 1 (ts.decl.t_entries / 8) in
-  let cost = ref 0 in
   for i = 0 to bursts - 1 do
-    cost :=
-      !cost
-      + Mem_model.access ctx.sim.memm region ~mode:`Read
-          ~addr:(ts.base_addr + (i * 8 * ts.decl.t_entry_bytes))
+    let t0 = ctx.clock in
+    let cycles, outcome =
+      Mem_model.access' ctx.sim.memm region ~mode:`Read
+        ~addr:(ts.base_addr + (i * 8 * ts.decl.t_entry_bytes))
+    in
+    spend ctx cycles;
+    emit_mem ctx ~region ~outcome ~t0
   done;
-  ignore key;
-  spend ctx !cost
+  ignore key
 
 let lpm_lookup ctx name ~key =
   let ts = table ctx name in
@@ -276,53 +373,85 @@ let lpm_lookup ctx name ~key =
 let checksum ctx ~engine ~bytes =
   if engine then
     use_accel ctx L.Unit_.Checksum (accel_vcall_cost ctx L.Unit_.Checksum P.V_checksum bytes)
-  else spend ctx (core_vcall_cost ctx P.V_checksum bytes)
+  else begin
+    let t0 = ctx.clock in
+    spend ctx (core_vcall_cost ctx P.V_checksum bytes);
+    emit_compute ctx ~label:"checksum" ~t0 ~arg:bytes
+  end
 
 let crypto ctx ~engine ~bytes =
   if engine then
     use_accel ctx L.Unit_.Crypto (accel_vcall_cost ctx L.Unit_.Crypto P.V_crypto bytes)
-  else spend ctx (core_vcall_cost ctx P.V_crypto bytes)
+  else begin
+    let t0 = ctx.clock in
+    spend ctx (core_vcall_cost ctx P.V_crypto bytes);
+    emit_compute ctx ~label:"crypto" ~t0 ~arg:bytes
+  end
 
 let scan_payload ctx ~bytes =
+  let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_payload_scan bytes);
+  emit_compute ctx ~label:"payload-scan" ~t0 ~arg:bytes;
   (* Deterministic ~10% match rate keyed on the packet. *)
   W.Packet.flow_key ctx.pkt mod 10 = 0
 
-let meter ctx = spend ctx (core_vcall_cost ctx P.V_meter 1)
+let meter ctx =
+  let t0 = ctx.clock in
+  spend ctx (core_vcall_cost ctx P.V_meter 1);
+  emit_compute ctx ~label:"meter" ~t0 ~arg:1
 
 let count ctx name ~key =
   let ts = table ctx name in
+  let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_flow_stats 1);
+  emit_compute ctx ~label:"flow-stats" ~t0 ~arg:1;
   table_access ctx ts ~mode:`Atomic ~key
 
 (* Occupy the earliest-free DMA lane for [cycles]; the packet waits when
    all lanes are busy (rate-dependent queueing). *)
-let use_dma ctx lanes cycles =
+let use_dma ctx lanes ~label cycles =
   let li = ref 0 in
   for i = 1 to Array.length lanes - 1 do
     if lanes.(i) < lanes.(!li) then li := i
   done;
+  let req = ctx.clock in
   let start = max ctx.clock lanes.(!li) in
   let done_ = start + cycles in
   lanes.(!li) <- done_;
-  ctx.clock <- done_
+  ctx.clock <- done_;
+  match ctx.trace with
+  | None -> ()
+  | Some s ->
+      if start > req then
+        Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread
+          ~kind:Trace.Dma_wait ~label ~t0:req ~t1:start ~arg:!li;
+      Trace.record s ~seq:ctx.seq ~prog:ctx.prog_id ~thread:ctx.thread
+        ~kind:Trace.Dma_xfer ~label ~t0:start ~t1:done_ ~arg:!li
 
 let wire_rx ctx =
   let bytes = W.Packet.total_bytes ctx.pkt in
-  use_dma ctx ctx.sim.dma_rx_free (L.Cost_fn.eval_int ctx.sim.params.P.wire_ingress bytes);
+  use_dma ctx ctx.sim.dma_rx_free ~label:"rx"
+    (L.Cost_fn.eval_int ctx.sim.params.P.wire_ingress bytes);
   match Array.to_list ctx.sim.lnic.L.Graph.hubs with
   | hubs -> (
       match List.find_opt (fun h -> h.L.Hub.kind = `Ingress) hubs with
-      | Some h -> spend ctx h.L.Hub.per_packet_cycles
+      | Some h ->
+          let t0 = ctx.clock in
+          spend ctx h.L.Hub.per_packet_cycles;
+          emit ctx ~kind:Trace.Hub ~label:"ingress" ~t0 ~arg:0
       | None -> ())
 
 let wire_tx ctx =
   let bytes = W.Packet.total_bytes ctx.pkt in
-  use_dma ctx ctx.sim.dma_tx_free (L.Cost_fn.eval_int ctx.sim.params.P.wire_egress bytes);
+  use_dma ctx ctx.sim.dma_tx_free ~label:"tx"
+    (L.Cost_fn.eval_int ctx.sim.params.P.wire_egress bytes);
   match
     List.find_opt (fun h -> h.L.Hub.kind = `Egress) (Array.to_list ctx.sim.lnic.L.Graph.hubs)
   with
-  | Some h -> spend ctx h.L.Hub.per_packet_cycles
+  | Some h ->
+      let t0 = ctx.clock in
+      spend ctx h.L.Hub.per_packet_cycles;
+      emit ctx ~kind:Trace.Hub ~label:"egress" ~t0 ~arg:0
   | None -> ()
 
 let flow_cache_hits sim = sim.fc_hits

@@ -39,7 +39,19 @@ val create_sim_shared : Clara_lnic.Graph.t -> prog list -> sim
     §3.5 interference).  Table names must be globally distinct.
     @raise Invalid_argument on clashes. *)
 
-val make_ctx : sim -> now:int -> Clara_workload.Packet.t -> t
+val make_ctx :
+  ?seq:int ->
+  ?prog:int ->
+  ?thread:int ->
+  ?trace:Trace.t ->
+  sim ->
+  now:int ->
+  Clara_workload.Packet.t ->
+  t
+(** [seq]/[prog]/[thread] identify the packet in trace events (defaults
+    [-1]/[0]/[-1]); when [trace] is absent, operations record nothing and
+    allocate nothing beyond the untraced baseline. *)
+
 val now : t -> int
 val sim_of : t -> sim
 

@@ -1,6 +1,7 @@
 module L = Clara_lnic
 module W = Clara_workload
 module Heap = Clara_util.Heap
+module J = Clara_util.Json
 
 (* Per-run packet/drop counters and an ingress queue-depth histogram,
    hoisted so the per-packet path only bumps preallocated cells. *)
@@ -17,7 +18,17 @@ type result = {
   freq_mhz : int;
 }
 
-let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
+(* Retire [arg] packs the packet type so attribution can bucket by it
+   without keeping packets around. *)
+let retire_arg pkt =
+  (W.Packet.proto_number pkt.W.Packet.proto * 2) + if W.Packet.is_syn pkt then 1 else 0
+
+let[@inline] ev sink ~seq ~prog ~thread ~kind ~label ~t0 ~t1 ~arg =
+  match sink with
+  | None -> ()
+  | Some s -> Trace.record s ~seq ~prog ~thread ~kind ~label ~t0 ~t1 ~arg
+
+let run ?threads ?sink lnic (prog : Device.prog) (trace : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
   let sim = Device.create_sim lnic prog in
@@ -36,6 +47,7 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
     | Some h -> h.L.Hub.queue_capacity
     | None -> 512
   in
+  (match sink with None -> () | Some s -> Trace.set_progs s [| prog.Device.name |]);
   (* ns -> cycles at the core clock. *)
   let cycles_of_ns ns = Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L) in
   let thread_free = Array.make nthreads 0 in
@@ -46,18 +58,26 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
      FIFO order would leave early finishers stuck behind a slow packet,
      overstating the queue depth and firing spurious drops. *)
   let inflight = Heap.create () in
+  let seq = ref (-1) in
   W.Trace.iter
     (fun pkt ->
+      incr seq;
+      let seq = !seq in
       let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
       (* Retire completed packets from the in-flight window. *)
       while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
         ignore (Heap.pop inflight)
       done;
-      Clara_obs.Metrics.observe h_qdepth (Heap.length inflight);
-      if Heap.length inflight >= queue_capacity + nthreads then begin
+      let depth = Heap.length inflight in
+      Clara_obs.Metrics.observe h_qdepth depth;
+      ev sink ~seq ~prog:0 ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
+        ~t1:arrival ~arg:depth;
+      if depth >= queue_capacity + nthreads then begin
         (* Ingress queue full: drop. *)
         Clara_obs.Metrics.incr c_drops;
-        Stats.record_drop stats
+        Stats.record_drop stats;
+        ev sink ~seq ~prog:0 ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
+          ~t1:arrival ~arg:depth
       end
       else begin
         (* Earliest-free thread. *)
@@ -66,7 +86,12 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
           if thread_free.(i) < thread_free.(!ti) then ti := i
         done;
         let start = max arrival thread_free.(!ti) in
-        let ctx = Device.make_ctx sim ~now:start pkt in
+        if start > arrival then
+          ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Queue_wait ~label:"" ~t0:arrival
+            ~t1:start ~arg:depth;
+        ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Thread_bind ~label:"" ~t0:start
+          ~t1:start ~arg:!ti;
+        let ctx = Device.make_ctx ~seq ~prog:0 ~thread:!ti ?trace:sink sim ~now:start pkt in
         Device.wire_rx ctx;
         let verdict = prog.Device.handler ctx pkt in
         (match verdict with
@@ -76,6 +101,8 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
         thread_free.(!ti) <- done_;
         Heap.push inflight done_;
         Clara_obs.Metrics.incr c_packets;
+        ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Retire ~label:"" ~t0:done_ ~t1:done_
+          ~arg:(retire_arg pkt);
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)
       end)
@@ -95,12 +122,35 @@ let run ?threads lnic (prog : Device.prog) (trace : W.Trace.t) =
 
 let mean_latency_cycles r = r.summary.Stats.mean_cycles
 
-let pp_result fmt r =
-  Format.fprintf fmt "%a | emem hit %.0f%% | fc hit %.0f%%" Stats.pp_summary r.summary
-    (100. *. r.emem_hit_rate)
-    (100. *. r.flow_cache_hit_rate)
+let pp_hit_rate fmt r =
+  (* A rate can legitimately be NaN (feature never exercised); say so
+     instead of printing "nan%". *)
+  if Float.is_nan r then Format.pp_print_string fmt "n/a"
+  else Format.fprintf fmt "%.0f%%" (100. *. r)
 
-let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
+let pp_result fmt r =
+  Format.fprintf fmt "%a | emem hit %a | fc hit %a" Stats.pp_summary r.summary pp_hit_rate
+    r.emem_hit_rate pp_hit_rate r.flow_cache_hit_rate
+
+let result_to_json r =
+  let num v = J.Float v (* NaN/inf serialize as null *) in
+  J.Obj
+    [
+      ("packets", J.Int r.summary.Stats.packets);
+      ("drops", J.Int r.summary.Stats.drops);
+      ("mean_cycles", num r.summary.Stats.mean_cycles);
+      ("p50_cycles", J.Int r.summary.Stats.p50_cycles);
+      ("p99_cycles", J.Int r.summary.Stats.p99_cycles);
+      ("max_cycles", J.Int r.summary.Stats.max_cycles);
+      ("tcp_mean_cycles", num r.summary.Stats.tcp_mean);
+      ("udp_mean_cycles", num r.summary.Stats.udp_mean);
+      ("syn_mean_cycles", num r.summary.Stats.syn_mean);
+      ("emem_hit_rate", num r.emem_hit_rate);
+      ("flow_cache_hit_rate", num r.flow_cache_hit_rate);
+      ("freq_mhz", J.Int r.freq_mhz);
+    ]
+
+let run_pair ?threads ?sink lnic (prog_a : Device.prog) (prog_b : Device.prog)
     (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim-pair" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
@@ -127,6 +177,9 @@ let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
        | None -> 512)
       / 2)
   in
+  (match sink with
+  | None -> ()
+  | Some s -> Trace.set_progs s [| prog_a.Device.name; prog_b.Device.name |]);
   let cycles_of_ns ns =
     Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L)
   in
@@ -141,19 +194,28 @@ let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
     (prog, Array.make half_threads 0, Stats.create (), Heap.create ())
   in
   let side_a = mk_side prog_a and side_b = mk_side prog_b in
+  let seq = ref (-1) in
   Array.iter
     (fun (pkt, tag) ->
+      incr seq;
+      let seq = !seq in
       let (prog : Device.prog), thread_free, stats, inflight =
         match tag with `A -> side_a | `B -> side_b
       in
+      let pid = match tag with `A -> 0 | `B -> 1 in
       let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
       while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
         ignore (Heap.pop inflight)
       done;
-      Clara_obs.Metrics.observe h_qdepth (Heap.length inflight);
-      if Heap.length inflight >= queue_capacity + half_threads then begin
+      let depth = Heap.length inflight in
+      Clara_obs.Metrics.observe h_qdepth depth;
+      ev sink ~seq ~prog:pid ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
+        ~t1:arrival ~arg:depth;
+      if depth >= queue_capacity + half_threads then begin
         Clara_obs.Metrics.incr c_drops;
-        Stats.record_drop stats
+        Stats.record_drop stats;
+        ev sink ~seq ~prog:pid ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
+          ~t1:arrival ~arg:depth
       end
       else begin
         let ti = ref 0 in
@@ -161,7 +223,14 @@ let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
           if thread_free.(i) < thread_free.(!ti) then ti := i
         done;
         let start = max arrival thread_free.(!ti) in
-        let ctx = Device.make_ctx sim ~now:start pkt in
+        if start > arrival then
+          ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Queue_wait ~label:"" ~t0:arrival
+            ~t1:start ~arg:depth;
+        ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Thread_bind ~label:"" ~t0:start
+          ~t1:start ~arg:!ti;
+        let ctx =
+          Device.make_ctx ~seq ~prog:pid ~thread:!ti ?trace:sink sim ~now:start pkt
+        in
         Device.wire_rx ctx;
         let verdict = prog.Device.handler ctx pkt in
         (match verdict with
@@ -171,6 +240,8 @@ let run_pair ?threads lnic (prog_a : Device.prog) (prog_b : Device.prog)
         thread_free.(!ti) <- done_;
         Heap.push inflight done_;
         Clara_obs.Metrics.incr c_packets;
+        ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Retire ~label:"" ~t0:done_
+          ~t1:done_ ~arg:(retire_arg pkt);
         Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
           ~latency_cycles:(done_ - arrival)
       end)

@@ -16,17 +16,27 @@ type result = {
 
 val run :
   ?threads:int ->
+  ?sink:Trace.t ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Clara_workload.Trace.t ->
   result
-(** [threads] defaults to the NIC's total hardware threads. *)
+(** [threads] defaults to the NIC's total hardware threads.  [sink]
+    installs a per-packet event trace ({!Trace}); without it the run
+    does no trace work and results are byte-identical to a traced run's
+    (the [bench trace] section guards this). *)
 
 val mean_latency_cycles : result -> float
+
 val pp_result : Format.formatter -> result -> unit
+(** Hit rates that are NaN (feature never exercised) print as "n/a". *)
+
+val result_to_json : result -> Clara_util.Json.t
+(** NaN hit rates serialize as [null]. *)
 
 val run_pair :
   ?threads:int ->
+  ?sink:Trace.t ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Device.prog ->
@@ -39,4 +49,6 @@ val run_pair :
     (the paper's "half of the NIC" slicing, each half clamped to at
     least 1).  Traces are merged by arrival time; results are reported
     per program.  [threads] overrides the NIC's total hardware thread
-    count before halving, like {!run}'s. *)
+    count before halving, like {!run}'s.  With [sink], events carry the
+    owning program's index ([prog] 0/1) and {!Trace.progs} reports both
+    names, so a shared timeline shows who stole the accelerator. *)

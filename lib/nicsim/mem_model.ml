@@ -63,26 +63,36 @@ let create (g : L.Graph.t) =
 let flat lat mode =
   match mode with `Read -> lat.read | `Write -> lat.write | `Atomic -> lat.atomic
 
-let access t region ~mode ~addr =
+type outcome = Hit | Miss | Uncached
+
+let region_name = function
+  | Local -> "local"
+  | Ctm -> "ctm"
+  | Imem -> "imem"
+  | Emem -> "emem"
+
+let access' t region ~mode ~addr =
   match region with
-  | Local -> flat t.local mode
-  | Ctm -> flat t.ctm mode
-  | Imem -> flat t.imem mode
+  | Local -> (flat t.local mode, Uncached)
+  | Ctm -> (flat t.ctm mode, Uncached)
+  | Imem -> (flat t.imem mode, Uncached)
   | Emem -> (
       match t.emem_cache with
-      | None -> flat t.emem mode
+      | None -> (flat t.emem mode, Uncached)
       | Some cache ->
           let line = addr / line_bytes in
           if Lru.touch cache line then begin
             t.hits <- t.hits + 1;
             match mode with
-            | `Read | `Write -> t.emem_hit_cycles
-            | `Atomic -> flat t.emem mode
+            | `Read | `Write -> (t.emem_hit_cycles, Hit)
+            | `Atomic -> (flat t.emem mode, Hit)
           end
           else begin
             t.misses <- t.misses + 1;
-            flat t.emem mode
+            (flat t.emem mode, Miss)
           end)
+
+let access t region ~mode ~addr = fst (access' t region ~mode ~addr)
 
 let emem_hits t = t.hits
 let emem_misses t = t.misses

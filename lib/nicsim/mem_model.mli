@@ -19,6 +19,18 @@ val access :
 (** Cycles for one access.  [addr] identifies the cached line for [Emem]
     accesses; other regions are flat-latency. *)
 
+type outcome = Hit | Miss | Uncached
+(** Cache outcome of one access: [Hit]/[Miss] for cache-backed EMEM,
+    [Uncached] for flat-latency regions (or an EMEM without a cache). *)
+
+val access' :
+  t -> region -> mode:[ `Read | `Write | `Atomic ] -> addr:int -> int * outcome
+(** Like {!access}, also reporting the cache outcome — the trace layer
+    records it per event. *)
+
+val region_name : region -> string
+(** Stable lower-case name ("local", "ctm", "imem", "emem"). *)
+
 val emem_hits : t -> int
 val emem_misses : t -> int
 val reset_stats : t -> unit

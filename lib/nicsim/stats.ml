@@ -81,8 +81,14 @@ let summarize t =
 
 let mean_ns s ~freq_mhz = s.mean_cycles *. 1000. /. float_of_int freq_mhz
 
+(* Per-class means are NaN when the class is empty; print "n/a" rather
+   than "nan". *)
+let pp_mean fmt v =
+  if Float.is_nan v then Format.pp_print_string fmt "n/a"
+  else Format.fprintf fmt "%.0f" v
+
 let pp_summary fmt s =
   Format.fprintf fmt
-    "%d pkts (%d drops), mean %.0f cyc, p50 %d, p99 %d, max %d, tcp %.0f, udp %.0f, syn %.0f"
-    s.packets s.drops s.mean_cycles s.p50_cycles s.p99_cycles s.max_cycles s.tcp_mean
-    s.udp_mean s.syn_mean
+    "%d pkts (%d drops), mean %.0f cyc, p50 %d, p99 %d, max %d, tcp %a, udp %a, syn %a"
+    s.packets s.drops s.mean_cycles s.p50_cycles s.p99_cycles s.max_cycles pp_mean
+    s.tcp_mean pp_mean s.udp_mean pp_mean s.syn_mean

@@ -1,0 +1,77 @@
+type kind =
+  | Arrival
+  | Queue_wait
+  | Thread_bind
+  | Compute
+  | Accel_wait
+  | Accel_use
+  | Mem_access
+  | Dma_wait
+  | Dma_xfer
+  | Hub
+  | Retire
+  | Dropped
+
+let kind_name = function
+  | Arrival -> "arrival"
+  | Queue_wait -> "queue-wait"
+  | Thread_bind -> "thread-bind"
+  | Compute -> "compute"
+  | Accel_wait -> "accel-wait"
+  | Accel_use -> "accel-use"
+  | Mem_access -> "mem"
+  | Dma_wait -> "dma-wait"
+  | Dma_xfer -> "dma-xfer"
+  | Hub -> "hub"
+  | Retire -> "retire"
+  | Dropped -> "dropped"
+
+type event = {
+  seq : int;
+  prog : int;
+  thread : int;
+  kind : kind;
+  label : string;
+  t0 : int;
+  t1 : int;
+  arg : int;
+}
+
+let dummy =
+  { seq = -1; prog = 0; thread = -1; kind = Arrival; label = ""; t0 = 0; t1 = 0; arg = 0 }
+
+type t = {
+  ring : event array;
+  lim : int;
+  mutable next : int;   (* next write slot *)
+  mutable count : int;  (* total ever recorded *)
+  mutable names : string array;
+}
+
+let create ?(limit = 1_000_000) () =
+  if limit < 1 then invalid_arg "Trace.create: limit must be >= 1";
+  { ring = Array.make limit dummy; lim = limit; next = 0; count = 0; names = [||] }
+
+let limit t = t.lim
+
+let record t ~seq ~prog ~thread ~kind ~label ~t0 ~t1 ~arg =
+  t.ring.(t.next) <- { seq; prog; thread; kind; label; t0; t1; arg };
+  t.next <- (if t.next + 1 = t.lim then 0 else t.next + 1);
+  t.count <- t.count + 1
+
+let total t = t.count
+let dropped t = max 0 (t.count - t.lim)
+
+let events t =
+  if t.count <= t.lim then Array.sub t.ring 0 t.count
+  else
+    (* Full ring: oldest surviving event sits at [next]. *)
+    Array.init t.lim (fun i -> t.ring.((t.next + i) mod t.lim))
+
+let set_progs t names = t.names <- Array.copy names
+let progs t = Array.copy t.names
+
+let clear t =
+  Array.fill t.ring 0 t.lim dummy;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,89 @@
+(** Per-packet event tracing for the simulator.
+
+    A sink records timestamped lifecycle events for every packet the
+    engine processes: arrival, ingress-queue wait, thread bind, per-
+    semantic-unit compute spans, accelerator request/grant/complete,
+    memory-tier accesses with hit/miss outcomes, DMA serialization, hub
+    costs, and retirement.  Events land in a preallocated ring buffer
+    bounded by [limit]; once full, the oldest events are overwritten
+    (the drop count is reported), so a trace of any length runs in
+    bounded memory.
+
+    The invariant the engine and device maintain is {e tiling}: for each
+    retired packet, the span events (queue wait, compute, accelerator
+    wait/use, memory, DMA/hub) cover the interval from arrival to
+    retirement exactly, with no gaps and no overlap — so summing span
+    durations per component reproduces the packet's recorded latency
+    cycle-for-cycle ({!Attribution} relies on this).
+
+    When no sink is installed the per-packet hot loop performs no trace
+    work beyond a [match] on an option — no allocation, no stores — so
+    simulation results are byte-identical with tracing compiled in but
+    disabled ([bench trace] guards this). *)
+
+type kind =
+  | Arrival      (** Instant: packet hits the ingress queue; [arg] = queue depth. *)
+  | Queue_wait   (** Span: arrival → thread bind (possibly zero-length). *)
+  | Thread_bind  (** Instant: bound to a hardware thread; [arg] = thread index. *)
+  | Compute      (** Span: a semantic unit on a general core; [label] names it. *)
+  | Accel_wait   (** Span: accelerator request → grant (serialization). *)
+  | Accel_use    (** Span: accelerator grant → complete. *)
+  | Mem_access   (** Span: one memory-tier access burst; [label] = region,
+                     [arg] = 1 hit / 0 miss / -1 uncached. *)
+  | Dma_wait     (** Span: waiting for a free DMA lane ([label] = "rx"/"tx"). *)
+  | Dma_xfer     (** Span: DMA transfer on the granted lane. *)
+  | Hub          (** Span: ingress/egress hub per-packet cost. *)
+  | Retire       (** Instant: packet done; [arg] encodes proto*2 + syn. *)
+  | Dropped      (** Instant: rejected at a full ingress queue; [arg] = depth. *)
+
+val kind_name : kind -> string
+(** Stable lower-case name ("arrival", "queue-wait", …) for exports. *)
+
+type event = {
+  seq : int;      (** Packet sequence number within the run (-1: system). *)
+  prog : int;     (** Owning program index (0 for solo runs; 0/1 in pairs). *)
+  thread : int;   (** Bound hardware thread, -1 before binding. *)
+  kind : kind;
+  label : string; (** Kind-specific: semantic unit, accel/region name, … *)
+  t0 : int;       (** Start, core cycles since run start. *)
+  t1 : int;       (** End; equals [t0] for instants. *)
+  arg : int;      (** Kind-specific payload (see {!kind}). *)
+}
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Ring capacity in events (default 1_000_000).
+    @raise Invalid_argument when [limit < 1]. *)
+
+val limit : t -> int
+
+val record :
+  t ->
+  seq:int ->
+  prog:int ->
+  thread:int ->
+  kind:kind ->
+  label:string ->
+  t0:int ->
+  t1:int ->
+  arg:int ->
+  unit
+
+val events : t -> event array
+(** Retained events, oldest first (record order). *)
+
+val total : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** [total - retained]: events lost to ring wrap-around. *)
+
+val set_progs : t -> string array -> unit
+(** Names of the co-resident programs, by [prog] index. *)
+
+val progs : t -> string array
+(** [[| "prog" |]]-style names; [[| |]] until {!set_progs}. *)
+
+val clear : t -> unit
+(** Forget all events (capacity and program names survive). *)

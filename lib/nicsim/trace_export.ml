@@ -1,0 +1,227 @@
+module J = Clara_util.Json
+
+let prog_name progs i =
+  if i >= 0 && i < Array.length progs then progs.(i) else Printf.sprintf "p%d" i
+
+(* tid of the per-process pseudo-track for pre-bind events. *)
+let ingress_tid = 10_000
+
+let span_name (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Compute -> e.Trace.label
+  | Trace.Accel_use -> e.Trace.label
+  | Trace.Accel_wait -> "wait:" ^ e.Trace.label
+  | Trace.Mem_access -> "mem:" ^ e.Trace.label
+  | Trace.Dma_wait -> "dma-wait:" ^ e.Trace.label
+  | Trace.Dma_xfer -> "dma:" ^ e.Trace.label
+  | Trace.Hub -> "hub:" ^ e.Trace.label
+  | Trace.Queue_wait -> "queue-wait"
+  | Trace.Arrival -> "arrival"
+  | Trace.Thread_bind -> "bind"
+  | Trace.Retire -> "retire"
+  | Trace.Dropped -> "dropped"
+
+(* The shared-hardware (pid 0) track a span occupies, if any. *)
+let shared_track (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Accel_use -> Some e.Trace.label
+  | Trace.Dma_xfer -> Some (Printf.sprintf "dma-%s[%d]" e.Trace.label e.Trace.arg)
+  | Trace.Mem_access -> Some ("mem-" ^ e.Trace.label)
+  | _ -> None
+
+let perfetto t ~freq_mhz =
+  let evs = Trace.events t in
+  let progs = Trace.progs t in
+  let us cycles = float_of_int cycles /. float_of_int freq_mhz in
+  let out = ref [] in
+  let push j = out := j :: !out in
+  (* Track registries so we emit one metadata record per track. *)
+  let prog_threads : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let shared_tids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_shared = ref 0 in
+  let shared_tid name =
+    match Hashtbl.find_opt shared_tids name with
+    | Some tid -> tid
+    | None ->
+        incr next_shared;
+        Hashtbl.add shared_tids name !next_shared;
+        !next_shared
+  in
+  let seen_prog : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      let pid = 1 + e.Trace.prog in
+      Hashtbl.replace seen_prog e.Trace.prog ();
+      let tid = if e.Trace.thread < 0 then ingress_tid else e.Trace.thread in
+      if e.Trace.thread >= 0 then Hashtbl.replace prog_threads (e.Trace.prog, e.Trace.thread) ();
+      let args extra =
+        ("args", J.Obj (("seq", J.Int e.Trace.seq) :: extra))
+      in
+      if e.Trace.t1 > e.Trace.t0 then begin
+        (* Span on the owning program's thread track. *)
+        let extra =
+          match e.Trace.kind with
+          | Trace.Mem_access ->
+              [ ( "outcome",
+                  J.String
+                    (match e.Trace.arg with
+                    | 1 -> "hit"
+                    | 0 -> "miss"
+                    | _ -> "uncached") ) ]
+          | _ -> [ ("arg", J.Int e.Trace.arg) ]
+        in
+        push
+          (J.Obj
+             [
+               ("name", J.String (span_name e));
+               ("cat", J.String (Trace.kind_name e.Trace.kind));
+               ("ph", J.String "X");
+               ("ts", J.Float (us e.Trace.t0));
+               ("dur", J.Float (us (e.Trace.t1 - e.Trace.t0)));
+               ("pid", J.Int pid);
+               ("tid", J.Int tid);
+               args extra;
+             ]);
+        (* Occupancy of shared hardware, labelled by owner, in pid 0. *)
+        match shared_track e with
+        | None -> ()
+        | Some track ->
+            push
+              (J.Obj
+                 [
+                   ( "name",
+                     J.String (Printf.sprintf "%s #%d" (prog_name progs e.Trace.prog) e.Trace.seq)
+                   );
+                   ("cat", J.String (Trace.kind_name e.Trace.kind));
+                   ("ph", J.String "X");
+                   ("ts", J.Float (us e.Trace.t0));
+                   ("dur", J.Float (us (e.Trace.t1 - e.Trace.t0)));
+                   ("pid", J.Int 0);
+                   ("tid", J.Int (shared_tid track));
+                   args [];
+                 ])
+      end
+      else begin
+        (match e.Trace.kind with
+        | Trace.Arrival ->
+            (* Queue-depth counter per program. *)
+            push
+              (J.Obj
+                 [
+                   ("name", J.String "queue-depth");
+                   ("ph", J.String "C");
+                   ("ts", J.Float (us e.Trace.t0));
+                   ("pid", J.Int pid);
+                   ("args", J.Obj [ ("depth", J.Int e.Trace.arg) ]);
+                 ])
+        | _ -> ());
+        push
+          (J.Obj
+             [
+               ("name", J.String (span_name e));
+               ("cat", J.String (Trace.kind_name e.Trace.kind));
+               ("ph", J.String "i");
+               ("s", J.String "t");
+               ("ts", J.Float (us e.Trace.t0));
+               ("pid", J.Int pid);
+               ("tid", J.Int tid);
+               args [ ("arg", J.Int e.Trace.arg) ];
+             ])
+      end)
+    evs;
+  (* Metadata: name every process and track. *)
+  let meta =
+    ref
+      [
+        J.Obj
+          [
+            ("name", J.String "process_name");
+            ("ph", J.String "M");
+            ("pid", J.Int 0);
+            ("args", J.Obj [ ("name", J.String "shared hw") ]);
+          ];
+      ]
+  in
+  Hashtbl.iter
+    (fun p () ->
+      meta :=
+        J.Obj
+          [
+            ("name", J.String "process_name");
+            ("ph", J.String "M");
+            ("pid", J.Int (1 + p));
+            ("args", J.Obj [ ("name", J.String (prog_name progs p)) ]);
+          ]
+        :: J.Obj
+             [
+               ("name", J.String "thread_name");
+               ("ph", J.String "M");
+               ("pid", J.Int (1 + p));
+               ("tid", J.Int ingress_tid);
+               ("args", J.Obj [ ("name", J.String "ingress") ]);
+             ]
+        :: !meta)
+    seen_prog;
+  Hashtbl.iter
+    (fun (p, th) () ->
+      meta :=
+        J.Obj
+          [
+            ("name", J.String "thread_name");
+            ("ph", J.String "M");
+            ("pid", J.Int (1 + p));
+            ("tid", J.Int th);
+            ("args", J.Obj [ ("name", J.String (Printf.sprintf "thr %d" th)) ]);
+          ]
+        :: !meta)
+    prog_threads;
+  Hashtbl.iter
+    (fun name tid ->
+      meta :=
+        J.Obj
+          [
+            ("name", J.String "thread_name");
+            ("ph", J.String "M");
+            ("pid", J.Int 0);
+            ("tid", J.Int tid);
+            ("args", J.Obj [ ("name", J.String name) ]);
+          ]
+        :: !meta)
+    shared_tids;
+  J.Obj
+    [
+      ("traceEvents", J.List (!meta @ List.rev !out));
+      ("displayTimeUnit", J.String "ns");
+      ( "otherData",
+        J.Obj
+          [
+            ("tool", J.String "clara trace");
+            ("freq_mhz", J.Int freq_mhz);
+            ("events_recorded", J.Int (Trace.total t));
+            ("events_dropped", J.Int (Trace.dropped t));
+          ] );
+    ]
+
+let write_perfetto t ~freq_mhz ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> J.to_channel ~pretty:false oc (perfetto t ~freq_mhz))
+
+let pp_text ?(limit = 200) fmt t =
+  let evs = Trace.events t in
+  let n = Array.length evs in
+  let shown = min n limit in
+  Format.fprintf fmt "@[<v>trace: %d events recorded, %d retained, %d lost to ring wrap@,"
+    (Trace.total t) n (Trace.dropped t);
+  for i = 0 to shown - 1 do
+    let e = evs.(i) in
+    Format.fprintf fmt "%10d %s pkt#%-6d prog%d thr%-3d %-11s %-12s arg=%d@," e.Trace.t0
+      (if e.Trace.t1 > e.Trace.t0 then Printf.sprintf "..%-10d" e.Trace.t1
+       else String.make 12 ' ')
+      e.Trace.seq e.Trace.prog e.Trace.thread
+      (Trace.kind_name e.Trace.kind)
+      e.Trace.label e.Trace.arg
+  done;
+  if shown < n then Format.fprintf fmt "... (%d more)@," (n - shown);
+  Format.fprintf fmt "@]"

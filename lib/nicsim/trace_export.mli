@@ -1,0 +1,23 @@
+(** Trace export: Chrome/Perfetto [trace_event] JSON and a compact text
+    timeline.
+
+    The Perfetto layout puts each program in its own process (pid 1 for
+    the first program, 2 for the second, …) with one track per hardware
+    thread, and all shared hardware — accelerators, DMA lanes, memory
+    tiers — in process 0, so contention between co-resident programs is
+    visible on a single shared timeline (events on shared-unit tracks
+    carry the owning program's name).  Timestamps are microseconds
+    (cycles / frequency); load the file at ui.perfetto.dev or
+    chrome://tracing. *)
+
+val perfetto : Trace.t -> freq_mhz:int -> Clara_util.Json.t
+(** The full [{"traceEvents": [...]}] document: ["X"] complete events
+    for spans, ["i"] instants for arrival/retire/drop, ["M"] metadata
+    naming processes and threads, and ["C"] counters for ingress queue
+    depth. *)
+
+val write_perfetto : Trace.t -> freq_mhz:int -> path:string -> unit
+
+val pp_text : ?limit:int -> Format.formatter -> Trace.t -> unit
+(** Compact per-event text timeline (at most [limit] events, default
+    200), oldest first. *)

@@ -9,11 +9,14 @@ let json_of_histogram h =
       ("mean", J.Float (Metrics.hist_mean h));
       ("p50", J.Int (Metrics.quantile h 0.5));
       ("p99", J.Int (Metrics.quantile h 0.99));
+      (* Explicit per-bucket ranges: (lo, hi] with counts, so consumers
+         need not know the log2 bucketing scheme. *)
       ("buckets",
        J.List
          (List.map
-            (fun (ub, n) -> J.List [ J.Int ub; J.Int n ])
-            (Metrics.nonzero_buckets h))) ]
+            (fun (lo, hi, n) ->
+              J.Obj [ ("lo", J.Int lo); ("hi", J.Int hi); ("count", J.Int n) ])
+            (Metrics.nonzero_bucket_bounds h))) ]
 
 let json_of_span s =
   J.Obj

@@ -47,6 +47,10 @@ let bucket_index v =
 
 let bucket_upper_bound i = if i <= 0 then 1 else 1 lsl i
 
+(* Exclusive lower bound of bucket i; observations clamp to >= 0, so
+   bucket 0's effective range is [0, 1]. *)
+let bucket_lower_bound i = if i <= 0 then 0 else 1 lsl (i - 1)
+
 let observe h v =
   let v = if v < 0 then 0 else v in
   h.count <- h.count + 1;
@@ -88,6 +92,14 @@ let nonzero_buckets h =
   let out = ref [] in
   for i = nbuckets - 1 downto 0 do
     if h.buckets.(i) > 0 then out := (bucket_upper_bound i, h.buckets.(i)) :: !out
+  done;
+  !out
+
+let nonzero_bucket_bounds h =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      out := (bucket_lower_bound i, bucket_upper_bound i, h.buckets.(i)) :: !out
   done;
   !out
 

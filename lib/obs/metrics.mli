@@ -58,7 +58,15 @@ val quantile : histogram -> float -> int
 val bucket_upper_bound : int -> int
 (** Inclusive upper bound of bucket [i]. *)
 
+val bucket_lower_bound : int -> int
+(** Exclusive lower bound of bucket [i] (0 for bucket 0, whose
+    effective range is [[0, 1]] since observations clamp to 0). *)
+
 val nonzero_buckets : histogram -> (int * int) list
 (** [(upper_bound, count)] for each populated bucket, ascending. *)
+
+val nonzero_bucket_bounds : histogram -> (int * int * int) list
+(** [(lower_bound, upper_bound, count)] for each populated bucket,
+    ascending — the explicit-range form JSON exports use. *)
 
 val reset_histogram : histogram -> unit

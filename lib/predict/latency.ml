@@ -256,8 +256,308 @@ let predict_trace t (trace : W.Trace.t) =
     }
   end
 
+let pp_opt_mean fmt v =
+  if Float.is_nan v then Format.pp_print_string fmt "n/a"
+  else Format.fprintf fmt "%.0f" v
+
 let pp_prediction fmt p =
   Format.fprintf fmt
-    "mean %.0f cyc, p50 %.0f, p99 %.0f, tcp %.0f, udp %.0f, syn %.0f, emit %.0f%%"
-    p.mean_cycles p.p50_cycles p.p99_cycles p.tcp_mean p.udp_mean p.syn_mean
+    "mean %.0f cyc, p50 %.0f, p99 %.0f, tcp %a, udp %a, syn %a, emit %.0f%%"
+    p.mean_cycles p.p50_cycles p.p99_cycles pp_opt_mean p.tcp_mean pp_opt_mean p.udp_mean
+    pp_opt_mean p.syn_mean
     (100. *. p.emitted_fraction)
+
+(* ------------------------------------------------------------------ *)
+(* Latency attribution (where does the predicted latency go?)          *)
+
+type pkt_components = {
+  pc_total : float;    (** Equals {!packet_latency}'s cycles exactly. *)
+  pc_compute : float;
+  pc_mem : float;
+  pc_accel : float;
+  pc_wire : float;
+  pc_emitted : bool;
+}
+
+(* Same walk as [packet_latency] — the total is accumulated in the same
+   order with the same per-node values, and guards consume the RNG
+   identically, so [pc_total] is bit-identical to what [packet_latency]
+   would have returned for this packet at this state.  Compute is the
+   residual of the node total after memory and accelerator charges, so
+   the four components sum to [pc_total] exactly. *)
+let packet_components t (pkt : W.Packet.t) =
+  let cir = t.df.D.Graph.cir in
+  let cost = ref 0. in
+  let mem = ref 0. and accel = ref 0. in
+  let emitted = ref false in
+  let steps = ref 0 in
+  let node_split (n : D.Node.t) =
+    let unit_ = L.Graph.unit_ t.lnic t.mapping.M.node_unit.(n.D.Node.id) in
+    let sizes = sizes_of_packet pkt (D.Graph.states t.df) in
+    let footprint s =
+      match List.find_opt (fun o -> o.Ir.st_name = s) (D.Graph.states t.df) with
+      | Some o -> Ir.state_bytes o
+      | None -> 0
+    in
+    let ctx =
+      {
+        D.Cost.lnic = t.lnic;
+        exec_unit = unit_;
+        state_region = state_region_of_mapping t;
+        state_footprint = footprint;
+        packet_region =
+          Clara_mapping.Encode.packet_region_for t.lnic unit_
+            ~packet_bytes:sizes.D.Cost.packet_bytes;
+        sizes;
+      }
+    in
+    match D.Cost.node_breakdown ctx n with
+    | Some b -> b
+    | None -> D.Cost.{ b_compute = 0.; b_mem = 0.; b_accel = 0. }
+  in
+  let charge_block bid =
+    List.iter
+      (fun (n : D.Node.t) ->
+        cost := !cost +. node_cost t pkt n;
+        let b = node_split n in
+        mem := !mem +. b.D.Cost.b_mem;
+        accel := !accel +. b.D.Cost.b_accel;
+        (match n.D.Node.kind with
+        | D.Node.N_vcall v when v.Ir.vc = P.V_emit -> emitted := true
+        | D.Node.N_vcall v when v.Ir.vc = P.V_table_update -> (
+            match v.Ir.state with
+            | Some s -> (
+                match Hashtbl.find_opt t.flow_seen s with
+                | Some seen -> ignore (Lru.touch seen (W.Packet.flow_key pkt))
+                | None -> ())
+            | None -> ())
+        | _ -> ()))
+      (Option.value ~default:[] (Hashtbl.find_opt t.nodes_by_block bid))
+  in
+  let rec walk bid ~stop =
+    incr steps;
+    if !steps > 10_000 then raise Walk_limit;
+    charge_block bid;
+    match (Ir.block cir bid).Ir.term with
+    | Ir.Ret -> ()
+    | Ir.Jump d -> if Some d = stop then () else walk d ~stop
+    | Ir.Cond { guard; then_; else_ } ->
+        if resolve_guard t pkt guard then walk then_ ~stop else walk else_ ~stop
+    | Ir.Loop { body; exit; trip = _ } ->
+        walk body ~stop:(Some bid);
+        walk exit ~stop
+  in
+  walk cir.Ir.entry ~stop:None;
+  let wire = wire_costs t pkt ~emitted:!emitted in
+  let total = !cost +. wire in
+  {
+    pc_total = total;
+    pc_compute = !cost -. !mem -. !accel;
+    pc_mem = !mem;
+    pc_accel = !accel;
+    pc_wire = wire;
+    pc_emitted = !emitted;
+  }
+
+type att_row = {
+  at_type : string;   (** "tcp-syn", "tcp", "udp", "other" or "all". *)
+  at_count : int;
+  at_compute : float;
+  at_mem : float;
+  at_accel : float;
+  at_wire : float;
+  at_total : float;
+  at_dominant : string;
+}
+
+type attribution = { att_rows : att_row list; att_mean : float }
+
+let type_label (pkt : W.Packet.t) =
+  match pkt.W.Packet.proto with
+  | W.Packet.Tcp -> if W.Packet.is_syn pkt then "tcp-syn" else "tcp"
+  | W.Packet.Udp -> "udp"
+  | W.Packet.Other _ -> "other"
+
+let attribute_trace t (trace : W.Trace.t) =
+  reset_state t;
+  let n = Array.length trace.W.Trace.packets in
+  if n = 0 then { att_rows = []; att_mean = 0. }
+  else begin
+    let lats = Array.make n 0. in
+    let sums : (string, int ref * float ref * float ref * float ref * float ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let add ty c =
+      let cnt, co, me, ac, wi =
+        match Hashtbl.find_opt sums ty with
+        | Some v -> v
+        | None ->
+            let v = (ref 0, ref 0., ref 0., ref 0., ref 0.) in
+            Hashtbl.add sums ty v;
+            v
+      in
+      incr cnt;
+      co := !co +. c.pc_compute;
+      me := !me +. c.pc_mem;
+      ac := !ac +. c.pc_accel;
+      wi := !wi +. c.pc_wire
+    in
+    Array.iteri
+      (fun i pkt ->
+        let c = packet_components t pkt in
+        lats.(i) <- c.pc_total;
+        add (type_label pkt) c;
+        add "all" c)
+      trace.W.Trace.packets;
+    let rows =
+      Hashtbl.fold
+        (fun ty (cnt, co, me, ac, wi) acc ->
+          let fn = float_of_int !cnt in
+          let compute = !co /. fn and mem = !me /. fn in
+          let accel = !ac /. fn and wire = !wi /. fn in
+          let dominant =
+            fst
+              (List.fold_left
+                 (fun (bn, bv) (nm, v) -> if v > bv then (nm, v) else (bn, bv))
+                 ("compute", compute)
+                 [ ("memory", mem); ("accel", accel); ("wire", wire) ])
+          in
+          {
+            at_type = ty;
+            at_count = !cnt;
+            at_compute = compute;
+            at_mem = mem;
+            at_accel = accel;
+            at_wire = wire;
+            at_total = compute +. mem +. accel +. wire;
+            at_dominant = dominant;
+          }
+          :: acc)
+        sums []
+      |> List.sort (fun a b ->
+             match (a.at_type = "all", b.at_type = "all") with
+             | true, false -> 1
+             | false, true -> -1
+             | _ -> compare a.at_type b.at_type)
+    in
+    { att_rows = rows; att_mean = Array.fold_left ( +. ) 0. lats /. float_of_int n }
+  end
+
+let pp_attribution fmt a =
+  Format.fprintf fmt "@[<v>%-8s %7s %9s %9s %9s %9s %9s  %s@," "type" "pkts" "compute"
+    "mem" "accel" "wire" "total" "verdict";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-8s %7d %9.1f %9.1f %9.1f %9.1f %9.1f  %s@," r.at_type
+        r.at_count r.at_compute r.at_mem r.at_accel r.at_wire r.at_total r.at_dominant)
+    a.att_rows;
+  Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Predicted per-packet timeline as Chrome/Perfetto trace-event JSON.
+   The predictor runs no engine, so this is the analytic timeline: the
+   packets laid end-to-end on one synthetic track, each with wire-rx,
+   per-node and wire-tx spans.  Useful to eyeball where a prediction
+   says the cycles go; load at ui.perfetto.dev like a [clara trace]. *)
+
+let node_name (n : D.Node.t) =
+  match n.D.Node.kind with
+  | D.Node.N_vcall v -> P.vcall_name v.Ir.vc
+  | D.Node.N_compute _ -> "compute"
+
+let perfetto_timeline t (trace : W.Trace.t) =
+  let module J = Clara_util.Json in
+  reset_state t;
+  let freq_mhz =
+    match L.Graph.general_cores t.lnic with
+    | u :: _ -> u.L.Unit_.freq_mhz
+    | [] -> 1
+  in
+  let us cycles = cycles /. float_of_int freq_mhz in
+  let out = ref [] in
+  let clock = ref 0. in
+  let span name dur ~seq =
+    if dur > 0. then
+      out :=
+        J.Obj
+          [
+            ("name", J.String name);
+            ("ph", J.String "X");
+            ("ts", J.Float (us !clock));
+            ("dur", J.Float (us dur));
+            ("pid", J.Int 1);
+            ("tid", J.Int 0);
+            ("args", J.Obj [ ("seq", J.Int seq) ]);
+          ]
+        :: !out;
+    clock := !clock +. dur
+  in
+  let cir = t.df.D.Graph.cir in
+  Array.iteri
+    (fun seq pkt ->
+      (* Pre-resolve the emitted flag on a copy of the walk?  No — walk
+         once, emitting node spans as we charge them; the wire-rx span
+         goes first with the packet's ingress share, wire-tx last. *)
+      let params = t.lnic.L.Graph.params in
+      let bytes = float_of_int (W.Packet.total_bytes pkt) in
+      let hub kind =
+        match
+          List.find_opt (fun h -> h.L.Hub.kind = kind) (Array.to_list t.lnic.L.Graph.hubs)
+        with
+        | Some h -> float_of_int h.L.Hub.per_packet_cycles
+        | None -> 0.
+      in
+      if t.config.include_wire then
+        span "wire-rx" (L.Cost_fn.eval params.P.wire_ingress bytes +. hub `Ingress) ~seq;
+      let emitted = ref false in
+      let steps = ref 0 in
+      let charge_block bid =
+        List.iter
+          (fun (n : D.Node.t) ->
+            span (node_name n) (node_cost t pkt n) ~seq;
+            match n.D.Node.kind with
+            | D.Node.N_vcall v when v.Ir.vc = P.V_emit -> emitted := true
+            | D.Node.N_vcall v when v.Ir.vc = P.V_table_update -> (
+                match v.Ir.state with
+                | Some s -> (
+                    match Hashtbl.find_opt t.flow_seen s with
+                    | Some seen -> ignore (Lru.touch seen (W.Packet.flow_key pkt))
+                    | None -> ())
+                | None -> ())
+            | _ -> ())
+          (Option.value ~default:[] (Hashtbl.find_opt t.nodes_by_block bid))
+      in
+      let rec walk bid ~stop =
+        incr steps;
+        if !steps > 10_000 then raise Walk_limit;
+        charge_block bid;
+        match (Ir.block cir bid).Ir.term with
+        | Ir.Ret -> ()
+        | Ir.Jump d -> if Some d = stop then () else walk d ~stop
+        | Ir.Cond { guard; then_; else_ } ->
+            if resolve_guard t pkt guard then walk then_ ~stop else walk else_ ~stop
+        | Ir.Loop { body; exit; trip = _ } ->
+            walk body ~stop:(Some bid);
+            walk exit ~stop
+      in
+      walk cir.Ir.entry ~stop:None;
+      if t.config.include_wire && !emitted then
+        span "wire-tx" (L.Cost_fn.eval params.P.wire_egress bytes +. hub `Egress) ~seq)
+    trace.W.Trace.packets;
+  J.Obj
+    [
+      ( "traceEvents",
+        J.List
+          (J.Obj
+             [
+               ("name", J.String "process_name");
+               ("ph", J.String "M");
+               ("pid", J.Int 1);
+               ("args", J.Obj [ ("name", J.String "clara predict (analytic)") ]);
+             ]
+          :: List.rev !out) );
+      ("displayTimeUnit", J.String "ns");
+      ( "otherData",
+        J.Obj [ ("tool", J.String "clara predict --trace"); ("freq_mhz", J.Int freq_mhz) ]
+      );
+    ]

@@ -55,3 +55,53 @@ val pp_prediction : Format.formatter -> prediction -> unit
 val wire_cycles :
   Clara_lnic.Graph.t -> Clara_workload.Packet.t -> emitted:bool -> float
 (** Wire DMA + hub constants for one packet on a target. *)
+
+(** {2 Latency attribution} — the prediction decomposed into where the
+    cycles go (compute / memory / accelerator / wire).  The predictor
+    models no queueing, so unlike the simulator's attribution there is
+    no queue component. *)
+
+type pkt_components = {
+  pc_total : float;
+      (** Bit-identical to {!packet_latency}'s [cycles] at the same
+          state: the walk, guard RNG draws and summation order match. *)
+  pc_compute : float;
+      (** Residual [total - mem - accel - wire], so the components sum
+          to [pc_total] exactly. *)
+  pc_mem : float;
+  pc_accel : float;
+  pc_wire : float;
+  pc_emitted : bool;
+}
+
+val packet_components : t -> Clara_workload.Packet.t -> pkt_components
+(** Stateful, like {!packet_latency}. *)
+
+type att_row = {
+  at_type : string;   (** "tcp-syn", "tcp", "udp", "other" or "all". *)
+  at_count : int;
+  at_compute : float;  (** Mean cycles per packet of this type. *)
+  at_mem : float;
+  at_accel : float;
+  at_wire : float;
+  at_total : float;    (** Sum of the four component means. *)
+  at_dominant : string;
+      (** Largest component: "compute", "memory", "accel" or "wire". *)
+}
+
+type attribution = {
+  att_rows : att_row list;  (** Per-type rows, then the "all" row. *)
+  att_mean : float;
+      (** Equals {!predict_trace}'s [mean_cycles] for the same trace. *)
+}
+
+val attribute_trace : t -> Clara_workload.Trace.t -> attribution
+(** Resets state and re-walks the trace with the same RNG seed, so the
+    totals match {!predict_trace} exactly. *)
+
+val pp_attribution : Format.formatter -> attribution -> unit
+
+val perfetto_timeline : t -> Clara_workload.Trace.t -> Clara_util.Json.t
+(** The analytic per-packet timeline (packets end-to-end on one track,
+    wire + per-node spans) as Chrome/Perfetto trace-event JSON — the
+    predictor-side counterpart of [clara trace]'s export. *)

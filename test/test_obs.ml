@@ -117,7 +117,7 @@ let test_json_export () =
       check "hist count" true (field "count" h = J.Int 1);
       check "hist sum" true (field "sum" h = J.Int 3);
       (match field "buckets" h with
-      | J.List [ J.List [ J.Int 4; J.Int 1 ] ] -> ()
+      | J.List [ J.Obj [ ("lo", J.Int 2); ("hi", J.Int 4); ("count", J.Int 1) ] ] -> ()
       | _ -> Alcotest.fail "buckets shape")
   | _ -> Alcotest.fail "histograms shape");
   (match field "spans" j with
