@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
              ablations ilp interference nics throughput chains energy
-             partial zoo sweep trace bechamel   (default: all) *)
+             partial zoo sweep trace lint bechamel   (default: all) *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -876,6 +876,58 @@ let trace_guard () =
         profile ~packets:10_000 ~rate:1_500_000. () ) ]
 
 (* ------------------------------------------------------------------ *)
+(* Lint: the static-analysis suite over the whole corpus               *)
+
+let lint_bench () =
+  header "Lint: analysis suite over the corpus (budget: 100 ms per sweep)";
+  Printf.printf
+    "Runs all four passes (sharing, feasibility, paths, cost) on every\n\
+     corpus NF against two targets; per-pass counters land in the lib/obs\n\
+     registry (analysis.*).  A sweep over the mean budget fails the bench.\n\n";
+  let targets = [ ("netronome", lnic); ("asic", L.Asic_nic.default) ] in
+  let cirs =
+    List.map
+      (fun (e : Clara_nfs.Corpus.entry) ->
+        ( e.Clara_nfs.Corpus.name,
+          fst (Clara_cir.Patterns.run (Clara_cir.Lower.lower_source e.Clara_nfs.Corpus.source)) ))
+      Clara_nfs.Corpus.all
+  in
+  let sweep () =
+    List.fold_left
+      (fun acc (_, ir) ->
+        List.fold_left
+          (fun acc (_, target) ->
+            let r = Clara_analysis.Suite.run ~lnic:target ir in
+            acc + List.length r.Clara_analysis.Suite.diagnostics)
+          acc targets)
+      0 cirs
+  in
+  ignore (sweep ());
+  (* warm-up *)
+  let iters = 20 in
+  let t0 = Unix.gettimeofday () in
+  let diags = ref 0 in
+  for _ = 1 to iters do
+    diags := sweep ()
+  done;
+  let per_sweep_ms = 1e3 *. (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  Printf.printf
+    "%d NFs x %d targets: %d diagnostics per sweep, %.2f ms per sweep (%d runs)\n"
+    (List.length cirs) (List.length targets) !diags per_sweep_ms iters;
+  let budget_ms = 100. in
+  if per_sweep_ms > budget_ms then
+    failwith
+      (Printf.sprintf "lint bench over budget: %.2f ms > %.0f ms per sweep"
+         per_sweep_ms budget_ms);
+  let reg = Clara_obs.Registry.default in
+  List.iter
+    (fun key ->
+      Printf.printf "  %-28s %d\n" key (Clara_obs.Registry.counter_value reg key))
+    [ "analysis.runs"; "analysis.errors"; "analysis.warnings"; "analysis.infos";
+      "analysis.diags.sharing"; "analysis.diags.feasibility";
+      "analysis.diags.paths"; "analysis.diags.cost" ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("figure1", figure1);
@@ -897,6 +949,7 @@ let sections =
     ("zoo", zoo);
     ("sweep", sweep_bench);
     ("trace", trace_guard);
+    ("lint", lint_bench);
     ("bechamel", bechamel) ]
 
 let () =

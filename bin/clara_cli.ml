@@ -14,6 +14,7 @@
      sweep       parallel design-space exploration from a spec file
      interfere   slowdown of two NFs co-resident on one NIC
      trace       simulate a ported NF with per-packet event tracing
+     lint        static analysis: races, feasibility, dead paths, cost hazards
      json-check  validate that a file parses as JSON *)
 
 module W = Clara_workload
@@ -454,6 +455,60 @@ let corpus_entry name =
         ^ ")");
       exit 1
 
+(* A source argument is a file path if one exists, else a corpus name. *)
+let resolve_nf arg =
+  if Sys.file_exists arg then (Filename.basename arg, read_file arg)
+  else (arg, (corpus_entry arg).Clara_nfs.Corpus.source)
+
+(* ---- lint ----------------------------------------------------------- *)
+
+let lint_cmd =
+  let nf_arg =
+    let doc = "NF to lint: a DSL source file, or a corpus NF name." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  in
+  let target_arg =
+    let doc =
+      "Lint against this target: 'netronome' (default), 'soc', 'asic', or \
+       'host'."
+    in
+    Arg.(value & opt string "netronome" & info [ "target"; "nic" ] ~docv:"NIC" ~doc)
+  in
+  let run nf nic json stats stats_json =
+    let lnic = or_die (lnic_of_name nic) in
+    let _name, source = resolve_nf nf in
+    let ir =
+      match Clara_cir.Lower.lower_source source with
+      | exception Clara_cir.Lexer.Error (msg, pos) ->
+          or_die
+            (Error
+               (Printf.sprintf "lex error at %d:%d: %s" pos.Clara_cir.Ast.line
+                  pos.Clara_cir.Ast.col msg))
+      | exception Clara_cir.Parser.Error (msg, pos) ->
+          or_die
+            (Error
+               (Printf.sprintf "parse error at %d:%d: %s" pos.Clara_cir.Ast.line
+                  pos.Clara_cir.Ast.col msg))
+      | exception Failure msg -> or_die (Error msg)
+      | exception Clara_cir.Ir.Unknown_state s ->
+          or_die (Error (Printf.sprintf "NF references undeclared state '%s'" s))
+      | ir -> fst (Clara_cir.Patterns.run ir)
+    in
+    let report = Clara_analysis.Suite.run ~lnic ir in
+    if json then
+      print_endline (Clara_util.Json.to_string (Clara_analysis.Suite.to_json report))
+    else Format.printf "%a@." Clara_analysis.Suite.pp report;
+    emit_stats ~stats ~stats_json;
+    if Clara_analysis.Suite.has_errors report then exit 1
+  in
+  let doc =
+    "Statically lint an NF: shared-state races, offload feasibility against a \
+     target NIC, contradictory guards, and cost hazards.  Exits nonzero when \
+     any error-severity diagnostic fires."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ nf_arg $ target_arg $ json_arg $ stats_arg $ stats_json_arg)
+
 let trace_cmd =
   let nf_arg =
     let doc = "Corpus NF to trace (see 'clara corpus')." in
@@ -579,15 +634,10 @@ let interfere_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  (* A source argument is a file path if one exists, else a corpus name. *)
-  let resolve arg =
-    if Sys.file_exists arg then (Filename.basename arg, read_file arg)
-    else (arg, (corpus_entry arg).Clara_nfs.Corpus.source)
-  in
   let run src_a src_b nic payload packets flows rate tcp trace_out =
     let lnic = or_die (lnic_of_name nic) in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
-    let name_a, source_a = resolve src_a and name_b, source_b = resolve src_b in
+    let name_a, source_a = resolve_nf src_a and name_b, source_b = resolve_nf src_b in
     let ra, rb =
       or_die (Clara_predict.Interference.analyze_pair lnic ~source_a ~source_b ~profile)
     in
@@ -671,4 +721,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
-            interfere_cmd; trace_cmd; json_check_cmd ]))
+            interfere_cmd; trace_cmd; lint_cmd; json_check_cmd ]))

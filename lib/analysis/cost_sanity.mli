@@ -1,0 +1,14 @@
+(** Cost-sanity lint (pass 4).
+
+    Shapes that are legal CIR but price catastrophically or crash the
+    mapping stage:
+
+    - CLARA301 (warn): a packet-buffer write inside a payload-scaled
+      loop — the packet is touched once per payload byte, so per-packet
+      buffer traffic is quadratic in payload size once the buffer
+      spills past the CTM threshold.
+    - CLARA302 (error): an instruction references a state object the
+      program never declared.  Statically reports what would otherwise
+      surface at mapping time as [Ir.Unknown_state]. *)
+
+val analyze : Clara_cir.Ir.program -> Diag.t list

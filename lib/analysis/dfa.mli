@@ -1,0 +1,49 @@
+(** Generic worklist dataflow over CIR CFGs.
+
+    A pass supplies a join-semilattice (with [bottom] as the
+    "unreached" element), a per-block transfer function, and optionally
+    a per-edge transfer (how facts change along a specific CFG edge —
+    this is what makes guard-sensitive path analysis expressible).
+    [solve] iterates to the least fixed point with a FIFO worklist.
+
+    Termination relies on the usual monotonicity contract: [transfer]
+    and [edge] must be monotone and the lattice must have finite
+    ascending chains.  A safety valve aborts after an iteration budget
+    proportional to the CFG size so a buggy lattice fails loudly
+    instead of spinning. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** The "no information / unreached" element: identity for [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = {
+    input : L.t array;   (** Fact at block entry (exit, if backward). *)
+    output : L.t array;  (** Fact at block exit (entry, if backward). *)
+    iterations : int;    (** Blocks processed before the fixed point. *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    ?edge:(src:Clara_cir.Ir.block -> dst:int -> L.t -> L.t) ->
+    init:L.t ->
+    transfer:(Clara_cir.Ir.block -> L.t -> L.t) ->
+    Clara_cir.Ir.program ->
+    result
+  (** [init] seeds the entry block (every [Ret] block, if backward).
+      [edge ~src ~dst fact] transforms [src]'s output as it flows along
+      the CFG edge [src.bid -> dst]; it defaults to the identity.  For
+      [Backward], facts propagate against edge direction but [edge]
+      still receives the edge as written in the program.
+
+      @raise Failure if the iteration budget is exhausted (non-monotone
+      transfer or infinite-height lattice). *)
+end

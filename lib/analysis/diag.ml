@@ -1,0 +1,49 @@
+type severity = Error | Warn | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  block : int option;
+  instr : int option;
+  message : string;
+}
+
+let make ?block ?instr ~code ~severity ~pass message =
+  { code; severity; pass; block; instr; message }
+
+let severity_name = function Error -> "error" | Warn -> "warn" | Info -> "info"
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c =
+        Option.compare Int.compare a.block b.block
+      in
+      if c <> 0 then c else String.compare a.message b.message
+
+let to_json d =
+  let module J = Clara_util.Json in
+  let opt_int = function None -> J.Null | Some i -> J.Int i in
+  J.Obj
+    [ ("code", J.String d.code);
+      ("severity", J.String (severity_name d.severity));
+      ("pass", J.String d.pass);
+      ("block", opt_int d.block);
+      ("instr", opt_int d.instr);
+      ("message", J.String d.message) ]
+
+let pp fmt d =
+  let where =
+    match (d.block, d.instr) with
+    | Some b, Some i -> Printf.sprintf " b%d#%d" b i
+    | Some b, None -> Printf.sprintf " b%d" b
+    | None, _ -> ""
+  in
+  Format.fprintf fmt "%s %-5s [%s]%s: %s" d.code
+    (severity_name d.severity) d.pass where d.message

@@ -1,0 +1,35 @@
+(** Structured lint diagnostics.
+
+    Every analysis pass reports findings in one shape: a stable
+    [CLARAnnn] code (so tooling can allowlist or grep), a severity, the
+    pass that produced it, the offending block (and instruction index
+    within the block when known), and a human-readable message.  The
+    JSON form is what [clara lint --json] and CI consume. *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  code : string;      (** Stable identifier, e.g. ["CLARA001"]. *)
+  severity : severity;
+  pass : string;      (** Producing pass: "sharing", "feasibility", ... *)
+  block : int option; (** Offending block id in the analyzed CIR. *)
+  instr : int option; (** Instruction index within [block]. *)
+  message : string;
+}
+
+val make :
+  ?block:int -> ?instr:int ->
+  code:string -> severity:severity -> pass:string -> string -> t
+
+val severity_name : severity -> string
+(** ["error"], ["warn"], ["info"]. *)
+
+val severity_rank : severity -> int
+(** 0 for [Error] — sorts most severe first. *)
+
+val compare : t -> t -> int
+(** Severity, then code, then block, then message: a stable report
+    order independent of pass scheduling. *)
+
+val to_json : t -> Clara_util.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+module Ir = Clara_cir.Ir
+module L = Clara_lnic
+
+let rec size_has_opaque = function
+  | Ir.S_opaque -> true
+  | Ir.S_scaled (e, _) -> size_has_opaque e
+  | Ir.S_plus (e, _) -> size_has_opaque e
+  | Ir.S_const _ | Ir.S_payload | Ir.S_packet | Ir.S_header
+  | Ir.S_state_entries _ ->
+      false
+
+let vcall_supported (g : L.Graph.t) vc =
+  L.Params.core_vcall_cost g.L.Graph.params vc <> None
+  || List.exists
+       (fun (u : L.Unit_.t) ->
+         match u.L.Unit_.kind with
+         | L.Unit_.Accelerator k ->
+             L.Params.accel_vcall_cost g.L.Graph.params k vc <> None
+         | L.Unit_.General_core _ -> false)
+       (L.Graph.accelerators g)
+
+let analyze ~(lnic : L.Graph.t) (p : Ir.program) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* CLARA101 / CLARA104: per-vcall checks, reported once per vcall kind
+     (first occurrence) to keep reports readable on unrolled bodies. *)
+  let seen_unsupported = Hashtbl.create 4 in
+  let seen_opaque_size = Hashtbl.create 4 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iteri
+        (fun i instr ->
+          match instr with
+          | Ir.Vcall { vc; size; _ } ->
+              if
+                (not (vcall_supported lnic vc))
+                && not (Hashtbl.mem seen_unsupported vc)
+              then (
+                Hashtbl.add seen_unsupported vc ();
+                emit
+                  (Diag.make ~block:b.Ir.bid ~instr:i ~code:"CLARA101"
+                     ~severity:Diag.Error ~pass:"feasibility"
+                     (Printf.sprintf
+                        "vcall '%s' (b%d) has no supporting compute unit on \
+                         target '%s': cores lack a software path and no \
+                         present accelerator implements it"
+                        (L.Params.vcall_name vc) b.Ir.bid lnic.L.Graph.name)));
+              if size_has_opaque size && not (Hashtbl.mem seen_opaque_size vc)
+              then (
+                Hashtbl.add seen_opaque_size vc ();
+                emit
+                  (Diag.make ~block:b.Ir.bid ~instr:i ~code:"CLARA104"
+                     ~severity:Diag.Info ~pass:"feasibility"
+                     (Printf.sprintf
+                        "vcall '%s' (b%d) is sized by a statically-unknown \
+                         expression; its predicted cost is a guess"
+                        (L.Params.vcall_name vc) b.Ir.bid)))
+          | _ -> ())
+        b.Ir.instrs;
+      (* CLARA103: opaque trip counts defeat latency prediction. *)
+      match b.Ir.term with
+      | Ir.Loop { trip; _ } when size_has_opaque trip ->
+          emit
+            (Diag.make ~block:b.Ir.bid ~code:"CLARA103" ~severity:Diag.Warn
+               ~pass:"feasibility"
+               (Printf.sprintf
+                  "loop headed at b%d has a statically-unknown trip count; \
+                   prediction assumes a fixed opaque-trip guess, losing \
+                   latency clarity on this path"
+                  b.Ir.bid))
+      | _ -> ())
+    p.Ir.blocks;
+  (* CLARA102: state must fit somewhere sharable. *)
+  let shared_mems =
+    Array.to_list lnic.L.Graph.memories
+    |> List.filter (fun (m : L.Memory.t) -> m.L.Memory.level <> L.Memory.Local)
+  in
+  let accel_srams =
+    List.filter_map
+      (fun (u : L.Unit_.t) ->
+        match u.L.Unit_.kind with
+        | L.Unit_.Accelerator k ->
+            let s = L.Params.accel_sram lnic.L.Graph.params k in
+            if s > 0 then Some s else None
+        | L.Unit_.General_core _ -> None)
+      (L.Graph.accelerators lnic)
+  in
+  let largest =
+    List.fold_left
+      (fun acc (m : L.Memory.t) -> max acc m.L.Memory.size_bytes)
+      (List.fold_left max 0 accel_srams)
+      shared_mems
+  in
+  List.iter
+    (fun (st : Ir.state_obj) ->
+      let bytes = Ir.state_bytes st in
+      if bytes > largest then
+        emit
+          (Diag.make ~code:"CLARA102" ~severity:Diag.Error ~pass:"feasibility"
+             (Printf.sprintf
+                "state '%s' (%d bytes) exceeds every memory tier on target \
+                 '%s' (largest sharable region: %d bytes)"
+                st.Ir.st_name bytes lnic.L.Graph.name largest)))
+    p.Ir.states;
+  List.rev !diags

@@ -1,0 +1,17 @@
+(** Offload-feasibility lint against a concrete LNIC target (pass 2).
+
+    Catches programs that cannot map onto the chosen NIC — or whose
+    predictions would be vacuous — before the ILP ever runs:
+
+    - CLARA101 (error): a vcall with no supporting compute unit — the
+      target's cores have no software cost model for it and no present
+      accelerator implements it.
+    - CLARA102 (error): a state object whose footprint exceeds every
+      sharable memory tier and every accelerator SRAM on the target.
+    - CLARA103 (warn): a loop with a statically-unknown ([S_opaque])
+      trip count — prediction falls back to a fixed guess, so the
+      latency clarity the tool exists for is lost on that path.
+    - CLARA104 (info): a vcall sized by an opaque expression. *)
+
+val analyze :
+  lnic:Clara_lnic.Graph.t -> Clara_cir.Ir.program -> Diag.t list

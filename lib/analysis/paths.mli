@@ -1,0 +1,23 @@
+(** Guard/path analysis (pass 3), built on {!Dfa}.
+
+    A forward dataflow collects the guard facts that hold on {e every}
+    path into each block (join = set intersection), with a per-edge
+    transfer adding the branch condition (positive on the then edge,
+    negative on the else edge).  Only packet-stable atoms are tracked —
+    [G_proto] and [G_flag] — because table hits, scan matches and
+    counter thresholds can change value between two evaluations in the
+    same packet's execution (an update between two lookups, two scans
+    for different patterns), and a linter must not report false
+    contradictions.
+
+    Diagnostics:
+    - CLARA201 (warn): a guard contradicts facts established on every
+      path to it — its then-arm can never execute (e.g. a [G_proto 6]
+      test nested under a [G_proto 17] branch).
+    - CLARA202 (warn): a block that is CFG-reachable — so
+      [Patterns.eliminate_dead_blocks] keeps it — but every path to it
+      carries contradictory guard facts.
+    - CLARA203 (info): a guard implied by earlier guards; its else-arm
+      is dead. *)
+
+val analyze : Clara_cir.Ir.program -> Diag.t list

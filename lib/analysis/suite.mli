@@ -1,0 +1,31 @@
+(** Run every analysis pass over a program and aggregate the results.
+
+    The suite is target-optional: without an [lnic] the feasibility
+    pass is skipped (there is nothing concrete to lint against) and the
+    report's [target] is [None].
+
+    Per-run counters land in {!Clara_obs.Registry.default}:
+    [analysis.runs], [analysis.diags.<pass>], [analysis.errors],
+    [analysis.warnings], [analysis.infos]. *)
+
+type report = {
+  program : string;                            (** [prog_name]. *)
+  target : string option;                      (** LNIC name, if linted. *)
+  diagnostics : Diag.t list;                   (** Sorted, errors first. *)
+  sharing : (string * Sharing.verdict) list;   (** One per state object. *)
+}
+
+val run :
+  ?lnic:Clara_lnic.Graph.t -> Clara_cir.Ir.program -> report
+
+val errors : report -> Diag.t list
+val warnings : report -> Diag.t list
+val has_errors : report -> bool
+
+val to_json : report -> Clara_util.Json.t
+(** [{program, target, summary: {errors, warnings, infos}, sharing:
+    {state: verdict, ...}, diagnostics: [...]}]. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable listing: one diagnostic per line, then the sharing
+    verdicts and a summary count line. *)

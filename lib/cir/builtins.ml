@@ -20,6 +20,13 @@ let table =
     ("lpm_match", simple [ A_state [ Ast.S_lpm ]; A_int ] Ast.T_entry);
     ("found", simple [ A_entry ] Ast.T_bool);
     ("entry_value", simple [ A_entry ] Ast.T_int);
+    (* Raw state access: word-granularity read/write against a state
+       object, bypassing the table engine.  [state_add] is the atomic
+       fetch-add form; a [state_read]+[state_write] pair on shared state
+       is the unsynchronized RMW the sharing lint flags. *)
+    ("state_read", simple [ A_state [ Ast.S_map; Ast.S_array; Ast.S_counter ]; A_int ] Ast.T_int);
+    ("state_write", simple [ A_state [ Ast.S_map; Ast.S_array; Ast.S_counter ]; A_int; A_int ] Ast.T_int);
+    ("state_add", simple [ A_state [ Ast.S_map; Ast.S_array; Ast.S_counter ]; A_int; A_int ] Ast.T_int);
     (* Measurement / policing. *)
     ("meter", simple [ A_int ] Ast.T_int);
     ("count", simple [ A_state [ Ast.S_counter; Ast.S_map; Ast.S_array ]; A_int ] Ast.T_int);

@@ -57,10 +57,19 @@ type program = {
   states : state_obj list;
 }
 
+exception Unknown_state of string
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_state s -> Some (Printf.sprintf "Ir.Unknown_state(%S)" s)
+    | _ -> None)
+
+let state_obj_opt p name = List.find_opt (fun s -> s.st_name = name) p.states
+
 let state_obj p name =
-  match List.find_opt (fun s -> s.st_name = name) p.states with
+  match state_obj_opt p name with
   | Some s -> s
-  | None -> raise Not_found
+  | None -> raise (Unknown_state name)
 
 let state_bytes s = s.st_entries * s.st_entry_bytes
 
@@ -96,15 +105,32 @@ let rec pp_size fmt = function
   | S_plus (e, k) -> Format.fprintf fmt "(%a+%d)" pp_size e k
   | S_opaque -> Format.pp_print_string fmt "?"
 
-let rec pp_guard fmt = function
+(* Normalization used by printing and by path analysis: double negation,
+   duplicate [G_or] arms, and the constant fold !opaque = opaque (an
+   unrecognized predicate stays unrecognized under negation). *)
+let rec simplify_guard = function
+  | G_not g -> (
+      match simplify_guard g with
+      | G_not h -> h
+      | G_opaque -> G_opaque
+      | h -> G_not h)
+  | G_or (a, b) ->
+      let a = simplify_guard a and b = simplify_guard b in
+      if a = b then a else G_or (a, b)
+  | (G_proto _ | G_flag _ | G_table_hit _ | G_scan_match | G_count_exceeds | G_opaque)
+    as g -> g
+
+let rec pp_guard_raw fmt = function
   | G_proto k -> Format.fprintf fmt "proto==%d" k
   | G_flag k -> Format.fprintf fmt "flags&0x%x" k
   | G_table_hit s -> Format.fprintf fmt "hit(%s)" s
   | G_scan_match -> Format.pp_print_string fmt "scan-match"
   | G_count_exceeds -> Format.pp_print_string fmt "count-exceeds"
   | G_opaque -> Format.pp_print_string fmt "opaque"
-  | G_not g -> Format.fprintf fmt "!(%a)" pp_guard g
-  | G_or (a, b) -> Format.fprintf fmt "(%a || %a)" pp_guard a pp_guard b
+  | G_not g -> Format.fprintf fmt "!(%a)" pp_guard_raw g
+  | G_or (a, b) -> Format.fprintf fmt "(%a || %a)" pp_guard_raw a pp_guard_raw b
+
+let pp_guard fmt g = pp_guard_raw fmt (simplify_guard g)
 
 let pp_loc fmt = function
   | L_local -> Format.pp_print_string fmt "local"

@@ -81,8 +81,16 @@ type program = {
   states : state_obj list;
 }
 
+exception Unknown_state of string
+(** A vcall or memory instruction names a state object the program never
+    declared.  Raised instead of a bare [Not_found] so callers can
+    surface the offending name (the cost-sanity lint pass reports the
+    same condition statically as CLARA302). *)
+
+val state_obj_opt : program -> string -> state_obj option
+
 val state_obj : program -> string -> state_obj
-(** @raise Not_found for an unknown state name. *)
+(** @raise Unknown_state for an unknown state name. *)
 
 val state_bytes : state_obj -> int
 (** Total footprint: entries × entry size. *)
@@ -99,7 +107,18 @@ val vcall :
 val instr_count : program -> int
 val vcalls_of : program -> vcall_info list
 
+val simplify_guard : guard -> guard
+(** Normalize a guard: eliminate double negation, collapse [G_or] with
+    identical arms, and fold [G_not G_opaque] to [G_opaque] (negating an
+    unrecognized predicate yields another unrecognized predicate).
+    Idempotent; used by {!pp_guard} and the path-analysis lint pass. *)
+
 val pp_size : Format.formatter -> size_expr -> unit
+
 val pp_guard : Format.formatter -> guard -> unit
+(** Prints the {!simplify_guard}-normal form. *)
+
+(** Prints the guard exactly as constructed. *)
+val pp_guard_raw : Format.formatter -> guard -> unit
 val pp_instr : Format.formatter -> instr -> unit
 val pp_program : Format.formatter -> program -> unit

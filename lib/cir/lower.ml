@@ -165,6 +165,13 @@ and state_name = function
   | Ast.Ident n -> n
   | _ -> failwith "Lower: state argument must be a name"
 
+(* A dangling state name in a builtin call is a typed error at lower
+   time (typechecked sources never hit this; hand-built ASTs can). *)
+and checked_state env arg =
+  let st = state_name arg in
+  if not (List.mem_assoc st env.states) then raise (Ir.Unknown_state st);
+  st
+
 and lower_call env bid fn args : origin =
   let size_of_arg i =
     match List.nth_opt args i with
@@ -191,21 +198,21 @@ and lower_call env bid fn args : origin =
       emit env.b bid (Ir.vcall P.V_crypto Ir.S_payload);
       O_plain
   | "lookup" ->
-      let st = state_name (List.hd args) in
+      let st = checked_state env (List.hd args) in
       lower_args env bid (List.tl args);
       emit env.b bid
         (Ir.vcall ~state:st ~reads:(Ir.S_const 2) P.V_table_lookup
            (Ir.S_state_entries st));
       O_lookup st
   | "update" ->
-      let st = state_name (List.hd args) in
+      let st = checked_state env (List.hd args) in
       lower_args env bid (List.tl args);
       emit env.b bid
         (Ir.vcall ~state:st ~reads:(Ir.S_const 1) ~writes:(Ir.S_const 1)
            P.V_table_update (Ir.S_state_entries st));
       O_plain
   | "lpm_match" ->
-      let st = state_name (List.hd args) in
+      let st = checked_state env (List.hd args) in
       lower_args env bid (List.tl args);
       (* Software match/action walks the rule set; reads are amortized
          over ~8 entries per memory burst. *)
@@ -227,11 +234,26 @@ and lower_call env bid fn args : origin =
       emit env.b bid (Ir.vcall P.V_meter (Ir.S_const 1));
       O_count
   | "count" ->
-      let st = state_name (List.hd args) in
+      let st = checked_state env (List.hd args) in
       lower_args env bid (List.tl args);
       emit env.b bid (Ir.vcall ~state:st P.V_flow_stats (Ir.S_const 1));
       emit env.b bid (Ir.Atomic_op (Ir.L_state st));
       O_count
+  | "state_read" ->
+      let st = checked_state env (List.hd args) in
+      lower_args env bid (List.tl args);
+      emit env.b bid (Ir.Load (Ir.L_state st));
+      O_plain
+  | "state_write" ->
+      let st = checked_state env (List.hd args) in
+      lower_args env bid (List.tl args);
+      emit env.b bid (Ir.Store (Ir.L_state st));
+      O_plain
+  | "state_add" ->
+      let st = checked_state env (List.hd args) in
+      lower_args env bid (List.tl args);
+      emit env.b bid (Ir.Atomic_op (Ir.L_state st));
+      O_plain
   | "scan_payload" ->
       lower_args env bid (List.tl args);
       emit env.b bid (Ir.vcall P.V_payload_scan Ir.S_payload);

@@ -12,6 +12,7 @@ type analysis = {
   mapping : Clara_mapping.Mapping.t;
   pattern_report : Clara_cir.Patterns.report;
   options : Clara_mapping.Mapping.options;
+  lint : Clara_analysis.Suite.report;
 }
 
 let default_sizes =
@@ -62,13 +63,26 @@ let analyze ?(options = Clara_mapping.Mapping.default_options) ?(sizes = default
       let ir, pattern_report =
         Clara_obs.Registry.span obs "coarsen" (fun () -> Clara_cir.Patterns.run ir)
       in
+      (* Lint before mapping: diagnostics never fail the pipeline (that
+         is `clara lint`'s job), but the sharing verdicts feed the
+         encoder unless the caller supplied its own. *)
+      let lint =
+        Clara_obs.Registry.span obs "lint" (fun () ->
+            Clara_analysis.Suite.run ~lnic ir)
+      in
+      let options =
+        if options.Clara_mapping.Mapping.sharing = [] then
+          { options with
+            Clara_mapping.Mapping.sharing = lint.Clara_analysis.Suite.sharing }
+        else options
+      in
       let df = Clara_obs.Registry.span obs "dataflow" (fun () -> D.Build.of_ir ir) in
       match
         Clara_obs.Registry.span obs "mapping" (fun () ->
             Clara_mapping.Encode.map_nf ~options lnic df ~sizes ~prob)
       with
       | Error e -> Error ("mapping: " ^ e)
-      | Ok mapping -> Ok { lnic; df; mapping; pattern_report; options })
+      | Ok mapping -> Ok { lnic; df; mapping; pattern_report; options; lint })
 
 let analyze_for_profile ?options lnic ~source ~profile =
   analyze ?options ~sizes:(sizes_of_profile profile) ~prob:(prob_of_profile profile) lnic

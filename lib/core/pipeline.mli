@@ -20,6 +20,13 @@ type analysis = {
   mapping : Clara_mapping.Mapping.t;
   pattern_report : Clara_cir.Patterns.report;
   options : Clara_mapping.Mapping.options;
+      (** As actually used by mapping — including sharing verdicts the
+          lint pass injected when the caller left them empty. *)
+  lint : Clara_analysis.Suite.report;
+      (** Static-analysis report over the coarsened CIR.  Diagnostics
+          never fail [analyze] (use [clara lint] for a gate); the
+          sharing verdicts feed the encoder so racy state is priced as
+          if properly synchronized. *)
 }
 
 val analyze :

@@ -42,8 +42,13 @@ let options_repr (o : Clara_mapping.Mapping.options) =
     |> List.map (fun (s, lvl) -> s ^ ":" ^ L.Memory.level_name lvl)
     |> List.sort compare |> String.concat ","
   in
-  Printf.sprintf "accels=[%s];pins=[%s];node_limit=%d" accels pins
-    o.Clara_mapping.Mapping.node_limit
+  let sharing =
+    o.Clara_mapping.Mapping.sharing
+    |> List.map (fun (s, v) -> s ^ ":" ^ Clara_analysis.Sharing.verdict_name v)
+    |> List.sort compare |> String.concat ","
+  in
+  Printf.sprintf "accels=[%s];pins=[%s];node_limit=%d;sharing=[%s]" accels pins
+    o.Clara_mapping.Mapping.node_limit sharing
 
 let op_name = function
   | P.Alu -> "alu"

@@ -9,6 +9,10 @@ let obs = Clara_obs.Registry.default
 let c_vars = Clara_obs.Registry.counter obs "mapping.ilp.vars"
 let c_constraints = Clara_obs.Registry.counter obs "mapping.ilp.constraints"
 let c_bb_nodes = Clara_obs.Registry.counter obs "mapping.ilp.bb_nodes"
+let c_racy_states = Clara_obs.Registry.counter obs "mapping.sharing.racy_states"
+
+let c_hardened =
+  Clara_obs.Registry.counter obs "mapping.sharing.hardened_instrs"
 
 (* State object a node touches (at most one, guaranteed by Build). *)
 let node_state (n : D.Node.t) =
@@ -57,7 +61,39 @@ let rat_of_weight w =
   let scaled = int_of_float (Float.round (w *. 1000.)) in
   I.Rat.of_ints (max 0 scaled) 1000
 
-let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~sizes ~prob =
+let map_nf_exn ~(options : Mapping.options) ?dump_lp lnic (df : D.Graph.t) ~sizes ~prob =
+  (* A state the sharing analysis judged racy gets hardened: its raw
+     loads/stores are priced as atomics (the cost the program pays once
+     the race is fixed), and it never moves into accelerator SRAM. *)
+  let racy s =
+    List.assoc_opt s options.Mapping.sharing = Some Clara_analysis.Sharing.Racy
+  in
+  List.iter
+    (fun (_, v) ->
+      if v = Clara_analysis.Sharing.Racy then
+        Clara_obs.Metrics.incr c_racy_states)
+    options.Mapping.sharing;
+  let harden_node (n : D.Node.t) =
+    match n.D.Node.kind with
+    | D.Node.N_compute is
+      when List.exists
+             (function
+               | (Ir.Load (Ir.L_state s) | Ir.Store (Ir.L_state s)) -> racy s
+               | _ -> false)
+             is ->
+        let is' =
+          List.map
+            (function
+              | (Ir.Load (Ir.L_state s) | Ir.Store (Ir.L_state s))
+                when racy s ->
+                  Clara_obs.Metrics.incr c_hardened;
+                  Ir.Atomic_op (Ir.L_state s)
+              | i -> i)
+            is
+        in
+        { n with D.Node.kind = D.Node.N_compute is' }
+    | _ -> n
+  in
   let classes =
     L.Graph.placement_classes lnic
     |> List.filter (fun (c : L.Graph.placement_class) ->
@@ -69,12 +105,23 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
   let nclasses = Array.length classes in
   let rep ci = classes.(ci).L.Graph.rep in
   let stage ci = (rep ci).L.Unit_.stage in
-  let nodes = df.D.Graph.nodes in
+  let nodes = Array.map harden_node df.D.Graph.nodes in
   let weights = D.Flow.node_weights df ~prob in
   let states = D.Graph.states df in
   let footprint s =
-    Ir.state_bytes (List.find (fun o -> o.Ir.st_name = s) states)
+    match List.find_opt (fun o -> o.Ir.st_name = s) states with
+    | Some o -> Ir.state_bytes o
+    | None -> raise (Ir.Unknown_state s)
   in
+  (* A node touching an undeclared state would otherwise surface as a
+     generic "cannot run on any unit" (no y variable to pair with). *)
+  Array.iter
+    (fun (n : D.Node.t) ->
+      match node_state n with
+      | Some s when not (List.exists (fun o -> o.Ir.st_name = s) states) ->
+          raise (Ir.Unknown_state s)
+      | _ -> ())
+    nodes;
   let state_entries s =
     match List.find_opt (fun o -> o.Ir.st_name = s) states with
     | Some o -> float_of_int o.Ir.st_entries
@@ -113,6 +160,7 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
     List.filter
       (fun k ->
         pinned s = None
+        && (not (racy s))
         && footprint s <= L.Params.accel_sram params k
         && List.for_all
              (fun (n : D.Node.t) ->
@@ -378,3 +426,12 @@ let map_nf ?(options = Mapping.default_options) ?dump_lp lnic (df : D.Graph.t) ~
                  be.  [gap] is [None] on exact solves. *)
               ilp_gap = Option.map I.Rat.to_float gap;
             })
+
+let map_nf ?(options = Mapping.default_options) ?dump_lp lnic df ~sizes ~prob =
+  try map_nf_exn ~options ?dump_lp lnic df ~sizes ~prob
+  with Ir.Unknown_state s ->
+    Error
+      (Printf.sprintf
+         "NF references undeclared state '%s' (lint CLARA302 reports this \
+          statically)"
+         s)

@@ -2,9 +2,13 @@ module L = Clara_lnic
 module D = Clara_dataflow
 module Ir = Clara_cir.Ir
 
-let map_nf ?(options = Mapping.default_options) lnic (df : D.Graph.t) ~sizes ~prob =
+let map_nf_exn ~(options : Mapping.options) lnic (df : D.Graph.t) ~sizes ~prob =
   let states = D.Graph.states df in
-  let footprint s = Ir.state_bytes (List.find (fun o -> o.Ir.st_name = s) states) in
+  let footprint s =
+    match List.find_opt (fun o -> o.Ir.st_name = s) states with
+    | Some o -> Ir.state_bytes o
+    | None -> raise (Ir.Unknown_state s)
+  in
   let state_entries s =
     match List.find_opt (fun o -> o.Ir.st_name = s) states with
     | Some o -> float_of_int o.Ir.st_entries
@@ -125,3 +129,12 @@ let map_nf ?(options = Mapping.default_options) lnic (df : D.Graph.t) ~sizes ~pr
               ilp_vars = 0;
               ilp_gap = None;
             })
+
+let map_nf ?(options = Mapping.default_options) lnic df ~sizes ~prob =
+  try map_nf_exn ~options lnic df ~sizes ~prob
+  with Ir.Unknown_state s ->
+    Error
+      (Printf.sprintf
+         "NF references undeclared state '%s' (lint CLARA302 reports this \
+          statically)"
+         s)

@@ -13,9 +13,11 @@ type options = {
   disallowed_accels : Clara_lnic.Unit_.accel_kind list;
   pin_state : (string * Clara_lnic.Memory.level) list;
   node_limit : int;
+  sharing : (string * Clara_analysis.Sharing.verdict) list;
 }
 
-let default_options = { disallowed_accels = []; pin_state = []; node_limit = 200_000 }
+let default_options =
+  { disallowed_accels = []; pin_state = []; node_limit = 200_000; sharing = [] }
 
 let unit_of_node t n = t.node_unit.(n)
 let placement_of_state t s = List.assoc_opt s t.state_place

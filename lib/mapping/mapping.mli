@@ -28,6 +28,12 @@ type options = {
       (** Force a state object to a memory level (another porting-strategy
           knob; also excludes it from accelerator SRAM). *)
   node_limit : int;       (** Branch-and-bound node budget. *)
+  sharing : (string * Clara_analysis.Sharing.verdict) list;
+      (** Per-state sharing verdicts from the analysis suite (empty =
+          trust the program as written).  States judged [Racy] are
+          hardened during encoding: their raw loads/stores are priced
+          as atomics — the cost the program pays once the race is
+          actually fixed — and accelerator SRAM placement is refused. *)
 }
 
 val default_options : options

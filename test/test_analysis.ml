@@ -1,0 +1,572 @@
+(* Tests for the static-analysis suite (lib/analysis): the dataflow
+   framework, the four lint passes, sharing-verdict consumption by the
+   mapping encoder, and the Unknown_state regression. *)
+
+module Ir = Clara_cir.Ir
+module Low = Clara_cir.Lower
+module Pat = Clara_cir.Patterns
+module A = Clara_analysis
+module D = Clara_dataflow
+module L = Clara_lnic
+module Enc = Clara_mapping.Encode
+module Gr = Clara_mapping.Greedy
+module Map_ = Clara_mapping.Mapping
+module Obs = Clara_obs.Registry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let lower src = fst (Pat.run (Low.lower_source src))
+let lint ?lnic src = A.Suite.run ?lnic (lower src)
+let codes r = List.map (fun d -> d.A.Diag.code) r.A.Suite.diagnostics
+let has_code c r = List.mem c (codes r)
+let verdict r s = List.assoc_opt s r.A.Suite.sharing
+
+(* ------------------------------------------------------------------ *)
+(* Sample sources                                                      *)
+
+let racy_src =
+  {|
+nf racy {
+  state counter pkt_count[1] entry 8;
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var v = state_read(pkt_count, 0);
+    state_write(pkt_count, 0, v + 1);
+    emit(pkt);
+  }
+}
+|}
+
+let atomic_src =
+  {|
+nf fixed {
+  state counter pkt_count[1] entry 8;
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    state_add(pkt_count, 0, 1);
+    emit(pkt);
+  }
+}
+|}
+
+let blind_src =
+  {|
+nf blind {
+  state counter pkt_count[1] entry 8;
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    state_write(pkt_count, 0, 7);
+    emit(pkt);
+  }
+}
+|}
+
+let readonly_src =
+  {|
+nf ro {
+  state counter pkt_count[1] entry 8;
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var v = state_read(pkt_count, 0);
+    if (v > 100) { drop(pkt); } else { emit(pkt); }
+  }
+}
+|}
+
+let contradiction_src =
+  {|
+nf contra {
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto == 6) {
+      if (hdr.proto == 17) {
+        drop(pkt);
+      } else {
+        emit(pkt);
+      }
+    } else {
+      emit(pkt);
+    }
+  }
+}
+|}
+
+let implied_src =
+  {|
+nf implied {
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    if (hdr.proto == 6) {
+      if (hdr.proto == 6) {
+        emit(pkt);
+      } else {
+        drop(pkt);
+      }
+    } else {
+      drop(pkt);
+    }
+  }
+}
+|}
+
+let oversized_src =
+  {|
+nf oversized {
+  state map big[1000000000] entry 64;
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var e = lookup(big, hdr.src_ip);
+    emit(pkt);
+  }
+}
+|}
+
+let while_src =
+  {|
+nf spin {
+  handler process(pkt) {
+    var hdr = parse_header(pkt);
+    var i = 0;
+    while (i < hdr.ttl) {
+      i = i + 1;
+    }
+    emit(pkt);
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built CIR helpers                                              *)
+
+let mk bid instrs term = { Ir.bid; instrs; term }
+
+let mk_prog ?(states = []) blocks =
+  { Ir.prog_name = "hand"; entry = 0; blocks = Array.of_list blocks; states }
+
+(* ------------------------------------------------------------------ *)
+(* Dfa framework                                                       *)
+
+module BoolL = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+end
+
+module BoolD = A.Dfa.Make (BoolL)
+
+let diamond_with_orphan =
+  mk_prog
+    [
+      mk 0 [] (Ir.Cond { guard = Ir.G_proto 6; then_ = 1; else_ = 2 });
+      mk 1 [] (Ir.Jump 3);
+      mk 2 [] (Ir.Jump 3);
+      mk 3 [] Ir.Ret;
+      mk 4 [] Ir.Ret;
+    ]
+
+let test_dfa_forward () =
+  let r =
+    BoolD.solve ~init:true ~transfer:(fun _ f -> f) diamond_with_orphan
+  in
+  check "entry reached" true r.BoolD.input.(0);
+  check "join block reached" true r.BoolD.output.(3);
+  check "orphan stays bottom" false r.BoolD.output.(4);
+  check "did some work" true (r.BoolD.iterations >= 4)
+
+let test_dfa_backward () =
+  let r =
+    BoolD.solve ~direction:A.Dfa.Backward ~init:true
+      ~transfer:(fun _ f -> f)
+      diamond_with_orphan
+  in
+  (* Facts flow from the Ret block back to the entry. *)
+  check "entry live" true r.BoolD.output.(0);
+  check "both arms live" true (r.BoolD.output.(1) && r.BoolD.output.(2))
+
+module IntL = struct
+  type t = int
+
+  let bottom = 0
+  let equal = Int.equal
+  let join = max
+end
+
+module IntD = A.Dfa.Make (IntL)
+
+let test_dfa_budget () =
+  (* A non-monotone transfer on a cyclic CFG must hit the iteration
+     budget and fail loudly rather than spin. *)
+  let looped =
+    mk_prog
+      [
+        mk 0 [] (Ir.Loop { body = 1; exit = 2; trip = Ir.S_const 4 });
+        mk 1 [] (Ir.Jump 0);
+        mk 2 [] Ir.Ret;
+      ]
+  in
+  let raised =
+    try
+      ignore (IntD.solve ~init:1 ~transfer:(fun _ x -> x + 1) looped);
+      false
+    with Failure _ -> true
+  in
+  check "budget exhausted raises" true raised
+
+let test_dfa_edge () =
+  (* The edge transfer distinguishes the two arms of a Cond. *)
+  let r =
+    BoolD.solve ~init:true
+      ~edge:(fun ~src ~dst f ->
+        match src.Ir.term with
+        | Ir.Cond { else_; _ } when dst = else_ -> false
+        | _ -> f)
+      ~transfer:(fun _ f -> f)
+      diamond_with_orphan
+  in
+  check "then edge keeps fact" true r.BoolD.input.(1);
+  check "else edge kills fact" false r.BoolD.input.(2);
+  (* Join of true (via b1) and false (via b2) is true. *)
+  check "join block" true r.BoolD.input.(3)
+
+(* ------------------------------------------------------------------ *)
+(* simplify_guard                                                      *)
+
+let test_simplify_guard () =
+  let g6 = Ir.G_proto 6 in
+  check "double negation" true
+    (Ir.simplify_guard (Ir.G_not (Ir.G_not g6)) = g6);
+  check "triple negation" true
+    (Ir.simplify_guard (Ir.G_not (Ir.G_not (Ir.G_not g6))) = Ir.G_not g6);
+  check "or with equal arms" true (Ir.simplify_guard (Ir.G_or (g6, g6)) = g6);
+  check "not opaque folds" true
+    (Ir.simplify_guard (Ir.G_not Ir.G_opaque) = Ir.G_opaque);
+  check "atom untouched" true (Ir.simplify_guard g6 = g6);
+  let pp g = Format.asprintf "%a" Ir.pp_guard g in
+  check "pp_guard prints simplified form" true
+    (pp (Ir.G_not (Ir.G_not g6)) = pp g6)
+
+(* ------------------------------------------------------------------ *)
+(* Sharing pass                                                        *)
+
+let test_sharing_racy () =
+  let r = lint racy_src in
+  check "racy verdict" true (verdict r "pkt_count" = Some A.Sharing.Racy);
+  check "CLARA001 reported" true (has_code "CLARA001" r);
+  check "lint has errors" true (A.Suite.has_errors r);
+  let d =
+    List.find (fun d -> d.A.Diag.code = "CLARA001") r.A.Suite.diagnostics
+  in
+  check "error severity" true (d.A.Diag.severity = A.Diag.Error);
+  check "names the state object" true (contains d.A.Diag.message "pkt_count");
+  check "names the load block" true (contains d.A.Diag.message "load in b");
+  check "anchored to a block" true (d.A.Diag.block <> None)
+
+let test_sharing_atomic () =
+  let r = lint atomic_src in
+  check "atomic verdict" true (verdict r "pkt_count" = Some A.Sharing.Atomic);
+  check "no errors" false (A.Suite.has_errors r);
+  check "no race diagnostic" false (has_code "CLARA001" r);
+  check "atomics info" true (has_code "CLARA003" r)
+
+let test_sharing_blind_store () =
+  let r = lint blind_src in
+  check "blind store is racy" true
+    (verdict r "pkt_count" = Some A.Sharing.Racy);
+  check "CLARA002 reported" true (has_code "CLARA002" r)
+
+let test_sharing_read_only_and_vcall () =
+  let r = lint readonly_src in
+  check "read-only verdict" true
+    (verdict r "pkt_count" = Some A.Sharing.Read_only);
+  check "no sharing diagnostics" false
+    (has_code "CLARA001" r || has_code "CLARA002" r);
+  match Clara_nfs.Corpus.find "nat" with
+  | None -> Alcotest.fail "nat missing from corpus"
+  | Some e ->
+      let r = lint e.Clara_nfs.Corpus.source in
+      check "table mutated via vcalls" true
+        (verdict r "flow_table" = Some A.Sharing.Sync_vcall)
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility pass                                                    *)
+
+let test_feasibility_unsupported_vcall () =
+  let dpi = Clara_nfs.Dpi.source in
+  let on_asic = lint ~lnic:L.Asic_nic.default dpi in
+  check "asic lacks payload scan" true (has_code "CLARA101" on_asic);
+  check "unsupported vcall is an error" true (A.Suite.has_errors on_asic);
+  let on_nfp = lint ~lnic:L.Netronome.default dpi in
+  check "netronome supports it" false (has_code "CLARA101" on_nfp)
+
+let test_feasibility_oversized_state () =
+  let r = lint ~lnic:L.Netronome.default oversized_src in
+  check "64GB table fits nowhere" true (has_code "CLARA102" r);
+  check "oversized state is an error" true (A.Suite.has_errors r)
+
+let test_feasibility_opaque_trip () =
+  let r = lint ~lnic:L.Netronome.default while_src in
+  check "un-coarsened while is flagged" true (has_code "CLARA103" r);
+  check "opaque trip is only a warning" false (A.Suite.has_errors r)
+
+let test_feasibility_skipped_without_target () =
+  let r = lint (Clara_nfs.Dpi.source) in
+  check "no target recorded" true (r.A.Suite.target = None);
+  check "no feasibility diagnostics" false (has_code "CLARA101" r)
+
+(* ------------------------------------------------------------------ *)
+(* Path analysis                                                       *)
+
+let test_paths_contradiction () =
+  let r = lint contradiction_src in
+  check "nested proto 17 under proto 6" true (has_code "CLARA201" r);
+  check "contradiction is a warning" false (A.Suite.has_errors r)
+
+let test_paths_unreachable_block () =
+  (* b1 is CFG-reachable but only via an edge whose facts contradict:
+     proto==6 and then proto!=6 on the same path. *)
+  let p =
+    mk_prog
+      [
+        mk 0 [] (Ir.Cond { guard = Ir.G_proto 6; then_ = 3; else_ = 2 });
+        mk 1 [] (Ir.Jump 4);
+        mk 2 [] (Ir.Cond { guard = Ir.G_proto 6; then_ = 1; else_ = 4 });
+        mk 3 [] (Ir.Jump 4);
+        mk 4 [] Ir.Ret;
+      ]
+  in
+  let ds = A.Paths.analyze p in
+  check "guard-unreachable block flagged" true
+    (List.exists (fun d -> d.A.Diag.code = "CLARA202") ds)
+
+let test_paths_implied_guard () =
+  let r = lint implied_src in
+  check "repeated guard implies else dead" true (has_code "CLARA203" r);
+  check "implication is info-level" false (A.Suite.has_errors r)
+
+let test_paths_clean_diamond () =
+  (* Plain branching must not produce path diagnostics. *)
+  let ds = A.Paths.analyze diamond_with_orphan in
+  let path_codes =
+    List.filter
+      (fun d -> d.A.Diag.code >= "CLARA201" && d.A.Diag.code <= "CLARA203")
+      ds
+  in
+  (* The orphan b4 is CFG-unreachable, so CLARA202 (which only covers
+     CFG-reachable blocks) must not fire for it. *)
+  check "no false positives" true (path_codes = [])
+
+(* ------------------------------------------------------------------ *)
+(* Cost-sanity pass                                                    *)
+
+let test_cost_quadratic_loop () =
+  let p =
+    mk_prog
+      [
+        mk 0 [] (Ir.Loop { body = 1; exit = 2; trip = Ir.S_payload });
+        mk 1 [ Ir.Store Ir.L_packet ] (Ir.Jump 0);
+        mk 2 [] Ir.Ret;
+      ]
+  in
+  let ds = A.Cost_sanity.analyze p in
+  check "packet store in payload loop" true
+    (List.exists (fun d -> d.A.Diag.code = "CLARA301") ds);
+  (* The same loop writing only local registers is fine. *)
+  let clean =
+    mk_prog
+      [
+        mk 0 [] (Ir.Loop { body = 1; exit = 2; trip = Ir.S_payload });
+        mk 1 [ Ir.Store Ir.L_local ] (Ir.Jump 0);
+        mk 2 [] Ir.Ret;
+      ]
+  in
+  check "local store not flagged" false
+    (List.exists
+       (fun d -> d.A.Diag.code = "CLARA301")
+       (A.Cost_sanity.analyze clean))
+
+let dangling_prog =
+  mk_prog [ mk 0 [ Ir.Load (Ir.L_state "ghost") ] Ir.Ret ]
+
+let test_cost_dangling_state () =
+  let ds = A.Cost_sanity.analyze dangling_prog in
+  let d =
+    match List.find_opt (fun d -> d.A.Diag.code = "CLARA302") ds with
+    | Some d -> d
+    | None -> Alcotest.fail "CLARA302 not reported"
+  in
+  check "dangling state is an error" true (d.A.Diag.severity = A.Diag.Error);
+  check "names the state" true (contains d.A.Diag.message "ghost");
+  let r = A.Suite.run dangling_prog in
+  check "suite surfaces it" true (A.Suite.has_errors r)
+
+(* ------------------------------------------------------------------ *)
+(* Unknown_state regression                                            *)
+
+let test_unknown_state_typed () =
+  let raised =
+    try
+      ignore (Ir.state_obj dangling_prog "ghost");
+      false
+    with Ir.Unknown_state s -> s = "ghost"
+  in
+  check "state_obj raises typed exception" true raised;
+  check "state_obj_opt returns None" true
+    (Ir.state_obj_opt dangling_prog "ghost" = None)
+
+let sizes =
+  {
+    D.Cost.payload_bytes = 300.;
+    packet_bytes = 354.;
+    header_bytes = 54.;
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1.;
+  }
+
+let prob = D.Flow.default_probability
+
+let test_unknown_state_mapping_error () =
+  (* A dangling state must surface as a mapping Error, not an escaped
+     exception, from both the ILP and greedy paths. *)
+  let df = D.Build.of_ir dangling_prog in
+  let lnic = L.Netronome.default in
+  (match Enc.map_nf lnic df ~sizes ~prob with
+  | Ok _ -> Alcotest.fail "ILP mapping accepted a dangling state"
+  | Error e -> check "ilp error names the state" true (contains e "ghost"));
+  match Gr.map_nf lnic df ~sizes ~prob with
+  | Ok _ -> Alcotest.fail "greedy mapping accepted a dangling state"
+  | Error e -> check "greedy error names the state" true (contains e "ghost")
+
+(* ------------------------------------------------------------------ *)
+(* Mapping consumes sharing verdicts                                   *)
+
+let test_mapping_hardens_racy_state () =
+  let df = D.Build.of_ir (lower racy_src) in
+  let lnic = L.Netronome.default in
+  let counter name = Obs.counter_value Obs.default name in
+  let base_racy = counter "mapping.sharing.racy_states" in
+  let base_hard = counter "mapping.sharing.hardened_instrs" in
+  (match Enc.map_nf lnic df ~sizes ~prob with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check_int "no hardening without verdicts"
+    base_hard
+    (counter "mapping.sharing.hardened_instrs");
+  let options =
+    { Map_.default_options with sharing = [ ("pkt_count", A.Sharing.Racy) ] }
+  in
+  (match Enc.map_nf ~options lnic df ~sizes ~prob with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check "racy state counted" true
+    (counter "mapping.sharing.racy_states" > base_racy);
+  (* The RMW pair (one Load + one Store) is re-priced as atomics. *)
+  check "both instrs hardened" true
+    (counter "mapping.sharing.hardened_instrs" >= base_hard + 2)
+
+let test_pipeline_injects_lint_verdicts () =
+  let lnic = L.Netronome.default in
+  match Clara.analyze lnic ~source:racy_src with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      check "lint report attached" true
+        (List.exists (fun d -> d.A.Diag.code = "CLARA001")
+           a.Clara.lint.A.Suite.diagnostics);
+      check "verdicts injected into mapping options" true
+        (List.assoc_opt "pkt_count" a.Clara.options.Map_.sharing
+        = Some A.Sharing.Racy)
+
+(* ------------------------------------------------------------------ *)
+(* Dead-block elimination                                              *)
+
+let test_eliminate_dead_blocks () =
+  let p, removed = Pat.eliminate_dead_blocks diamond_with_orphan in
+  check_int "one orphan removed" 1 removed;
+  check_int "blocks compacted" 4 (Array.length p.Ir.blocks);
+  check "still ends in Ret" true
+    (Array.exists (fun b -> b.Ir.term = Ir.Ret) p.Ir.blocks);
+  let q, removed' = Pat.eliminate_dead_blocks p in
+  check_int "idempotent" 0 removed';
+  check_int "no further removal" (Array.length p.Ir.blocks)
+    (Array.length q.Ir.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-corpus lint                                                   *)
+
+let test_corpus_lints_clean () =
+  let lnic = L.Netronome.default in
+  List.iter
+    (fun e ->
+      let r = lint ~lnic e.Clara_nfs.Corpus.source in
+      (match A.Suite.errors r with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s: %s %s" e.Clara_nfs.Corpus.name d.A.Diag.code
+               d.A.Diag.message));
+      check (e.Clara_nfs.Corpus.name ^ " has verdicts for all states") true
+        (List.length r.A.Suite.sharing
+        = List.length (lower e.Clara_nfs.Corpus.source).Ir.states))
+    Clara_nfs.Corpus.all
+
+let test_report_json_shape () =
+  let r = lint ~lnic:L.Netronome.default racy_src in
+  match A.Suite.to_json r with
+  | Clara_util.Json.Obj fields ->
+      let mem k = List.mem_assoc k fields in
+      check "has program" true (mem "program");
+      check "has summary" true (mem "summary");
+      check "has sharing" true (mem "sharing");
+      check "has diagnostics" true (mem "diagnostics")
+  | _ -> Alcotest.fail "report JSON is not an object"
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "dfa forward reachability" `Quick test_dfa_forward;
+    Alcotest.test_case "dfa backward" `Quick test_dfa_backward;
+    Alcotest.test_case "dfa iteration budget" `Quick test_dfa_budget;
+    Alcotest.test_case "dfa edge transfer" `Quick test_dfa_edge;
+    Alcotest.test_case "simplify_guard" `Quick test_simplify_guard;
+    Alcotest.test_case "sharing: racy RMW" `Quick test_sharing_racy;
+    Alcotest.test_case "sharing: atomic fix" `Quick test_sharing_atomic;
+    Alcotest.test_case "sharing: blind store" `Quick test_sharing_blind_store;
+    Alcotest.test_case "sharing: read-only and vcall" `Quick
+      test_sharing_read_only_and_vcall;
+    Alcotest.test_case "feasibility: unsupported vcall" `Quick
+      test_feasibility_unsupported_vcall;
+    Alcotest.test_case "feasibility: oversized state" `Quick
+      test_feasibility_oversized_state;
+    Alcotest.test_case "feasibility: opaque trip" `Quick
+      test_feasibility_opaque_trip;
+    Alcotest.test_case "feasibility: skipped without target" `Quick
+      test_feasibility_skipped_without_target;
+    Alcotest.test_case "paths: contradiction" `Quick test_paths_contradiction;
+    Alcotest.test_case "paths: guard-unreachable block" `Quick
+      test_paths_unreachable_block;
+    Alcotest.test_case "paths: implied guard" `Quick test_paths_implied_guard;
+    Alcotest.test_case "paths: clean diamond" `Quick test_paths_clean_diamond;
+    Alcotest.test_case "cost: quadratic payload loop" `Quick
+      test_cost_quadratic_loop;
+    Alcotest.test_case "cost: dangling state" `Quick test_cost_dangling_state;
+    Alcotest.test_case "unknown state: typed exception" `Quick
+      test_unknown_state_typed;
+    Alcotest.test_case "unknown state: mapping error" `Quick
+      test_unknown_state_mapping_error;
+    Alcotest.test_case "mapping hardens racy state" `Quick
+      test_mapping_hardens_racy_state;
+    Alcotest.test_case "pipeline injects lint verdicts" `Quick
+      test_pipeline_injects_lint_verdicts;
+    Alcotest.test_case "eliminate_dead_blocks" `Quick
+      test_eliminate_dead_blocks;
+    Alcotest.test_case "corpus lints clean" `Quick test_corpus_lints_clean;
+    Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+  ]
