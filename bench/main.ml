@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
              ablations ilp interference nics throughput chains energy
-             partial zoo sweep trace lint bechamel   (default: all) *)
+             partial zoo sweep trace nicsim lint bechamel   (default: all) *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -928,6 +928,208 @@ let lint_bench () =
       "analysis.diags.paths"; "analysis.diags.cost" ]
 
 (* ------------------------------------------------------------------ *)
+(* nicsim: steady-state fast path vs event path, sharded throughput    *)
+
+(* Op-dense stateless NF: a payload scanner that walks the packet a
+   4-byte word at a time, the granularity of a string-matching automaton.
+   Hundreds of device calls per packet and no mutable state — the regime
+   the fast path is built for, where replay collapses the whole walk into
+   a handful of memoized segments. *)
+let wordscan =
+  { Dev.name = "wordscan";
+    tables = [];
+    handler =
+      (fun ctx pkt ->
+        Dev.parse_header ctx ~engine:true;
+        let words = (pkt.W.Packet.payload_bytes + 3) / 4 in
+        for _ = 1 to words do
+          Dev.local_read ctx 1;
+          Dev.hash_op ctx;
+          Dev.alu ctx 4;
+          Dev.branch ctx
+        done;
+        if Dev.scan_payload ctx ~bytes:pkt.W.Packet.payload_bytes then
+          Dev.alu ctx 30;
+        Dev.checksum ctx ~engine:true ~bytes:(W.Packet.total_bytes pkt);
+        Dev.Emit) }
+
+let nicsim_bench () =
+  header "nicsim: steady-state fast path + domain-parallel throughput";
+  Printf.printf
+    "The fast path's contract is \"same numbers, less work\": under Auto a\n\
+     confirmed steady-state packet replays its memoized cost profile instead\n\
+     of re-executing the handler.  This section enforces byte-identity with\n\
+     the event path on stateless NFs, full fallback on a stateful NF, and\n\
+     1-domain == N-domain determinism for sharded runs, then snapshots\n\
+     packets/sec.  CLARA_BENCH_ENFORCE=1 additionally fails the bench when\n\
+     the op-dense NF's speedup drops below 10x or packets/sec regresses\n\
+     more than 20%% against the committed BENCH_nicsim.json.\n\n";
+  let enforce = Sys.getenv_opt "CLARA_BENCH_ENFORCE" = Some "1" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let same name what a b =
+    if compare a b <> 0 then
+      failwith (name ^ ": " ^ what ^ " differs between event and fast path")
+  in
+  (* [compare] (not [=]) so NaN hit rates compare equal, as in the trace
+     guard.  The [fast] counters are excluded: they are the one field
+     that legitimately differs between the two paths. *)
+  let identical name (a : Eng.result) (b : Eng.result) =
+    same name "latency summary" a.Eng.summary b.Eng.summary;
+    same name "emem hit rate" a.Eng.emem_hit_rate b.Eng.emem_hit_rate;
+    same name "flow cache hit rate" a.Eng.flow_cache_hit_rate b.Eng.flow_cache_hit_rate;
+    same name "frequency" a.Eng.freq_mhz b.Eng.freq_mhz
+  in
+  (* Few flows + many packets: the per-key confirmation cost (two full
+     executions per flow key) amortizes quickly, as it would in a real
+     steady-state run. *)
+  let packets = 60_000 in
+  let prof = profile ~packets ~flows:500 () in
+  let warmup = 1_000 in
+  (* Stateless NFs: byte-identity plus a measured speedup. *)
+  let rows =
+    List.map
+      (fun (name, prog) ->
+        let trace = W.Trace.synthesize ~seed:31L prof in
+        ignore (Eng.run lnic prog trace);
+        (* warm-up: one-time costs *)
+        let r_ev, t_ev = time (fun () -> Eng.run lnic prog trace) in
+        let r_fa, t_fa =
+          time (fun () -> Eng.run lnic prog ~fast:(Eng.Auto { warmup }) trace)
+        in
+        identical name r_ev r_fa;
+        let replayed = r_fa.Eng.fast.Clara_nicsim.Fastpath.replayed in
+        if replayed = 0 then
+          failwith (name ^ ": fast path never replayed a packet");
+        let ev_pps = float_of_int packets /. t_ev in
+        let fa_pps = float_of_int packets /. t_fa in
+        Printf.printf
+          "%-10s identical results; %6d/%d replayed   event %9.0f pps   fast %9.0f pps   %5.2fx\n"
+          name replayed packets ev_pps fa_pps (fa_pps /. ev_pps);
+        (name, ev_pps, fa_pps, replayed))
+      [ ("wordscan", wordscan); ("dpi", Clara_nfs.Dpi.ported ()) ]
+  in
+  (let _, ev_pps, fa_pps, _ = List.hd rows in
+   let speedup = fa_pps /. ev_pps in
+   if speedup < 10. then begin
+     let msg =
+       Printf.sprintf "wordscan fast-path speedup %.2fx below the 10x floor" speedup
+     in
+     if enforce then failwith msg
+     else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
+   end);
+  (* Stateful NF: Auto must detect the state and change nothing. *)
+  (let prog = Clara_nfs.Firewall.ported ~entries:8192 ~placement:Dev.P_emem () in
+   let trace = W.Trace.synthesize ~seed:31L prof in
+   let r_ev = Eng.run lnic prog trace in
+   let r_fa = Eng.run lnic prog ~fast:(Eng.Auto { warmup }) trace in
+   identical "firewall" r_ev r_fa;
+   if r_fa.Eng.fast.Clara_nicsim.Fastpath.replayed <> 0 then
+     failwith "firewall: fast path replayed packets of a stateful NF";
+   Printf.printf
+     "%-10s stateful fallback: 0 replayed, results identical to event path\n"
+     "firewall");
+  (* Sharded runs: for a fixed shard count, results must be
+     byte-identical across domain counts, and stay identical under the
+     fast path. *)
+  let cores = Domain.recommended_domain_count () in
+  let par = if cores >= 2 then min 4 cores else 4 in
+  let shard_pps =
+    let trace = W.Trace.synthesize ~seed:31L prof in
+    let fast = Eng.Auto { warmup } in
+    let r1 = Eng.run_sharded ~domains:1 ~shards:4 ~fast lnic wordscan trace in
+    let rn, t_n =
+      time (fun () -> Eng.run_sharded ~domains:par ~shards:4 ~fast lnic wordscan trace)
+    in
+    let j1 = Clara_util.Json.to_string (Eng.result_to_json r1) in
+    let jn = Clara_util.Json.to_string (Eng.result_to_json rn) in
+    if not (String.equal j1 jn) then
+      failwith "sharded run: 1-domain and N-domain results differ";
+    let pps = float_of_int packets /. t_n in
+    Printf.printf
+      "%-10s sharded determinism: 1-dom == %d-dom (shards 4); %9.0f pps on %d domains\n"
+      "wordscan" par pps par;
+    pps
+  in
+  (* Snapshot + regression gate.  The committed BENCH_nicsim.json is the
+     baseline; CLARA_BENCH_JSON redirects the new snapshot (CI does this
+     to keep the tree clean). *)
+  let baseline_path = "BENCH_nicsim.json" in
+  let out_path =
+    Option.value (Sys.getenv_opt "CLARA_BENCH_JSON") ~default:baseline_path
+  in
+  (if Sys.file_exists baseline_path then
+     let ic = open_in_bin baseline_path in
+     let n = in_channel_length ic in
+     let s = really_input_string ic n in
+     close_in ic;
+     match Clara_util.Json.parse s with
+     | Error e -> Printf.printf "[warn] %s unreadable: %s\n" baseline_path e
+     | Ok j ->
+         let old_pps name =
+           match Clara_util.Json.member "nfs" j with
+           | Some (Clara_util.Json.List nfs) ->
+               List.find_map
+                 (fun nf ->
+                   match Clara_util.Json.member "name" nf with
+                   | Some (Clara_util.Json.String n) when String.equal n name ->
+                       Option.bind
+                         (Clara_util.Json.member "fast_pps" nf)
+                         Clara_util.Json.to_float_opt
+                   | _ -> None)
+                 nfs
+           | _ -> None
+         in
+         List.iter
+           (fun (name, _, fa_pps, _) ->
+             match old_pps name with
+             | None -> ()
+             | Some old_ when fa_pps < 0.8 *. old_ ->
+                 let msg =
+                   Printf.sprintf
+                     "%s fast-path throughput regressed: %.0f pps vs baseline %.0f pps (>20%%)"
+                     name fa_pps old_
+                 in
+                 if enforce then failwith msg
+                 else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
+             | Some _ -> ())
+           rows);
+  let snapshot =
+    Clara_util.Json.Obj
+      [ ("schema", Clara_util.Json.Int 1);
+        ("packets", Clara_util.Json.Int packets);
+        ("warmup", Clara_util.Json.Int warmup);
+        ( "nfs",
+          Clara_util.Json.List
+            (List.map
+               (fun (name, ev_pps, fa_pps, replayed) ->
+                 Clara_util.Json.Obj
+                   [ ("name", Clara_util.Json.String name);
+                     ("event_pps", Clara_util.Json.Float ev_pps);
+                     ("fast_pps", Clara_util.Json.Float fa_pps);
+                     ("speedup", Clara_util.Json.Float (fa_pps /. ev_pps));
+                     ("replayed", Clara_util.Json.Int replayed) ])
+               rows) );
+        ( "sharded",
+          Clara_util.Json.Obj
+            [ ("nf", Clara_util.Json.String "wordscan");
+              ("shards", Clara_util.Json.Int 4);
+              ("domains", Clara_util.Json.Int par);
+              ("pps", Clara_util.Json.Float shard_pps) ] ) ]
+  in
+  let oc = open_out out_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Clara_util.Json.to_channel oc snapshot);
+  Printf.printf "[json] wrote %s\n" out_path;
+  csv_out "nicsim"
+    [ "event_pps"; "fast_pps"; "sharded_pps" ]
+    (List.map (fun (_, ev, fa, _) -> [ ev; fa; shard_pps ]) rows)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("figure1", figure1);
@@ -949,6 +1151,7 @@ let sections =
     ("zoo", zoo);
     ("sweep", sweep_bench);
     ("trace", trace_guard);
+    ("nicsim", nicsim_bench);
     ("lint", lint_bench);
     ("bechamel", bechamel) ]
 

@@ -14,6 +14,7 @@
      sweep       parallel design-space exploration from a spec file
      interfere   slowdown of two NFs co-resident on one NIC
      trace       simulate a ported NF with per-packet event tracing
+     sim         simulate a ported NF fast: steady-state replay + domain sharding
      lint        static analysis: races, feasibility, dead paths, cost hazards
      json-check  validate that a file parses as JSON *)
 
@@ -597,6 +598,108 @@ let trace_cmd =
       $ rate_arg $ tcp_arg $ pcap_arg $ seed_arg $ out_arg $ limit_arg $ slowest_arg
       $ timeline_arg $ threads_arg $ stats_arg $ stats_json_arg)
 
+(* ---- sim ------------------------------------------------------------ *)
+
+let sim_cmd =
+  let nf_arg =
+    let doc = "Corpus NF to simulate (see 'clara corpus')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  in
+  let fast_arg =
+    let doc =
+      "Steady-state fast path: 'auto' (default; enabled only when the NF's \
+       static sharing analysis proves it stateless), 'on' (force-enable), or \
+       'off' (full event simulation)."
+    in
+    Arg.(value & opt string "auto" & info [ "fast" ] ~docv:"MODE" ~doc)
+  in
+  let warmup_arg =
+    let doc = "Packets simulated on the event path before replay may begin." in
+    Arg.(value & opt int 1000 & info [ "warmup" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Simulate flow shards in parallel on $(docv) OCaml domains." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Number of independent NIC slices to shard flows onto (defaults to \
+       --domains; results depend on the shard count, never the domain count)."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let threads_arg =
+    let doc = "Override the NIC's hardware thread count." in
+    Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  (* The fast path is provably safe only for NFs whose per-packet cost
+     depends on nothing but the packet; the static sharing verdict on
+     the NF's DSL source decides that, so 'auto' is trustworthy and
+     'on' is the sharp knife. *)
+  let stateless_verdict source =
+    match Clara_cir.Lower.lower_source source with
+    | exception _ -> false
+    | ir -> Clara_analysis.Sharing.stateless ir
+  in
+  let run nf nic fast warmup domains shards threads payload packets flows rate tcp pcap
+      seed json stats stats_json =
+    let lnic = or_die (lnic_of_name nic) in
+    let entry = corpus_entry nf in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let wtrace = trace_of ~pcap ~profile ~seed in
+    let fast_mode, why =
+      match fast with
+      | "off" -> (Nsim.Engine.Event_only, "forced off")
+      | "on" -> (Nsim.Engine.Auto { warmup }, "forced on")
+      | "auto" ->
+          if stateless_verdict entry.Clara_nfs.Corpus.source then
+            (Nsim.Engine.Auto { warmup }, "sharing verdict: stateless")
+          else (Nsim.Engine.Event_only, "sharing verdict: stateful")
+      | other -> or_die (Error ("unknown --fast mode '" ^ other ^ "' (auto|on|off)"))
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      if domains > 1 || shards <> None then
+        Nsim.Engine.run_sharded ~domains ?shards ?threads ~fast:fast_mode lnic
+          entry.Clara_nfs.Corpus.ported wtrace
+      else
+        Nsim.Engine.run ?threads ~fast:fast_mode lnic entry.Clara_nfs.Corpus.ported
+          wtrace
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let total = r.Nsim.Engine.summary.Nsim.Stats.packets + r.Nsim.Engine.summary.Nsim.Stats.drops in
+    let pps = if wall_s > 0. then float_of_int total /. wall_s else Float.nan in
+    if json then
+      print_endline
+        (Clara_util.Json.to_string
+           (Clara_util.Json.Obj
+              [
+                ("nf", Clara_util.Json.String nf);
+                ("nic", Clara_util.Json.String nic);
+                ("fast", Clara_util.Json.String why);
+                ("result", Nsim.Engine.result_to_json r);
+                ("wall_seconds", Clara_util.Json.Float wall_s);
+                ("packets_per_second", Clara_util.Json.Float pps);
+              ]))
+    else begin
+      Format.printf "%s on %s: %a@." nf nic Nsim.Engine.pp_result r;
+      Format.printf "fast path: %s@." why;
+      Format.printf "simulated %d packets in %.3fs — %.0f packets/sec@." total wall_s pps
+    end;
+    emit_stats ~stats ~stats_json
+  in
+  let doc =
+    "Simulate a ported corpus NF at full speed: steady-state fast path \
+     (memoized per-packet-type cost replay, gated on the static sharing \
+     verdict) plus optional domain-parallel flow sharding.  Reports simulator \
+     throughput in packets/sec."
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ nf_arg $ nic_arg $ fast_arg $ warmup_arg $ domains_arg $ shards_arg
+      $ threads_arg $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg
+      $ pcap_arg $ seed_arg $ json_arg $ stats_arg $ stats_json_arg)
+
 (* ---- json-check ------------------------------------------------------ *)
 
 let json_check_cmd =
@@ -721,4 +824,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
-            interfere_cmd; trace_cmd; lint_cmd; json_check_cmd ]))
+            interfere_cmd; trace_cmd; sim_cmd; lint_cmd; json_check_cmd ]))

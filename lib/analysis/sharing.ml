@@ -55,6 +55,15 @@ let classify a =
   else if a.vcall_writes <> [] then Sync_vcall
   else Read_only
 
+(* A program is stateless for simulation purposes when no state object
+   is ever written: every packet's cost then depends only on the packet
+   itself, which is what licenses the engine's steady-state fast path. *)
+let stateless (p : Ir.program) =
+  let access = collect p in
+  List.for_all
+    (fun (st : Ir.state_obj) -> classify (access st.Ir.st_name) = Read_only)
+    p.Ir.states
+
 let analyze (p : Ir.program) =
   let access = collect p in
   let diags = ref [] in

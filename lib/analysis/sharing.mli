@@ -32,3 +32,8 @@ val analyze :
 (** Verdicts for every declared state object (in declaration order),
     plus the diagnostics.  State names referenced but never declared
     are ignored here — the cost-sanity pass reports them (CLARA302). *)
+
+val stateless : Clara_cir.Ir.program -> bool
+(** True when every state object is [Read_only] (or there is none):
+    per-packet cost depends only on the packet, so the simulator's
+    steady-state fast path ([Engine.Auto]) is safe to enable. *)

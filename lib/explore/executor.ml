@@ -1,124 +1,8 @@
-(* OCaml 5 Domain-based worker pool with per-job isolation.
+(* Sweep-cell execution: a thin alias over the repo-wide Domain pool.
 
-   Jobs are indices 0..n-1 pulled from a shared mutex-guarded deque;
-   each worker runs one job at a time, and everything a job raises is
-   caught and recorded as [Failed] for that slot only — one bad cell
-   never kills the sweep.  Results land in a slot-per-job array, so the
-   output ordering is the input ordering no matter how the scheduler
-   interleaved the work.
+   The pool itself lives in Clara_util.Pool so nicsim's domain-parallel
+   simulation and the sweep executor share one implementation; this
+   module keeps the historical [Executor.map]/[Done]/[Failed] names
+   that sweep.ml and the tests use. *)
 
-   Timeouts are cooperative: domains cannot be killed, so a monitor in
-   the coordinating domain marks an over-budget slot [Failed] (first
-   writer wins — the worker's eventual result is dropped) and the pool
-   still joins every worker before returning.  That bounds *reporting*
-   latency of a pathological cell, not its CPU time; a genuinely
-   non-terminating job would still hang the join, which no job in this
-   codebase is. *)
-
-type 'a outcome =
-  | Done of 'a
-  | Failed of string
-
-type stats = {
-  domains : int;
-  jobs : int;
-  busy_ns : int;          (* summed over workers: time inside jobs *)
-  wall_ns : int;
-}
-
-let now_ns = Clara_obs.Span.now_ns
-
-(* The shared job deque: plain FIFO under a mutex.  Workers pop from
-   the front; [n] jobs and <= 16 workers make contention irrelevant. *)
-type deque = { q : int Queue.t; mu : Mutex.t }
-
-let pop_front d =
-  Mutex.lock d.mu;
-  let r = Queue.take_opt d.q in
-  Mutex.unlock d.mu;
-  r
-
-let describe_exn = function
-  | Failure m -> m
-  | Invalid_argument m -> "invalid argument: " ^ m
-  | e -> Printexc.to_string e
-
-let map ?(domains = 1) ?timeout_ms f n =
-  if n < 0 then invalid_arg "Executor.map: negative job count";
-  let domains = max 1 (min domains (max 1 n)) in
-  let t_start = now_ns () in
-  let deque = { q = Queue.create (); mu = Mutex.create () } in
-  for i = 0 to n - 1 do
-    Queue.add i deque.q
-  done;
-  let results : 'a outcome option array = Array.make n None in
-  let started : int array = Array.make n 0 in (* ns timestamp, 0 = not yet *)
-  let res_mu = Mutex.create () in
-  let busy_ns = Atomic.make 0 in
-  let outstanding = Atomic.make n in
-  (* First writer wins: the worker that finished the job, or the
-     timeout monitor that gave up on it. *)
-  let deliver i r =
-    Mutex.lock res_mu;
-    (if Option.is_none results.(i) then begin
-       results.(i) <- Some r;
-       Atomic.decr outstanding
-     end);
-    Mutex.unlock res_mu
-  in
-  let worker () =
-    let rec loop () =
-      match pop_front deque with
-      | None -> ()
-      | Some i ->
-          let t0 = now_ns () in
-          Mutex.lock res_mu;
-          started.(i) <- t0;
-          Mutex.unlock res_mu;
-          let r = try Done (f i) with e -> Failed (describe_exn e) in
-          let dt = now_ns () - t0 in
-          ignore (Atomic.fetch_and_add busy_ns dt);
-          deliver i r;
-          loop ()
-    in
-    loop ()
-  in
-  let workers = List.init domains (fun _ -> Domain.spawn worker) in
-  (match timeout_ms with
-  | None -> ()
-  | Some budget_ms ->
-      let budget_ns = budget_ms * 1_000_000 in
-      (* Poll while any slot is unfilled; workers that popped a job
-         record its start time, so an over-budget running job can be
-         marked Failed without waiting for it. *)
-      while Atomic.get outstanding > 0 do
-        Unix.sleepf 0.01;
-        let now = now_ns () in
-        for i = 0 to n - 1 do
-          let overdue =
-            Mutex.lock res_mu;
-            let o = Option.is_none results.(i) && started.(i) > 0 && now - started.(i) > budget_ns in
-            Mutex.unlock res_mu;
-            o
-          in
-          if overdue then
-            deliver i
-              (Failed (Printf.sprintf "timeout: exceeded %d ms budget" budget_ms))
-        done
-      done);
-  List.iter Domain.join workers;
-  let wall_ns = now_ns () - t_start in
-  let results =
-    Array.map
-      (function
-        | Some r -> r
-        | None -> Failed "executor: job was never scheduled (internal error)")
-      results
-  in
-  (results, { domains; jobs = n; busy_ns = Atomic.get busy_ns; wall_ns })
-
-let utilization s =
-  if s.wall_ns <= 0 || s.domains <= 0 then 0.
-  else
-    Float.min 1.
-      (float_of_int s.busy_ns /. (float_of_int s.wall_ns *. float_of_int s.domains))
+include Clara_util.Pool

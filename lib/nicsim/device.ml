@@ -36,6 +36,38 @@ type sim = {
   has_fpu : bool;
   mutable fc_hits : int;
   mutable fc_misses : int;
+  (* Per-program cache accounting, indexed by [prog_id].  run_pair's
+     per-side hit rates come from here; the shared totals above stay for
+     single-program callers. *)
+  fc_hits_by : int array;
+  fc_misses_by : int array;
+  emem_hits_by : int array;
+  emem_misses_by : int array;
+}
+
+(* A packet's resolved cost profile, for the engine's steady-state fast
+   path.  Segments preserve execution order; [Seg_pure] is thread-local
+   time (flat compute + uncached memory), the others contend for shared
+   resources and must be replayed against live occupancy state. *)
+type segment =
+  | Seg_pure of int
+  | Seg_accel of L.Unit_.accel_kind * int
+  | Seg_dma_rx of int
+  | Seg_dma_tx of int
+
+type profile = { segs : segment list }
+
+(* Pure-gap recording: rather than instrumenting every [spend], the
+   recorder marks the clock at each non-pure boundary (accelerator, DMA)
+   and the gap between marks becomes one [Seg_pure].  A recording is
+   tainted — and yields no profile — the moment the handler touches
+   mutable simulator state (tables, flow cache, EMEM cache), because a
+   replayed packet skips execution and so must not have been mutating
+   anything. *)
+type recorder = {
+  mutable mark : int;
+  mutable rev_segs : segment list;
+  mutable tainted : bool;
 }
 
 type t = {
@@ -46,11 +78,76 @@ type t = {
   prog_id : int;   (* owning program index (run_pair tags events with it) *)
   thread : int;    (* bound hardware thread, -1 outside the engine *)
   trace : Trace.t option;
+  recorder : recorder option;
 }
 
 type handler = t -> W.Packet.t -> verdict
 
 type prog = { name : string; tables : table_decl list; handler : handler }
+
+let fresh_recorder () = { mark = 0; rev_segs = []; tainted = false }
+
+let[@inline] taint ctx =
+  match ctx.recorder with None -> () | Some r -> r.tainted <- true
+
+(* Close the pure gap [r.mark, clock) before a shared-resource segment. *)
+let[@inline] rec_gap r clock =
+  let gap = clock - r.mark in
+  if gap > 0 then r.rev_segs <- Seg_pure gap :: r.rev_segs
+
+let[@inline] rec_seg ctx seg done_ =
+  match ctx.recorder with
+  | Some r when not r.tainted ->
+      r.rev_segs <- seg :: r.rev_segs;
+      r.mark <- done_
+  | _ -> ()
+
+let recorded ctx =
+  match ctx.recorder with
+  | None -> None
+  | Some r ->
+      if r.tainted then None
+      else begin
+        rec_gap r ctx.clock;
+        r.mark <- ctx.clock;
+        Some { segs = List.rev r.rev_segs }
+      end
+
+let profile_equal (p : profile) (q : profile) = p.segs = q.segs
+
+(* Replay mirrors the execution-side occupancy arithmetic exactly
+   (max-with-free for accelerators, earliest-free lane for DMA), so a
+   replayed packet advances shared state byte-identically to running the
+   handler — which is what lets fast- and slow-path packets mix in one
+   run. *)
+let replay_dma lanes clock cycles =
+  let li = ref 0 in
+  for i = 1 to Array.length lanes - 1 do
+    if lanes.(i) < lanes.(!li) then li := i
+  done;
+  let start = max clock lanes.(!li) in
+  let done_ = start + cycles in
+  lanes.(!li) <- done_;
+  done_
+
+let replay sim ~start (p : profile) =
+  let clock = ref start in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Seg_pure c -> clock := !clock + c
+      | Seg_accel (kind, c) -> (
+          match Hashtbl.find_opt sim.accel_free kind with
+          | None -> clock := !clock + c
+          | Some free ->
+              let s = max !clock !free in
+              let done_ = s + c in
+              free := done_;
+              clock := done_)
+      | Seg_dma_rx c -> clock := replay_dma sim.dma_rx_free !clock c
+      | Seg_dma_tx c -> clock := replay_dma sim.dma_tx_free !clock c)
+    p.segs;
+  !clock
 
 let region_of_placement = function
   | P_ctm -> Mem_model.Ctm
@@ -113,6 +210,7 @@ let create_sim_shared lnic progs =
         | _ -> acc)
       0 lnic.L.Graph.links
   in
+  let nprogs = max 1 (List.length progs) in
   {
     lnic;
     params;
@@ -127,12 +225,23 @@ let create_sim_shared lnic progs =
     has_fpu;
     fc_hits = 0;
     fc_misses = 0;
+    fc_hits_by = Array.make nprogs 0;
+    fc_misses_by = Array.make nprogs 0;
+    emem_hits_by = Array.make nprogs 0;
+    emem_misses_by = Array.make nprogs 0;
   }
 
 let create_sim lnic prog = create_sim_shared lnic [ prog ]
 
-let make_ctx ?(seq = -1) ?(prog = 0) ?(thread = -1) ?trace sim ~now pkt =
-  { sim; clock = now; pkt; seq; prog_id = prog; thread; trace }
+let make_ctx ?(seq = -1) ?(prog = 0) ?(thread = -1) ?trace ?recorder sim ~now pkt =
+  (* Rearm a (possibly reused) recorder for this packet. *)
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      r.mark <- now;
+      r.rev_segs <- [];
+      r.tainted <- false);
+  { sim; clock = now; pkt; seq; prog_id = prog; thread; trace; recorder }
 
 let now ctx = ctx.clock
 let sim_of ctx = ctx.sim
@@ -180,10 +289,14 @@ let use_accel ctx kind cycles =
   | None -> invalid_arg "Device.use_accel: no such accelerator on this NIC"
   | Some free ->
       let req = ctx.clock in
+      (match ctx.recorder with
+      | Some r when not r.tainted -> rec_gap r req
+      | _ -> ());
       let start = max ctx.clock !free in
       let done_ = start + cycles in
       free := done_;
       ctx.clock <- done_;
+      rec_seg ctx (Seg_accel (kind, cycles)) done_;
       (match ctx.trace with
       | None -> ()
       | Some s ->
@@ -215,6 +328,23 @@ let packet_island ctx =
   if ctx.sim.islands <= 1 then 0
   else W.Packet.flow_key ctx.pkt mod ctx.sim.islands
 
+(* EMEM cache outcomes feed the per-program hit-rate accounting, and any
+   cached access taints the recorder: the LRU line cache is mutable
+   shared state, so a packet that touched it cannot be replayed. *)
+let[@inline] note_mem_outcome ctx (outcome : Mem_model.outcome) =
+  match outcome with
+  | Mem_model.Uncached -> ()
+  | Mem_model.Hit ->
+      let s = ctx.sim in
+      if ctx.prog_id >= 0 && ctx.prog_id < Array.length s.emem_hits_by then
+        s.emem_hits_by.(ctx.prog_id) <- s.emem_hits_by.(ctx.prog_id) + 1;
+      taint ctx
+  | Mem_model.Miss ->
+      let s = ctx.sim in
+      if ctx.prog_id >= 0 && ctx.prog_id < Array.length s.emem_misses_by then
+        s.emem_misses_by.(ctx.prog_id) <- s.emem_misses_by.(ctx.prog_id) + 1;
+      taint ctx
+
 let table_access ctx (ts : table_state) ~mode ~key =
   let region = region_of_placement ts.decl.t_placement in
   let slot = (key land max_int) mod ts.decl.t_entries in
@@ -222,6 +352,7 @@ let table_access ctx (ts : table_state) ~mode ~key =
   let t0 = ctx.clock in
   let cycles, outcome = Mem_model.access' ctx.sim.memm region ~mode ~addr in
   spend ctx cycles;
+  note_mem_outcome ctx outcome;
   (* CTM is per-island: a CTM-resident table lives on island 0, and
      threads elsewhere pay the cross-island bus (NUMA, §3.1) — an effect
      the static predictor does not model.  The penalty is part of the
@@ -301,10 +432,12 @@ let packet_read ctx n =
       Mem_model.access' ctx.sim.memm region ~mode:`Read ~addr:(base + (i * 64))
     in
     spend ctx cycles;
+    note_mem_outcome ctx outcome;
     emit_mem ctx ~region ~outcome ~t0
   done
 
 let table_lookup ctx name ~key =
+  taint ctx;
   let ts = table ctx name in
   let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_table_lookup ts.decl.t_entries);
@@ -315,6 +448,7 @@ let table_lookup ctx name ~key =
   Lru.mem ts.contents key
 
 let table_insert ctx name ~key =
+  taint ctx;
   let ts = table ctx name in
   let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_table_update ts.decl.t_entries);
@@ -338,11 +472,16 @@ let lpm_walk ctx (ts : table_state) ~key =
         ~addr:(ts.base_addr + (i * 8 * ts.decl.t_entry_bytes))
     in
     spend ctx cycles;
+    note_mem_outcome ctx outcome;
     emit_mem ctx ~region ~outcome ~t0
   done;
   ignore key
 
+let[@inline] bump arr i =
+  if i >= 0 && i < Array.length arr then arr.(i) <- arr.(i) + 1
+
 let lpm_lookup ctx name ~key =
+  taint ctx;
   let ts = table ctx name in
   match ts.decl.t_placement with
   | P_flow_cache -> (
@@ -352,12 +491,14 @@ let lpm_lookup ctx name ~key =
           let cost = accel_vcall_cost ctx L.Unit_.Lookup P.V_lpm_lookup ts.decl.t_entries in
           if Lru.touch fc key then begin
             ctx.sim.fc_hits <- ctx.sim.fc_hits + 1;
+            bump ctx.sim.fc_hits_by ctx.prog_id;
             use_accel ctx L.Unit_.Lookup cost;
             true
           end
           else begin
             (* Miss: consult the rule set in memory, result gets cached. *)
             ctx.sim.fc_misses <- ctx.sim.fc_misses + 1;
+            bump ctx.sim.fc_misses_by ctx.prog_id;
             use_accel ctx L.Unit_.Lookup cost;
             (* The walk happens in EMEM regardless of the declared
                placement for flow-cache tables. *)
@@ -401,6 +542,7 @@ let meter ctx =
   emit_compute ctx ~label:"meter" ~t0 ~arg:1
 
 let count ctx name ~key =
+  taint ctx;
   let ts = table ctx name in
   let t0 = ctx.clock in
   spend ctx (core_vcall_cost ctx P.V_flow_stats 1);
@@ -409,16 +551,27 @@ let count ctx name ~key =
 
 (* Occupy the earliest-free DMA lane for [cycles]; the packet waits when
    all lanes are busy (rate-dependent queueing). *)
-let use_dma ctx lanes ~label cycles =
+let use_dma ctx dir cycles =
+  let lanes, label =
+    match dir with
+    | `Rx -> (ctx.sim.dma_rx_free, "rx")
+    | `Tx -> (ctx.sim.dma_tx_free, "tx")
+  in
   let li = ref 0 in
   for i = 1 to Array.length lanes - 1 do
     if lanes.(i) < lanes.(!li) then li := i
   done;
   let req = ctx.clock in
+  (match ctx.recorder with
+  | Some r when not r.tainted -> rec_gap r req
+  | _ -> ());
   let start = max ctx.clock lanes.(!li) in
   let done_ = start + cycles in
   lanes.(!li) <- done_;
   ctx.clock <- done_;
+  rec_seg ctx
+    (match dir with `Rx -> Seg_dma_rx cycles | `Tx -> Seg_dma_tx cycles)
+    done_;
   match ctx.trace with
   | None -> ()
   | Some s ->
@@ -430,8 +583,7 @@ let use_dma ctx lanes ~label cycles =
 
 let wire_rx ctx =
   let bytes = W.Packet.total_bytes ctx.pkt in
-  use_dma ctx ctx.sim.dma_rx_free ~label:"rx"
-    (L.Cost_fn.eval_int ctx.sim.params.P.wire_ingress bytes);
+  use_dma ctx `Rx (L.Cost_fn.eval_int ctx.sim.params.P.wire_ingress bytes);
   match Array.to_list ctx.sim.lnic.L.Graph.hubs with
   | hubs -> (
       match List.find_opt (fun h -> h.L.Hub.kind = `Ingress) hubs with
@@ -443,8 +595,7 @@ let wire_rx ctx =
 
 let wire_tx ctx =
   let bytes = W.Packet.total_bytes ctx.pkt in
-  use_dma ctx ctx.sim.dma_tx_free ~label:"tx"
-    (L.Cost_fn.eval_int ctx.sim.params.P.wire_egress bytes);
+  use_dma ctx `Tx (L.Cost_fn.eval_int ctx.sim.params.P.wire_egress bytes);
   match
     List.find_opt (fun h -> h.L.Hub.kind = `Egress) (Array.to_list ctx.sim.lnic.L.Graph.hubs)
   with
@@ -457,3 +608,9 @@ let wire_tx ctx =
 let flow_cache_hits sim = sim.fc_hits
 let flow_cache_misses sim = sim.fc_misses
 let mem sim = sim.memm
+
+let[@inline] cell arr i = if i >= 0 && i < Array.length arr then arr.(i) else 0
+let flow_cache_hits_of sim i = cell sim.fc_hits_by i
+let flow_cache_misses_of sim i = cell sim.fc_misses_by i
+let emem_hits_of sim i = cell sim.emem_hits_by i
+let emem_misses_of sim i = cell sim.emem_misses_by i

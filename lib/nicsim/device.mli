@@ -39,18 +39,49 @@ val create_sim_shared : Clara_lnic.Graph.t -> prog list -> sim
     §3.5 interference).  Table names must be globally distinct.
     @raise Invalid_argument on clashes. *)
 
+(** {2 Steady-state fast path support}
+
+    The engine can memoize a packet's resolved cost profile and later
+    replay it without re-executing the handler.  A profile is a sequence
+    of segments: thread-local ("pure") cycle spans interleaved with
+    shared-resource occupations (accelerator, RX/TX DMA).  Replay
+    reproduces the execution-side occupancy arithmetic exactly, so
+    replayed and executed packets can mix in one run with byte-identical
+    results.  A recording is abandoned ([recorded] returns [None]) the
+    moment the handler touches mutable simulator state — tables, the
+    flow cache, or the EMEM line cache — because a replayed packet skips
+    execution and therefore must not have been mutating anything. *)
+
+type recorder
+type profile
+
+val fresh_recorder : unit -> recorder
+(** One recorder can be reused across packets: {!make_ctx} rearms it. *)
+
+val recorded : t -> profile option
+(** The profile captured since {!make_ctx}, or [None] if the handler
+    touched mutable state.  Call after the handler (and [wire_tx]). *)
+
+val profile_equal : profile -> profile -> bool
+
+val replay : sim -> start:int -> profile -> int
+(** [replay sim ~start p] advances accelerator and DMA occupancy as the
+    recorded packet would and returns its completion cycle. *)
+
 val make_ctx :
   ?seq:int ->
   ?prog:int ->
   ?thread:int ->
   ?trace:Trace.t ->
+  ?recorder:recorder ->
   sim ->
   now:int ->
   Clara_workload.Packet.t ->
   t
 (** [seq]/[prog]/[thread] identify the packet in trace events (defaults
     [-1]/[0]/[-1]); when [trace] is absent, operations record nothing and
-    allocate nothing beyond the untraced baseline. *)
+    allocate nothing beyond the untraced baseline.  [recorder] arms
+    fast-path profile capture for this packet ({!recorded}). *)
 
 val now : t -> int
 val sim_of : t -> sim
@@ -102,3 +133,13 @@ val wire_tx : t -> unit
 val flow_cache_hits : sim -> int
 val flow_cache_misses : sim -> int
 val mem : sim -> Mem_model.t
+
+(** Per-program cache accounting (indexed by the [prog] passed to
+    {!make_ctx}; out-of-range indices read as 0).  [run_pair] reports
+    each side's own hit rates from these rather than the shared totals
+    above. *)
+
+val flow_cache_hits_of : sim -> int -> int
+val flow_cache_misses_of : sim -> int -> int
+val emem_hits_of : sim -> int -> int
+val emem_misses_of : sim -> int -> int

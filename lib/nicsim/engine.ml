@@ -1,6 +1,7 @@
 module L = Clara_lnic
 module W = Clara_workload
 module Heap = Clara_util.Heap
+module Pool = Clara_util.Pool
 module J = Clara_util.Json
 
 (* Per-run packet/drop counters and an ingress queue-depth histogram,
@@ -11,12 +12,22 @@ let c_drops = Clara_obs.Registry.counter obs "nicsim.drops"
 let c_runs = Clara_obs.Registry.counter obs "nicsim.runs"
 let h_qdepth = Clara_obs.Registry.histogram obs "nicsim.queue_depth"
 
+type fast_mode = Event_only | Auto of { warmup : int }
+
+let no_fast : Fastpath.stats =
+  { Fastpath.replayed = 0; executed = 0; confirmed = 0; poisoned = 0; enabled = false }
+
 type result = {
   summary : Stats.summary;
   emem_hit_rate : float;
   flow_cache_hit_rate : float;
   freq_mhz : int;
+  fast : Fastpath.stats;
 }
+
+let ratio h m =
+  let t = h + m in
+  if t = 0 then Float.nan else float_of_int h /. float_of_int t
 
 (* Retire [arg] packs the packet type so attribution can bucket by it
    without keeping packets around. *)
@@ -28,97 +39,212 @@ let[@inline] ev sink ~seq ~prog ~thread ~kind ~label ~t0 ~t1 ~arg =
   | None -> ()
   | Some s -> Trace.record s ~seq ~prog ~thread ~kind ~label ~t0 ~t1 ~arg
 
-let run ?threads ?sink lnic (prog : Device.prog) (trace : W.Trace.t) =
-  Clara_obs.Registry.span obs "nicsim" @@ fun () ->
-  Clara_obs.Metrics.incr c_runs;
+let freq_of ~who lnic =
+  match L.Graph.general_cores lnic with
+  | u :: _ -> u.L.Unit_.freq_mhz
+  | [] -> invalid_arg (who ^ ": NIC has no general cores")
+
+let default_queue_capacity lnic =
+  match
+    List.find_opt (fun h -> h.L.Hub.kind = `Ingress) (Array.to_list lnic.L.Graph.hubs)
+  with
+  | Some h -> h.L.Hub.queue_capacity
+  | None -> 512
+
+(* Earliest-free thread selection.  A lexicographic (free_cycle, index)
+   binary heap picks exactly the thread the naive scan would — earliest
+   free, lowest index on ties — in O(log n) instead of O(n).  Dispatch
+   always takes the root and re-inserts it with a later free time, so
+   the heap never changes size: update the root in place and sift down.
+   With the fast path replaying a packet in well under a microsecond, a
+   480-thread NIC's linear scan would otherwise dominate the cost. *)
+module Tpool = struct
+  type t = { free : int array; idx : int array; n : int }
+
+  (* free = 0, idx ascending satisfies the heap invariant. *)
+  let create n = { free = Array.make n 0; idx = Array.init n (fun i -> i); n }
+
+  let[@inline] less t a b =
+    t.free.(a) < t.free.(b) || (t.free.(a) = t.free.(b) && t.idx.(a) < t.idx.(b))
+
+  let[@inline] min_index t = t.idx.(0)
+  let[@inline] min_free t = t.free.(0)
+
+  let set_min_free t f =
+    t.free.(0) <- f;
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < t.n && less t l !s then s := l;
+      if r < t.n && less t r !s then s := r;
+      if !s = !i then stop := true
+      else begin
+        let tf = t.free.(!i) in
+        t.free.(!i) <- t.free.(!s);
+        t.free.(!s) <- tf;
+        let ti = t.idx.(!i) in
+        t.idx.(!i) <- t.idx.(!s);
+        t.idx.(!s) <- ti;
+        i := !s
+      end
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* The one dispatch core.  [run], [run_pair] and [run_sharded] all feed
+   packets through here: a side is one program's slice of the NIC (its
+   threads, its share of the ingress queue, its stats/in-flight window,
+   and optionally its fast-path memo table).  The fast path and every
+   trace event therefore exist exactly once. *)
+
+type side = {
+  prog : Device.prog;
+  pid : int;
+  threads : Tpool.t;
+  stats : Stats.t;
+  inflight : Heap.t;
+  capacity : int;
+  fp : Fastpath.t option;
+  recorder : Device.recorder;  (* reused across packets; make_ctx rearms *)
+}
+
+let make_side ~pid ~nthreads ~capacity ~fp prog =
+  {
+    prog;
+    pid;
+    threads = Tpool.create nthreads;
+    stats = Stats.create ();
+    inflight = Heap.create ();
+    capacity;
+    fp;
+    recorder = Device.fresh_recorder ();
+  }
+
+(* [obs_on] gates the process-global metrics: sharded workers run on
+   other domains, where the registry's plain mutable cells must not be
+   touched concurrently. *)
+let dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
+  let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
+  let inflight = side.inflight in
+  (* Retire completed packets from the in-flight window. *)
+  while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
+    ignore (Heap.pop inflight)
+  done;
+  let depth = Heap.length inflight in
+  if obs_on then Clara_obs.Metrics.observe h_qdepth depth;
+  ev sink ~seq ~prog:side.pid ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
+    ~t1:arrival ~arg:depth;
+  let nthreads = side.threads.Tpool.n in
+  if depth >= side.capacity + nthreads then begin
+    (* Ingress queue full: drop. *)
+    if obs_on then Clara_obs.Metrics.incr c_drops;
+    Stats.record_drop side.stats;
+    ev sink ~seq ~prog:side.pid ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
+      ~t1:arrival ~arg:depth
+  end
+  else begin
+    (* Earliest-free thread (lowest index on ties). *)
+    let ti = Tpool.min_index side.threads in
+    let start = max arrival (Tpool.min_free side.threads) in
+    if start > arrival then
+      ev sink ~seq ~prog:side.pid ~thread:ti ~kind:Trace.Queue_wait ~label:"" ~t0:arrival
+        ~t1:start ~arg:depth;
+    ev sink ~seq ~prog:side.pid ~thread:ti ~kind:Trace.Thread_bind ~label:"" ~t0:start
+      ~t1:start ~arg:ti;
+    let execute ?recorder () =
+      let ctx =
+        Device.make_ctx ~seq ~prog:side.pid ~thread:ti ?trace:sink ?recorder sim
+          ~now:start pkt
+      in
+      Device.wire_rx ctx;
+      (match side.prog.Device.handler ctx pkt with
+      | Device.Emit -> Device.wire_tx ctx
+      | Device.Drop -> ());
+      ctx
+    in
+    let done_ =
+      match side.fp with
+      | None -> Device.now (execute ())
+      | Some fp -> (
+          match Fastpath.decide fp ~seq pkt with
+          | Fastpath.Replay p ->
+              Fastpath.count_replay fp;
+              Device.replay sim ~start p
+          | Fastpath.Record ->
+              Fastpath.count_execute fp;
+              let ctx = execute ~recorder:side.recorder () in
+              Fastpath.note fp pkt (Device.recorded ctx);
+              Device.now ctx
+          | Fastpath.Plain ->
+              Fastpath.count_execute fp;
+              Device.now (execute ()))
+    in
+    Tpool.set_min_free side.threads done_;
+    Heap.push inflight done_;
+    if obs_on then Clara_obs.Metrics.incr c_packets;
+    ev sink ~seq ~prog:side.pid ~thread:ti ~kind:Trace.Retire ~label:"" ~t0:done_
+      ~t1:done_ ~arg:(retire_arg pkt);
+    Stats.record side.stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
+      ~latency_cycles:(done_ - arrival)
+  end
+
+let[@inline] cycles_of_ns_at freq_mhz ns =
+  Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L)
+
+(* Tracing replays nothing: a replayed packet would emit no events, so
+   any sink forces the event path (keeping traced and untraced results
+   byte-identical, which the bench trace guard checks). *)
+let fastpath_of fast sink =
+  match (fast, sink) with
+  | Auto { warmup }, None -> Some (Fastpath.create ~warmup)
+  | _ -> None
+
+let finish sim ~freq_mhz side =
+  {
+    summary = Stats.summarize side.stats;
+    emem_hit_rate =
+      ratio (Device.emem_hits_of sim side.pid) (Device.emem_misses_of sim side.pid);
+    flow_cache_hit_rate =
+      ratio
+        (Device.flow_cache_hits_of sim side.pid)
+        (Device.flow_cache_misses_of sim side.pid);
+    freq_mhz;
+    fast = (match side.fp with Some fp -> Fastpath.stats fp | None -> no_fast);
+  }
+
+(* Single-program run against one sim; shared by [run] (full NIC,
+   metrics on) and [run_sharded]'s workers (a 1/shards slice, metrics
+   off).  Returns the side so sharding can merge raw stats. *)
+let run_core ?threads ?queue_capacity ?sink ~fast ~obs_on lnic (prog : Device.prog)
+    (trace : W.Trace.t) =
   let sim = Device.create_sim lnic prog in
-  let freq_mhz =
-    match L.Graph.general_cores lnic with
-    | u :: _ -> u.L.Unit_.freq_mhz
-    | [] -> invalid_arg "Engine.run: NIC has no general cores"
-  in
+  let freq_mhz = freq_of ~who:"Engine.run" lnic in
   let nthreads =
     match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
   in
-  let queue_capacity =
-    match
-      List.find_opt (fun h -> h.L.Hub.kind = `Ingress) (Array.to_list lnic.L.Graph.hubs)
-    with
-    | Some h -> h.L.Hub.queue_capacity
-    | None -> 512
+  let capacity =
+    match queue_capacity with Some c -> max 1 c | None -> default_queue_capacity lnic
   in
   (match sink with None -> () | Some s -> Trace.set_progs s [| prog.Device.name |]);
-  (* ns -> cycles at the core clock. *)
-  let cycles_of_ns ns = Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L) in
-  let thread_free = Array.make nthreads 0 in
-  let stats = Stats.create () in
-  (* Completion times of accepted-but-unfinished packets, for queue-depth
-     accounting.  A min-heap, not a FIFO: with multiple threads the
-     completion times are not monotone in arrival order, and retiring in
-     FIFO order would leave early finishers stuck behind a slow packet,
-     overstating the queue depth and firing spurious drops. *)
-  let inflight = Heap.create () in
+  let side =
+    make_side ~pid:0 ~nthreads ~capacity ~fp:(fastpath_of fast sink) prog
+  in
+  let cycles_of_ns = cycles_of_ns_at freq_mhz in
   let seq = ref (-1) in
   W.Trace.iter
     (fun pkt ->
       incr seq;
-      let seq = !seq in
-      let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
-      (* Retire completed packets from the in-flight window. *)
-      while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
-        ignore (Heap.pop inflight)
-      done;
-      let depth = Heap.length inflight in
-      Clara_obs.Metrics.observe h_qdepth depth;
-      ev sink ~seq ~prog:0 ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
-        ~t1:arrival ~arg:depth;
-      if depth >= queue_capacity + nthreads then begin
-        (* Ingress queue full: drop. *)
-        Clara_obs.Metrics.incr c_drops;
-        Stats.record_drop stats;
-        ev sink ~seq ~prog:0 ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
-          ~t1:arrival ~arg:depth
-      end
-      else begin
-        (* Earliest-free thread. *)
-        let ti = ref 0 in
-        for i = 1 to nthreads - 1 do
-          if thread_free.(i) < thread_free.(!ti) then ti := i
-        done;
-        let start = max arrival thread_free.(!ti) in
-        if start > arrival then
-          ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Queue_wait ~label:"" ~t0:arrival
-            ~t1:start ~arg:depth;
-        ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Thread_bind ~label:"" ~t0:start
-          ~t1:start ~arg:!ti;
-        let ctx = Device.make_ctx ~seq ~prog:0 ~thread:!ti ?trace:sink sim ~now:start pkt in
-        Device.wire_rx ctx;
-        let verdict = prog.Device.handler ctx pkt in
-        (match verdict with
-        | Device.Emit -> Device.wire_tx ctx
-        | Device.Drop -> ());
-        let done_ = Device.now ctx in
-        thread_free.(!ti) <- done_;
-        Heap.push inflight done_;
-        Clara_obs.Metrics.incr c_packets;
-        ev sink ~seq ~prog:0 ~thread:!ti ~kind:Trace.Retire ~label:"" ~t0:done_ ~t1:done_
-          ~arg:(retire_arg pkt);
-        Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
-          ~latency_cycles:(done_ - arrival)
-      end)
+      dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq:!seq pkt)
     trace;
-  let memm = Device.mem sim in
-  let ratio h m =
-    let t = h + m in
-    if t = 0 then Float.nan else float_of_int h /. float_of_int t
-  in
-  {
-    summary = Stats.summarize stats;
-    emem_hit_rate = ratio (Mem_model.emem_hits memm) (Mem_model.emem_misses memm);
-    flow_cache_hit_rate =
-      ratio (Device.flow_cache_hits sim) (Device.flow_cache_misses sim);
-    freq_mhz;
-  }
+  (side, sim, freq_mhz)
+
+let run ?threads ?sink ?(fast = Event_only) lnic prog trace =
+  Clara_obs.Registry.span obs "nicsim" @@ fun () ->
+  Clara_obs.Metrics.incr c_runs;
+  let side, sim, freq_mhz = run_core ?threads ?sink ~fast ~obs_on:true lnic prog trace in
+  finish sim ~freq_mhz side
 
 let mean_latency_cycles r = r.summary.Stats.mean_cycles
 
@@ -130,7 +256,10 @@ let pp_hit_rate fmt r =
 
 let pp_result fmt r =
   Format.fprintf fmt "%a | emem hit %a | fc hit %a" Stats.pp_summary r.summary pp_hit_rate
-    r.emem_hit_rate pp_hit_rate r.flow_cache_hit_rate
+    r.emem_hit_rate pp_hit_rate r.flow_cache_hit_rate;
+  if r.fast.Fastpath.replayed > 0 then
+    Format.fprintf fmt " | fast %d/%d replayed" r.fast.Fastpath.replayed
+      (r.fast.Fastpath.replayed + r.fast.Fastpath.executed)
 
 let result_to_json r =
   let num v = J.Float v (* NaN/inf serialize as null *) in
@@ -148,115 +277,128 @@ let result_to_json r =
       ("emem_hit_rate", num r.emem_hit_rate);
       ("flow_cache_hit_rate", num r.flow_cache_hit_rate);
       ("freq_mhz", J.Int r.freq_mhz);
+      ("fast_replayed", J.Int r.fast.Fastpath.replayed);
+      ("fast_executed", J.Int r.fast.Fastpath.executed);
+      ("fast_confirmed", J.Int r.fast.Fastpath.confirmed);
+      ("fast_poisoned", J.Int r.fast.Fastpath.poisoned);
+      ("fast_enabled", J.Bool r.fast.Fastpath.enabled);
     ]
 
-let run_pair ?threads ?sink lnic (prog_a : Device.prog) (prog_b : Device.prog)
-    (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
+let run_pair ?threads ?sink ?(fast = Event_only) lnic (prog_a : Device.prog)
+    (prog_b : Device.prog) (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim-pair" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
   let sim = Device.create_sim_shared lnic [ prog_a; prog_b ] in
-  let freq_mhz =
-    match L.Graph.general_cores lnic with
-    | u :: _ -> u.L.Unit_.freq_mhz
-    | [] -> invalid_arg "Engine.run_pair: NIC has no general cores"
-  in
+  let freq_mhz = freq_of ~who:"Engine.run_pair" lnic in
   let total_threads =
     match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
   in
   let half_threads = max 1 (total_threads / 2) in
   (* Halving the ingress queue must never round a small hub down to
      zero capacity, which would drop every queued packet. *)
-  let queue_capacity =
-    max 1
-      ((match
-          List.find_opt
-            (fun h -> h.L.Hub.kind = `Ingress)
-            (Array.to_list lnic.L.Graph.hubs)
-        with
-       | Some h -> h.L.Hub.queue_capacity
-       | None -> 512)
-      / 2)
-  in
+  let capacity = max 1 (default_queue_capacity lnic / 2) in
   (match sink with
   | None -> ()
   | Some s -> Trace.set_progs s [| prog_a.Device.name; prog_b.Device.name |]);
-  let cycles_of_ns ns =
-    Int64.to_int (Int64.div (Int64.mul ns (Int64.of_int freq_mhz)) 1000L)
-  in
-  (* Merge the two arrival streams. *)
+  (* Merge the two arrival streams.  The comparator must totally order
+     every pair: with ties broken on (arrival, side, source index) the
+     merge is deterministic even when A and B packets share a timestamp
+     — a bare arrival comparison under an unstable sort interleaved
+     equal-time packets unpredictably. *)
   let tagged =
     Array.append
-      (Array.map (fun p -> (p, `A)) trace_a.W.Trace.packets)
-      (Array.map (fun p -> (p, `B)) trace_b.W.Trace.packets)
+      (Array.mapi (fun i p -> (p, 0, i)) trace_a.W.Trace.packets)
+      (Array.mapi (fun i p -> (p, 1, i)) trace_b.W.Trace.packets)
   in
-  Array.sort (fun (p, _) (q, _) -> compare p.W.Packet.arrival_ns q.W.Packet.arrival_ns) tagged;
-  let mk_side prog =
-    (prog, Array.make half_threads 0, Stats.create (), Heap.create ())
+  Array.sort
+    (fun (p, ta, ia) (q, tb, ib) ->
+      let c = compare p.W.Packet.arrival_ns q.W.Packet.arrival_ns in
+      if c <> 0 then c
+      else
+        let c = compare ta tb in
+        if c <> 0 then c else compare ia ib)
+    tagged;
+  let mk pid prog =
+    make_side ~pid ~nthreads:half_threads ~capacity ~fp:(fastpath_of fast sink) prog
   in
-  let side_a = mk_side prog_a and side_b = mk_side prog_b in
+  let sides = [| mk 0 prog_a; mk 1 prog_b |] in
+  let cycles_of_ns = cycles_of_ns_at freq_mhz in
   let seq = ref (-1) in
   Array.iter
-    (fun (pkt, tag) ->
+    (fun (pkt, pid, _) ->
       incr seq;
-      let seq = !seq in
-      let (prog : Device.prog), thread_free, stats, inflight =
-        match tag with `A -> side_a | `B -> side_b
-      in
-      let pid = match tag with `A -> 0 | `B -> 1 in
-      let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
-      while (not (Heap.is_empty inflight)) && Heap.min_elt inflight <= arrival do
-        ignore (Heap.pop inflight)
-      done;
-      let depth = Heap.length inflight in
-      Clara_obs.Metrics.observe h_qdepth depth;
-      ev sink ~seq ~prog:pid ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
-        ~t1:arrival ~arg:depth;
-      if depth >= queue_capacity + half_threads then begin
-        Clara_obs.Metrics.incr c_drops;
-        Stats.record_drop stats;
-        ev sink ~seq ~prog:pid ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
-          ~t1:arrival ~arg:depth
-      end
-      else begin
-        let ti = ref 0 in
-        for i = 1 to half_threads - 1 do
-          if thread_free.(i) < thread_free.(!ti) then ti := i
-        done;
-        let start = max arrival thread_free.(!ti) in
-        if start > arrival then
-          ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Queue_wait ~label:"" ~t0:arrival
-            ~t1:start ~arg:depth;
-        ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Thread_bind ~label:"" ~t0:start
-          ~t1:start ~arg:!ti;
-        let ctx =
-          Device.make_ctx ~seq ~prog:pid ~thread:!ti ?trace:sink sim ~now:start pkt
-        in
-        Device.wire_rx ctx;
-        let verdict = prog.Device.handler ctx pkt in
-        (match verdict with
-        | Device.Emit -> Device.wire_tx ctx
-        | Device.Drop -> ());
-        let done_ = Device.now ctx in
-        thread_free.(!ti) <- done_;
-        Heap.push inflight done_;
-        Clara_obs.Metrics.incr c_packets;
-        ev sink ~seq ~prog:pid ~thread:!ti ~kind:Trace.Retire ~label:"" ~t0:done_
-          ~t1:done_ ~arg:(retire_arg pkt);
-        Stats.record stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
-          ~latency_cycles:(done_ - arrival)
-      end)
+      dispatch ~sim ~sink ~obs_on:true ~cycles_of_ns sides.(pid) ~seq:!seq pkt)
     tagged;
-  let memm = Device.mem sim in
-  let ratio h m =
-    let t = h + m in
-    if t = 0 then Float.nan else float_of_int h /. float_of_int t
+  (finish sim ~freq_mhz sides.(0), finish sim ~freq_mhz sides.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel simulation: flows are sharded onto independent NIC
+   slices (1/shards of the threads and ingress queue each, like
+   [run_pair]'s halving), the slices simulate concurrently on the shared
+   worker pool, and raw stats merge in shard order — so the merged
+   result depends on the shard count, never on the domain count. *)
+
+let add_fast (a : Fastpath.stats) (b : Fastpath.stats) =
+  {
+    Fastpath.replayed = a.Fastpath.replayed + b.Fastpath.replayed;
+    executed = a.Fastpath.executed + b.Fastpath.executed;
+    confirmed = a.Fastpath.confirmed + b.Fastpath.confirmed;
+    poisoned = a.Fastpath.poisoned + b.Fastpath.poisoned;
+    enabled = a.Fastpath.enabled || b.Fastpath.enabled;
+  }
+
+let run_sharded ?(domains = 1) ?shards ?threads ?(fast = Event_only) lnic
+    (prog : Device.prog) (trace : W.Trace.t) =
+  Clara_obs.Registry.span obs "nicsim-sharded" @@ fun () ->
+  Clara_obs.Metrics.incr c_runs;
+  let shards = match shards with Some s -> max 1 s | None -> max 1 domains in
+  let freq_mhz = freq_of ~who:"Engine.run_sharded" lnic in
+  let total_threads =
+    match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
   in
-  let finish (_, _, stats, _) =
-    {
-      summary = Stats.summarize stats;
-      emem_hit_rate = ratio (Mem_model.emem_hits memm) (Mem_model.emem_misses memm);
-      flow_cache_hit_rate = ratio (Device.flow_cache_hits sim) (Device.flow_cache_misses sim);
-      freq_mhz;
-    }
+  let per_threads = max 1 (total_threads / shards) in
+  let per_capacity = max 1 (default_queue_capacity lnic / shards) in
+  (* Partition by flow so no flow spans two slices; arrival order is
+     preserved within each shard. *)
+  let parts = Array.make shards [] in
+  let packets = trace.W.Trace.packets in
+  for i = Array.length packets - 1 downto 0 do
+    let p = packets.(i) in
+    let s = W.Packet.flow_key p mod shards in
+    parts.(s) <- p :: parts.(s)
+  done;
+  let sub = Array.map (fun l -> W.Trace.of_packets (Array.of_list l)) parts in
+  let outcomes, _pool_stats =
+    Pool.map ~domains
+      (fun i ->
+        run_core ~threads:per_threads ~queue_capacity:per_capacity ~fast ~obs_on:false
+          lnic prog sub.(i))
+      shards
   in
-  (finish side_a, finish side_b)
+  let done_ =
+    Array.map
+      (function
+        | Pool.Done r -> r
+        | Pool.Failed m -> failwith ("Engine.run_sharded: shard failed: " ^ m))
+      outcomes
+  in
+  (* The workers could not touch the global metrics; account the merged
+     totals once, from the coordinating domain. *)
+  let stats_all = Array.to_list (Array.map (fun (side, _, _) -> side.stats) done_) in
+  let merged = Stats.merge stats_all in
+  let summary = Stats.summarize merged in
+  Clara_obs.Metrics.add c_packets summary.Stats.packets;
+  Clara_obs.Metrics.add c_drops summary.Stats.drops;
+  let sum f = Array.fold_left (fun a (side, sim, _) -> a + f sim side.pid) 0 done_ in
+  {
+    summary;
+    emem_hit_rate = ratio (sum Device.emem_hits_of) (sum Device.emem_misses_of);
+    flow_cache_hit_rate =
+      ratio (sum Device.flow_cache_hits_of) (sum Device.flow_cache_misses_of);
+    freq_mhz;
+    fast =
+      Array.fold_left
+        (fun acc (side, _, _) ->
+          match side.fp with Some fp -> add_fast acc (Fastpath.stats fp) | None -> acc)
+        no_fast done_;
+  }

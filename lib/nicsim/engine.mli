@@ -5,18 +5,49 @@
     §3.2), execute the ported handler, and leave through the egress path.
     Per-packet latency = completion − arrival, so queueing delay at high
     load and accelerator contention show up in the numbers, just as they
-    would on hardware. *)
+    would on hardware.
+
+    Two performance levers sit on top of the event loop, both off by
+    default and both result-preserving:
+
+    - {b Steady-state fast path} ([fast = Auto _]): after a warm-up
+      window, packets whose cost profile has been memoized and confirmed
+      replay analytically — thread/queue/accelerator/DMA occupancy is
+      advanced arithmetically instead of re-executing the handler.
+      Packets that touch mutable simulator state are detected and
+      permanently excluded, so stateful NFs automatically fall back to
+      full event simulation and replay is byte-identical to the event
+      path.  Handler-side OCaml state (a closure over a ref) is caught
+      heuristically — a key must produce identical profiles twice before
+      it may replay, and any divergence poisons it — but a closure that
+      is consistent twice and diverges later evades this; callers should
+      enable [Auto] only for programs the static sharing analysis calls
+      stateless ([Clara_analysis.Sharing.stateless]), which is what the
+      CLI does.  Tracing always forces the event path.
+    - {b Domain-parallel simulation} ({!run_sharded}): flows shard onto
+      independent NIC slices simulated concurrently on the shared
+      {!Clara_util.Pool}; merged results depend on the shard count,
+      never the domain count. *)
+
+type fast_mode =
+  | Event_only          (** always execute the handler (the default) *)
+  | Auto of { warmup : int }
+      (** memoize + replay confirmed steady-state packets once the
+          packet sequence number reaches [warmup] *)
 
 type result = {
   summary : Stats.summary;
   emem_hit_rate : float;       (** NaN when the NIC has no EMEM cache. *)
   flow_cache_hit_rate : float; (** NaN when the program never used it. *)
   freq_mhz : int;
+  fast : Fastpath.stats;
+      (** All zeros / [enabled = false] under [Event_only]. *)
 }
 
 val run :
   ?threads:int ->
   ?sink:Trace.t ->
+  ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Clara_workload.Trace.t ->
@@ -24,7 +55,27 @@ val run :
 (** [threads] defaults to the NIC's total hardware threads.  [sink]
     installs a per-packet event trace ({!Trace}); without it the run
     does no trace work and results are byte-identical to a traced run's
-    (the [bench trace] section guards this). *)
+    (the [bench trace] section guards this).  [fast] defaults to
+    {!Event_only}; [Auto] is ignored when [sink] is set. *)
+
+val run_sharded :
+  ?domains:int ->
+  ?shards:int ->
+  ?threads:int ->
+  ?fast:fast_mode ->
+  Clara_lnic.Graph.t ->
+  Device.prog ->
+  Clara_workload.Trace.t ->
+  result
+(** Domain-parallel run: flows are partitioned onto [shards] independent
+    NIC slices (each gets 1/shards of the threads and ingress queue,
+    clamped to at least 1 — the same slicing rule as {!run_pair}), the
+    slices simulate concurrently on up to [domains] domains, and raw
+    stats merge deterministically in shard order.  [shards] defaults to
+    [domains]; for a fixed shard count the result is byte-identical
+    across any domain count.  Not a bit-exact model of one shared NIC:
+    cross-flow contention on accelerators and EMEM is confined to each
+    slice.  Tracing is unsupported here (use {!run}). *)
 
 val mean_latency_cycles : result -> float
 
@@ -37,6 +88,7 @@ val result_to_json : result -> Clara_util.Json.t
 val run_pair :
   ?threads:int ->
   ?sink:Trace.t ->
+  ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Device.prog ->
@@ -47,8 +99,12 @@ val run_pair :
     EMEM cache, flow cache, accelerators and DMA lanes contend for real —
     while each gets half the hardware threads and half the ingress queue
     (the paper's "half of the NIC" slicing, each half clamped to at
-    least 1).  Traces are merged by arrival time; results are reported
-    per program.  [threads] overrides the NIC's total hardware thread
-    count before halving, like {!run}'s.  With [sink], events carry the
-    owning program's index ([prog] 0/1) and {!Trace.progs} reports both
-    names, so a shared timeline shows who stole the accelerator. *)
+    least 1).  Traces are merged by arrival time with deterministic
+    tie-breaking on (arrival, side, source index), so co-run results are
+    stable across repeated runs even with colliding timestamps.  Results
+    are reported per program, each side's cache hit rates from its own
+    per-program counters.  [threads] overrides the NIC's total hardware
+    thread count before halving, like {!run}'s.  With [sink], events
+    carry the owning program's index ([prog] 0/1) and {!Trace.progs}
+    reports both names, so a shared timeline shows who stole the
+    accelerator. *)

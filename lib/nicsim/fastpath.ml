@@ -1,0 +1,138 @@
+(* Steady-state fast path: a memo table from exact packet contents to a
+   resolved cost profile (Device.profile).
+
+   Soundness rests on three rules:
+
+   - Keys are the packet's *raw* fields (addresses, ports, proto, flags,
+     payload size) — never the FNV flow_key, whose collisions would let
+     one packet replay another's profile.  Two packets with equal keys
+     are indistinguishable to a handler: every Device operation's cost
+     derives from those fields (arrival time only shifts the start
+     clock, which replay handles).
+
+   - A profile is only ever captured for a packet whose execution never
+     touched mutable simulator state (Device taints the recording
+     otherwise), so skipping execution on replay cannot desynchronize
+     tables, the flow cache, or the EMEM cache.
+
+   - A key must be *confirmed* — two sightings with identical profiles —
+     before it may replay, which catches handlers that are stateful
+     outside the simulator (e.g. an OCaml closure over a ref) without
+     touching Device state.  Any taint or profile mismatch poisons the
+     key permanently.
+
+   A kill switch disables the table for the rest of the run when it has
+   only ever poisoned (stateful NF, e.g. per-flow tables): stop paying
+   the recording overhead once it is clear no packet will ever replay. *)
+
+module W = Clara_workload
+
+type key = { ka : int; kb : int; kc : int }
+
+(* Pack the seven identity fields into three ints, each field in its own
+   bit range (no hashing, no aliasing): ka = src ip:port, kb = dst
+   ip:port + proto, kc = flags + payload size. *)
+let key_of (p : W.Packet.t) =
+  {
+    ka =
+      ((Int32.to_int p.W.Packet.src_ip land 0xffffffff) lsl 16)
+      lor (p.W.Packet.src_port land 0xffff);
+    kb =
+      ((W.Packet.proto_number p.W.Packet.proto land 0xff) lsl 48)
+      lor ((Int32.to_int p.W.Packet.dst_ip land 0xffffffff) lsl 16)
+      lor (p.W.Packet.dst_port land 0xffff);
+    kc = (p.W.Packet.payload_bytes lsl 8) lor (p.W.Packet.flags land 0xff);
+  }
+
+type entry =
+  | Recorded of Device.profile
+  | Confirmed of Device.profile
+  | Poisoned
+
+type t = {
+  tbl : (key, entry) Hashtbl.t;
+  warmup : int;
+  mutable replayed : int;
+  mutable executed : int;
+  mutable confirmed : int;
+  mutable poisoned : int;
+  mutable disabled : bool;
+}
+
+(* Poison budget before the kill switch fires with nothing confirmed. *)
+let kill_after = 32
+
+let create ~warmup =
+  {
+    tbl = Hashtbl.create 256;
+    warmup = max 0 warmup;
+    replayed = 0;
+    executed = 0;
+    confirmed = 0;
+    poisoned = 0;
+    disabled = false;
+  }
+
+type decision =
+  | Replay of Device.profile  (* confirmed, past warm-up: skip execution *)
+  | Record                    (* execute with a recorder armed *)
+  | Plain                     (* execute, no recording *)
+
+let decide t ~seq pkt =
+  if t.disabled then Plain
+  else
+    match Hashtbl.find_opt t.tbl (key_of pkt) with
+    | Some (Confirmed p) when seq >= t.warmup -> Replay p
+    | Some Poisoned -> Plain
+    | Some (Confirmed _) | Some (Recorded _) | None -> Record
+
+let poison t key =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some Poisoned -> ()
+  | Some (Confirmed _) ->
+      t.confirmed <- t.confirmed - 1;
+      t.poisoned <- t.poisoned + 1
+  | Some (Recorded _) | None -> t.poisoned <- t.poisoned + 1);
+  Hashtbl.replace t.tbl key Poisoned;
+  if t.poisoned > kill_after && t.confirmed = 0 then t.disabled <- true
+
+(* Record what an executed packet's profile turned out to be ([None] =
+   the recording was tainted by mutable state). *)
+let note t pkt profile =
+  if not t.disabled then begin
+    let key = key_of pkt in
+    match profile with
+    | None -> poison t key
+    | Some p -> (
+        match Hashtbl.find_opt t.tbl key with
+        | None -> Hashtbl.replace t.tbl key (Recorded p)
+        | Some (Recorded q) ->
+            if Device.profile_equal p q then begin
+              Hashtbl.replace t.tbl key (Confirmed p);
+              t.confirmed <- t.confirmed + 1
+            end
+            else poison t key
+        | Some (Confirmed q) ->
+            if not (Device.profile_equal p q) then poison t key
+        | Some Poisoned -> ())
+  end
+
+type stats = {
+  replayed : int;   (* packets completed analytically *)
+  executed : int;   (* packets that ran the handler *)
+  confirmed : int;  (* distinct keys eligible for replay *)
+  poisoned : int;   (* distinct keys ruled out *)
+  enabled : bool;   (* false once the kill switch fired *)
+}
+
+let stats (t : t) =
+  {
+    replayed = t.replayed;
+    executed = t.executed;
+    confirmed = t.confirmed;
+    poisoned = t.poisoned;
+    enabled = not t.disabled;
+  }
+
+let count_replay (t : t) = t.replayed <- t.replayed + 1
+let count_execute (t : t) = t.executed <- t.executed + 1

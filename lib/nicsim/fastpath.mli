@@ -1,0 +1,37 @@
+(** Steady-state fast-path memo table for the engine.
+
+    Maps exact packet contents (raw fields, never the hashed flow key)
+    to a resolved {!Device.profile}.  A key becomes eligible for
+    analytic replay only after two sightings with byte-identical,
+    untainted profiles (catching handler-side statefulness the Device
+    layer cannot see); any taint or mismatch poisons it permanently.  A
+    kill switch disables the whole table when [> 32] keys poisoned with
+    none confirmed — a stateful NF — so recording overhead stops. *)
+
+type t
+
+val create : warmup:int -> t
+(** Replay is additionally gated on packet sequence number [>= warmup],
+    so early packets always exercise the event path (cold caches). *)
+
+type decision =
+  | Replay of Device.profile  (** confirmed, past warm-up: skip execution *)
+  | Record                    (** execute with a recorder armed *)
+  | Plain                     (** execute, no recording *)
+
+val decide : t -> seq:int -> Clara_workload.Packet.t -> decision
+
+val note : t -> Clara_workload.Packet.t -> Device.profile option -> unit
+(** Report an executed packet's captured profile ([None] = tainted). *)
+
+type stats = {
+  replayed : int;
+  executed : int;
+  confirmed : int;
+  poisoned : int;
+  enabled : bool;
+}
+
+val stats : t -> stats
+val count_replay : t -> unit
+val count_execute : t -> unit

@@ -40,6 +40,32 @@ let record t ~proto ~syn ~latency_cycles =
 
 let record_drop t = t.drops <- t.drops + 1
 
+(* Concatenate raw samples (in list order, so merged results are
+   deterministic) and sum the per-class accumulators; used to combine
+   per-shard stats from a domain-parallel run before summarizing. *)
+let merge ts =
+  let n = List.fold_left (fun a t -> a + t.n) 0 ts in
+  let lat = Array.make (max 1 n) 0 in
+  let off = ref 0 in
+  List.iter
+    (fun t ->
+      Array.blit t.lat 0 lat !off t.n;
+      off := !off + t.n)
+    ts;
+  let sum f = List.fold_left (fun a t -> a +. f t) 0. ts in
+  let sumi f = List.fold_left (fun a t -> a + f t) 0 ts in
+  {
+    lat;
+    n;
+    drops = sumi (fun t -> t.drops);
+    tcp_sum = sum (fun t -> t.tcp_sum);
+    tcp_n = sumi (fun t -> t.tcp_n);
+    udp_sum = sum (fun t -> t.udp_sum);
+    udp_n = sumi (fun t -> t.udp_n);
+    syn_sum = sum (fun t -> t.syn_sum);
+    syn_n = sumi (fun t -> t.syn_n);
+  }
+
 type summary = {
   packets : int;
   drops : int;

@@ -9,6 +9,11 @@ val record :
 
 val record_drop : t -> unit
 
+val merge : t list -> t
+(** Combine raw samples and accumulators from several runs (e.g. the
+    shards of a domain-parallel simulation); deterministic in list
+    order. *)
+
 type summary = {
   packets : int;
   drops : int;

@@ -1,0 +1,32 @@
+(** OCaml 5 Domain worker pool: run [n] indexed jobs on up to
+    [domains] domains, with per-job fault isolation and deterministic
+    result ordering.
+
+    This is the single pool implementation shared by [lib/explore]
+    (sweep cells) and [lib/nicsim] (domain-parallel simulation shards).
+    Results are delivered in job-index order regardless of scheduling,
+    so output is reproducible across domain counts. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string  (** the job raised; message from the exception *)
+
+type stats = {
+  domains : int;  (** workers actually spawned (clamped to [1..n]) *)
+  jobs : int;
+  busy_ns : int;  (** summed over workers: wall time inside jobs *)
+  wall_ns : int;
+}
+
+val map :
+  ?domains:int -> ?timeout_ms:int -> (int -> 'a) -> int -> 'a outcome array * stats
+(** [map ~domains f n] evaluates [f i] for [i = 0..n-1] on a pool of
+    domains (default 1) and returns the outcomes in index order.  A job
+    that raises becomes [Failed] for its slot only.  [timeout_ms]
+    bounds each job's *reported* latency cooperatively: an over-budget
+    job is marked [Failed] and its eventual result dropped (domains
+    cannot be killed, so its CPU time is still spent).
+    @raise Invalid_argument on a negative job count. *)
+
+val utilization : stats -> float
+(** Fraction of [domains * wall] spent inside jobs, in [0, 1]. *)

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Bench smoke: run the nicsim section of the bench harness.
+#
+# The section always enforces correctness, regardless of environment:
+#   - fast path byte-identical to the event path on stateless NFs
+#     (latency summary, drops, hit rates), with >0 packets replayed;
+#   - zero replays on a stateful NF, results identical to Event_only;
+#   - sharded runs byte-identical between 1 domain and N domains.
+#
+# The throughput gates — the 10x fast-path floor on the op-dense NF and
+# the >20% packets/sec regression check against the committed
+# BENCH_nicsim.json — print warnings by default and only fail when
+# CLARA_BENCH_ENFORCE=1, because shared CI runners are too noisy for
+# hard wall-clock gates.
+#
+# The fresh snapshot is written to CLARA_BENCH_JSON (default: a temp
+# file, so a smoke run never dirties the committed baseline).
+set -eu
+cd "$(dirname "$0")/.."
+: "${CLARA_BENCH_JSON:=$(mktemp "${TMPDIR:-/tmp}/clara-bench-nicsim.XXXXXX")}"
+export CLARA_BENCH_JSON
+dune exec bench/main.exe -- nicsim
+echo "bench smoke OK (snapshot: $CLARA_BENCH_JSON)"

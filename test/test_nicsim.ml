@@ -401,6 +401,218 @@ let test_firewall_placement_contrast () =
   check "CTM state faster than EMEM" true
     (ctm.Eng.summary.Stats.mean_cycles < emem.Eng.summary.Stats.mean_cycles)
 
+(* ------------------------------------------------------------------ *)
+(* Steady-state fast path + domain-parallel sharding                   *)
+
+(* Full structural equality of everything a result reports except the
+   fast-path counters themselves. *)
+let same_result (a : Eng.result) (b : Eng.result) =
+  compare a.Eng.summary b.Eng.summary = 0
+  && compare a.Eng.emem_hit_rate b.Eng.emem_hit_rate = 0
+  && compare a.Eng.flow_cache_hit_rate b.Eng.flow_cache_hit_rate = 0
+  && a.Eng.freq_mhz = b.Eng.freq_mhz
+
+(* A stateless-but-nontrivial handler: accelerators, DMA, flat memory,
+   packet-dependent branching — everything the recorder must capture —
+   and no mutable simulator state. *)
+let stateless_prog () =
+  { Dev.name = "stateless";
+    tables = [];
+    handler =
+      (fun ctx pkt ->
+        Dev.parse_header ctx ~engine:true;
+        Dev.alu ctx 40;
+        Dev.checksum ctx ~engine:true ~bytes:(W.Packet.total_bytes pkt);
+        Dev.local_read ctx 2;
+        Dev.branch ctx;
+        if W.Packet.is_syn pkt then Dev.alu ctx 25;
+        Dev.Emit) }
+
+let test_fastpath_stateless_identity () =
+  (* Byte-identity: the fast path must reproduce the event path exactly
+     on a stateless NF, at a rate high enough for queueing/contention to
+     matter. *)
+  let tr = trace ~packets:4000 ~rate:400_000. () in
+  let slow = Eng.run lnic (stateless_prog ()) tr in
+  let fast = Eng.run ~fast:(Eng.Auto { warmup = 100 }) lnic (stateless_prog ()) tr in
+  check "summaries byte-identical" true (same_result slow fast);
+  check "fast path actually replayed" true (fast.Eng.fast.Clara_nicsim.Fastpath.replayed > 0);
+  check "event path never replays" true (slow.Eng.fast.Clara_nicsim.Fastpath.replayed = 0);
+  (* The DPI port is the corpus's stateless NF; same identity must hold. *)
+  let slow_d = Eng.run lnic (Clara_nfs.Dpi.ported ()) tr in
+  let fast_d = Eng.run ~fast:(Eng.Auto { warmup = 100 }) lnic (Clara_nfs.Dpi.ported ()) tr in
+  check "dpi byte-identical" true (same_result slow_d fast_d);
+  check "dpi replayed" true (fast_d.Eng.fast.Clara_nicsim.Fastpath.replayed > 0)
+
+let test_fastpath_stateful_fallback () =
+  (* Stateful NFs (tables, flow cache, EMEM) must poison every key and
+     never replay — and still produce identical results. *)
+  let tr = trace ~packets:3000 ~rate:60_000. () in
+  List.iter
+    (fun prog ->
+      let slow = Eng.run lnic prog tr in
+      let fast = Eng.run ~fast:(Eng.Auto { warmup = 10 }) lnic prog tr in
+      check (prog.Dev.name ^ " stateful: nothing replayed") true
+        (fast.Eng.fast.Clara_nicsim.Fastpath.replayed = 0);
+      check (prog.Dev.name ^ " stateful: results unchanged") true
+        (same_result slow fast))
+    [ Clara_nfs.Nat.ported ~checksum_engine:true ();
+      Clara_nfs.Firewall.ported ~placement:Dev.P_emem () ]
+
+let test_fastpath_closure_state_poisoned () =
+  (* Handler statefulness the Device layer cannot see: an OCaml closure
+     over a ref whose cost alternates per call.  With a single repeated
+     packet, the key's first two sightings disagree, so two-sighting
+     confirmation must poison it — nothing replays and results stay
+     identical to the event path.  (A closure that behaves consistently
+     twice and diverges later is undetectable dynamically; that is why
+     [Auto] is opt-in and the CLI gates it on the static sharing
+     verdict.) *)
+  let mk () =
+    let n = ref 0 in
+    { Dev.name = "closure";
+      tables = [];
+      handler =
+        (fun ctx _ ->
+          incr n;
+          Dev.alu ctx (if !n mod 2 = 0 then 40 else 20);
+          Dev.Emit) }
+  in
+  let one = pkt ~proto:W.Packet.Udp ~payload:64 () in
+  let tr =
+    W.Trace.of_packets
+      (Array.init 200 (fun i ->
+           { one with W.Packet.arrival_ns = Int64.of_int (i * 100_000) }))
+  in
+  let slow = Eng.run lnic (mk ()) tr in
+  let fast = Eng.run ~fast:(Eng.Auto { warmup = 0 }) lnic (mk ()) tr in
+  check "closure key poisoned, nothing replayed" true
+    (fast.Eng.fast.Clara_nicsim.Fastpath.replayed = 0);
+  check "closure-stateful results unchanged" true (same_result slow fast)
+
+let test_fastpath_warmup_boundary () =
+  (* Replay is gated on seq >= warmup.  warmup = n must behave exactly
+     like the event path (no packet ever reaches the gate); warmup = 0
+     replays as soon as a key is confirmed (from the 3rd sighting on). *)
+  let one = pkt ~proto:W.Packet.Udp ~payload:64 () in
+  let packets = Array.init 10 (fun i -> { one with W.Packet.arrival_ns = Int64.of_int (i * 1_000_000) }) in
+  let tr = W.Trace.of_packets packets in
+  let r_all = Eng.run ~fast:(Eng.Auto { warmup = 10 }) lnic (stateless_prog ()) tr in
+  check "warmup = n never replays" true
+    (r_all.Eng.fast.Clara_nicsim.Fastpath.replayed = 0);
+  let r_zero = Eng.run ~fast:(Eng.Auto { warmup = 0 }) lnic (stateless_prog ()) tr in
+  (* 10 identical packets: sightings 1-2 record+confirm, 3-10 replay. *)
+  check_int "warmup = 0 replays after confirmation" 8
+    r_zero.Eng.fast.Clara_nicsim.Fastpath.replayed;
+  let r_three = Eng.run ~fast:(Eng.Auto { warmup = 3 }) lnic (stateless_prog ()) tr in
+  (* seq 0,1 confirm; seq 2 is confirmed but below the gate; 3-9 replay. *)
+  check_int "warmup = 3 gates exactly seqs 0-2" 7
+    r_three.Eng.fast.Clara_nicsim.Fastpath.replayed;
+  check "warmup boundary results identical" true
+    (same_result r_all r_zero && same_result r_all r_three)
+
+let test_run_pair_tie_determinism () =
+  (* Regression: the co-run merge sorted on arrival alone with an
+     unstable sort, so packets from A and B with colliding timestamps
+     interleaved unpredictably.  With many equal-time packets, repeated
+     runs must agree exactly, and A must sort before B at equal time
+     (observable via the shared-accelerator contention they generate). *)
+  let mk side i =
+    { W.Packet.src_ip = Int32.of_int (side * 1000 + i); dst_ip = 2l;
+      src_port = 1; dst_port = 2; proto = W.Packet.Udp; flags = 0;
+      payload_bytes = 64 + (7 * i mod 100);
+      arrival_ns = Int64.of_int (i / 4 * 1000) (* 4-way timestamp collisions *) }
+  in
+  let tr_a = W.Trace.of_packets (Array.init 400 (mk 1)) in
+  let tr_b = W.Trace.of_packets (Array.init 400 (mk 2)) in
+  let busy name =
+    { Dev.name;
+      tables = [];
+      handler =
+        (fun ctx pkt ->
+          Dev.checksum ctx ~engine:true ~bytes:(W.Packet.total_bytes pkt);
+          Dev.Emit) }
+  in
+  let run1 = Eng.run_pair lnic (busy "a") (busy "b") tr_a tr_b in
+  let run2 = Eng.run_pair lnic (busy "a") (busy "b") tr_a tr_b in
+  check "pair run deterministic (side a)" true (same_result (fst run1) (fst run2));
+  check "pair run deterministic (side b)" true (same_result (snd run1) (snd run2))
+
+let test_run_pair_per_side_hit_rates () =
+  (* Regression: both sides used to report the shared sim's combined
+     emem/flow-cache ratios, so A and B were always identical.  Give A a
+     cache-friendly one-flow EMEM workload and B a cache-hostile scan;
+     their reported rates must now differ, and each side's rate must
+     come from its own counters. *)
+  let mk_a i =
+    { W.Packet.src_ip = 1l; dst_ip = 2l; src_port = 1; dst_port = 2;
+      proto = W.Packet.Udp; flags = 0; payload_bytes = 64;
+      arrival_ns = Int64.of_int (i * 100_000) }
+  in
+  let mk_b i =
+    { W.Packet.src_ip = Int32.of_int (100_000 + (i * 7919)); dst_ip = 3l;
+      src_port = 5; dst_port = 6; proto = W.Packet.Udp; flags = 0;
+      payload_bytes = 64; arrival_ns = Int64.of_int (50_000 + (i * 100_000)) }
+  in
+  let table name =
+    [ { Dev.t_name = name; t_entries = 1 lsl 16; t_entry_bytes = 64;
+        t_placement = Dev.P_emem } ]
+  in
+  (* A hammers one key (EMEM hits after the first touch); B strides its
+     unique flow key across the table (mostly misses). *)
+  let prog_a =
+    { Dev.name = "hot";
+      tables = table "ta";
+      handler = (fun ctx _ -> ignore (Dev.table_lookup ctx "ta" ~key:1); Dev.Emit) }
+  in
+  let prog_b =
+    { Dev.name = "cold";
+      tables = table "tb";
+      handler =
+        (fun ctx pkt ->
+          ignore (Dev.table_lookup ctx "tb" ~key:(W.Packet.flow_key pkt));
+          Dev.Emit) }
+  in
+  let tr_a = W.Trace.of_packets (Array.init 400 mk_a) in
+  let tr_b = W.Trace.of_packets (Array.init 400 mk_b) in
+  let ra, rb = Eng.run_pair lnic prog_a prog_b tr_a tr_b in
+  check "side A hit rate high" true (ra.Eng.emem_hit_rate > 0.9);
+  check "side B hit rate lower" true (rb.Eng.emem_hit_rate < ra.Eng.emem_hit_rate -. 0.2)
+
+let test_run_sharded_domain_determinism () =
+  (* Pool determinism: for a fixed shard count the merged result must be
+     byte-identical whether the shards run on 1 domain or several. *)
+  let tr = trace ~packets:3000 ~rate:200_000. () in
+  let prog () = Clara_nfs.Dpi.ported () in
+  let r1 = Eng.run_sharded ~domains:1 ~shards:4 lnic (prog ()) tr in
+  let r4 = Eng.run_sharded ~domains:4 ~shards:4 lnic (prog ()) tr in
+  check "1 vs N domains byte-identical" true (same_result r1 r4);
+  check_int "all packets accounted" 3000
+    (r1.Eng.summary.Stats.packets + r1.Eng.summary.Stats.drops);
+  (* Repeatable too. *)
+  let r4' = Eng.run_sharded ~domains:4 ~shards:4 lnic (prog ()) tr in
+  check "repeated sharded run identical" true (same_result r4 r4');
+  (* Fast path composes with sharding. *)
+  let rf = Eng.run_sharded ~domains:4 ~shards:4 ~fast:(Eng.Auto { warmup = 50 }) lnic (prog ()) tr in
+  check "sharded fast path identical" true (same_result r1 rf)
+
+let test_stats_merge () =
+  let mk latencies =
+    let s = Stats.create () in
+    List.iter
+      (fun c -> Stats.record s ~proto:W.Packet.Udp ~syn:false ~latency_cycles:c)
+      latencies;
+    s
+  in
+  let a = mk [ 10; 30 ] and b = mk [ 20; 40 ] in
+  Stats.record_drop b;
+  let m = Stats.summarize (Stats.merge [ a; b ]) in
+  check_int "merged count" 4 m.Stats.packets;
+  check_int "merged drops" 1 m.Stats.drops;
+  check_int "merged p50" 20 m.Stats.p50_cycles;
+  check_int "merged max" 40 m.Stats.max_cycles;
+  check "merged mean" true (abs_float (m.Stats.mean_cycles -. 25.) < 1e-9)
+
 let test_stats_nearest_rank_percentile () =
   (* Regression: [Stats.summarize] used to index round(p*n), reporting
      p50 of [1;2;3;4] as 3.  Nearest-rank is ceil(p*n)-th smallest. *)
@@ -452,5 +664,19 @@ let suite =
     Alcotest.test_case "co-resident run_pair" `Quick test_run_pair_coresidency;
     Alcotest.test_case "run_pair capacity clamp" `Quick test_run_pair_capacity_clamp;
     Alcotest.test_case "stats nearest-rank percentiles" `Quick
-      test_stats_nearest_rank_percentile ]
+      test_stats_nearest_rank_percentile;
+    Alcotest.test_case "fast path: stateless byte-identity" `Quick
+      test_fastpath_stateless_identity;
+    Alcotest.test_case "fast path: stateful fallback" `Quick
+      test_fastpath_stateful_fallback;
+    Alcotest.test_case "fast path: closure state poisoned" `Quick
+      test_fastpath_closure_state_poisoned;
+    Alcotest.test_case "fast path: warm-up boundary" `Quick test_fastpath_warmup_boundary;
+    Alcotest.test_case "run_pair tie-break determinism" `Quick
+      test_run_pair_tie_determinism;
+    Alcotest.test_case "run_pair per-side hit rates" `Quick
+      test_run_pair_per_side_hit_rates;
+    Alcotest.test_case "run_sharded domain determinism" `Quick
+      test_run_sharded_domain_determinism;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_lru_capacity; prop_heap_drains_sorted ]
