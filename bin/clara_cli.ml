@@ -13,6 +13,7 @@
      trace-gen   synthesize a pcap trace from an abstract profile
      sweep       parallel design-space exploration from a spec file
      interfere   slowdown of two NFs co-resident on one NIC
+     tenants     N NFs co-resident under weighted-round-robin scheduling
      trace       simulate a ported NF with per-packet event tracing
      sim         simulate a ported NF fast: steady-state replay + domain sharding
      lint        static analysis: races, feasibility, dead paths, cost hazards
@@ -787,6 +788,259 @@ let interfere_cmd =
       const run $ src_a_arg $ src_b_arg $ nic_arg $ payload_arg $ packets_arg
       $ flows_arg $ rate_arg $ tcp_arg $ trace_out_arg)
 
+(* ---- tenants -------------------------------------------------------- *)
+
+let tenants_cmd =
+  let nfs_arg =
+    let doc = "Tenant NFs (two or more): DSL source files, or corpus NF names." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NF" ~doc)
+  in
+  let weights_arg =
+    let doc =
+      "Comma-separated positive integer scheduling weights, one per tenant \
+       (default: equal).  Threads, queue slots and the WRR grant divide in \
+       this proportion."
+    in
+    Arg.(value & opt (some string) None & info [ "weights" ] ~docv:"W1,W2,..." ~doc)
+  in
+  let slo_arg =
+    let doc = "Per-tenant p99 latency SLO in microseconds." in
+    Arg.(value & opt (some float) None & info [ "slo-p99-us" ] ~docv:"US" ~doc)
+  in
+  let threads_arg =
+    let doc = "Override the NIC's hardware thread count before splitting." in
+    Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let parse_weights n = function
+    | None -> Array.make n 1
+    | Some s ->
+        let parts = String.split_on_char ',' s in
+        let ws =
+          List.map
+            (fun p ->
+              match int_of_string_opt (String.trim p) with
+              | Some w when w > 0 -> w
+              | _ -> or_die (Error ("bad weight '" ^ p ^ "' (positive integers only)")))
+            parts
+        in
+        if List.length ws <> n then
+          or_die
+            (Error
+               (Printf.sprintf "--weights has %d entries for %d tenants"
+                  (List.length ws) n));
+        Array.of_list ws
+  in
+  (* Jain's fairness index over weight-normalized service: 1.0 = perfectly
+     proportional, below ~0.9 some tenant is being starved. *)
+  let jain xs =
+    let n = float_of_int (Array.length xs) in
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (n *. s2)
+  in
+  let run nfs weights_s nic payload packets flows rate tcp seed slo threads json stats
+      stats_json =
+    let lnic = or_die (lnic_of_name nic) in
+    let n = List.length nfs in
+    if n < 2 then or_die (Error "tenants needs at least two NFs");
+    let weights = parse_weights n weights_s in
+    let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
+    let resolved = List.map resolve_nf nfs in
+    let names = Array.of_list (List.map fst resolved) in
+    let sources = Array.of_list (List.map snd resolved) in
+    let reports =
+      or_die
+        (Clara_predict.Interference.analyze_n ~weights lnic ~sources
+           ~profiles:(Array.make n profile))
+    in
+    (* Simulation needs ported handlers: every argument must name a
+       corpus NF (a file path counts when its basename matches one). *)
+    let entry_of arg =
+      let key =
+        if Sys.file_exists arg then Filename.remove_extension (Filename.basename arg)
+        else arg
+      in
+      Clara_nfs.Corpus.find key
+    in
+    let entries = List.map entry_of nfs in
+    let sim =
+      if List.for_all Option.is_some entries then begin
+        let progs =
+          Array.of_list
+            (List.map (fun e -> (Option.get e).Clara_nfs.Corpus.ported) entries)
+        in
+        let traces =
+          Array.init n (fun i ->
+              W.Trace.synthesize ~seed:(Int64.of_int (seed + i)) profile)
+        in
+        match Nsim.Engine.run_tenants ?threads ~weights lnic progs traces with
+        | rs -> Ok rs
+        | exception Invalid_argument m -> Error ("simulation skipped: " ^ m)
+      end
+      else Error "simulation skipped: not every NF is a corpus name (see 'clara corpus')"
+    in
+    let freq_mhz =
+      match L.Graph.general_cores lnic with
+      | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+      | [] -> 1e3
+    in
+    let duration_s = float_of_int packets /. rate in
+    let wsum = Array.fold_left ( + ) 0 weights in
+    (* Per-tenant rows: predicted always; simulated when available. *)
+    let sim_rows =
+      match sim with
+      | Error _ -> None
+      | Ok rs ->
+          Some
+            (Array.mapi
+               (fun i (r : Nsim.Engine.result) ->
+                 let s = r.Nsim.Engine.summary in
+                 let pred = reports.(i) in
+                 let tput = float_of_int s.Nsim.Stats.packets /. duration_s in
+                 let iso =
+                   100.
+                   *. (s.Nsim.Stats.mean_cycles
+                       -. pred.Clara_predict.Interference.sliced_cycles)
+                   /. pred.Clara_predict.Interference.sliced_cycles
+                 in
+                 (s, tput, iso))
+               rs)
+    in
+    let p99_us_of i =
+      match sim_rows with
+      | Some rows ->
+          let s, _, _ = rows.(i) in
+          float_of_int s.Nsim.Stats.p99_cycles /. freq_mhz
+      | None -> reports.(i).Clara_predict.Interference.contended_cycles /. freq_mhz
+    in
+    let fairness =
+      match sim_rows with
+      | Some rows ->
+          jain
+            (Array.mapi
+               (fun i (_, tput, _) -> tput /. float_of_int weights.(i))
+               rows)
+      | None ->
+          jain
+            (Array.map
+               (fun (r : Clara_predict.Interference.report) ->
+                 1. /. Float.max 1e-9 r.Clara_predict.Interference.slowdown)
+               reports)
+    in
+    let fair = fairness >= 0.9 in
+    let slo_met =
+      Option.map
+        (fun limit ->
+          Array.init n (fun i -> p99_us_of i <= limit))
+        slo
+    in
+    let saturated =
+      Array.exists (fun r -> r.Clara_predict.Interference.saturated) reports
+    in
+    if json then begin
+      let tenant i =
+        let r = reports.(i) in
+        let base =
+          [
+            ("nf", Clara_util.Json.String names.(i));
+            ("weight", Clara_util.Json.Int weights.(i));
+            ("share", Clara_util.Json.Float (float_of_int weights.(i) /. float_of_int wsum));
+            ("predicted_solo_cycles", Clara_util.Json.Float r.Clara_predict.Interference.solo_cycles);
+            ("predicted_slice_cycles", Clara_util.Json.Float r.Clara_predict.Interference.sliced_cycles);
+            ("predicted_contended_cycles", Clara_util.Json.Float r.Clara_predict.Interference.contended_cycles);
+            ("slowdown", Clara_util.Json.Float r.Clara_predict.Interference.slowdown);
+            ("accel_utilization", Clara_util.Json.Float r.Clara_predict.Interference.accel_utilization);
+            ("saturated", Clara_util.Json.Bool r.Clara_predict.Interference.saturated);
+          ]
+        in
+        let simj =
+          match sim_rows with
+          | None -> []
+          | Some rows ->
+              let s, tput, iso = rows.(i) in
+              [
+                ("sim_p99_cycles", Clara_util.Json.Int s.Nsim.Stats.p99_cycles);
+                ("sim_p99_us", Clara_util.Json.Float (p99_us_of i));
+                ("sim_mean_cycles", Clara_util.Json.Float s.Nsim.Stats.mean_cycles);
+                ("sim_drops", Clara_util.Json.Int s.Nsim.Stats.drops);
+                ("throughput_pps", Clara_util.Json.Float tput);
+                ("isolation_error_pct", Clara_util.Json.Float iso);
+              ]
+        in
+        let sloj =
+          match slo_met with
+          | None -> []
+          | Some met -> [ ("slo_met", Clara_util.Json.Bool met.(i)) ]
+        in
+        Clara_util.Json.Obj (base @ simj @ sloj)
+      in
+      print_endline
+        (Clara_util.Json.to_string
+           (Clara_util.Json.Obj
+              [
+                ("nic", Clara_util.Json.String nic);
+                ("tenants", Clara_util.Json.List (List.init n tenant));
+                ("fairness_index", Clara_util.Json.Float fairness);
+                ("fair", Clara_util.Json.Bool fair);
+                ("saturated", Clara_util.Json.Bool saturated);
+                ( "simulated",
+                  Clara_util.Json.Bool (Option.is_some sim_rows) );
+              ]))
+    end
+    else begin
+      Printf.printf "%d tenants on %s (weights %s):\n" n nic
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int weights)));
+      (match sim with Error m -> Printf.printf "  [%s]\n" m | Ok _ -> ());
+      Array.iteri
+        (fun i (r : Clara_predict.Interference.report) ->
+          Printf.printf
+            "  %-16s w=%-3d slice %9.0f cyc   contended %9.0f cyc   slowdown %.2fx   accel-u %.2f%s\n"
+            names.(i) weights.(i) r.Clara_predict.Interference.sliced_cycles
+            r.Clara_predict.Interference.contended_cycles
+            r.Clara_predict.Interference.slowdown
+            r.Clara_predict.Interference.accel_utilization
+            (if r.Clara_predict.Interference.saturated then "   SATURATED" else "");
+          (match sim_rows with
+          | None -> ()
+          | Some rows ->
+              let s, tput, iso = rows.(i) in
+              Printf.printf
+                "  %-16s      sim p99 %d cyc (%.1f us)   mean %.0f cyc   tput %.0f pps   drops %d   isolation err %+.1f%%\n"
+                "" s.Nsim.Stats.p99_cycles (p99_us_of i) s.Nsim.Stats.mean_cycles
+                tput s.Nsim.Stats.drops iso);
+          match slo_met with
+          | Some met when not met.(i) ->
+              Printf.printf "  %-16s      p99 %.1f us VIOLATES SLO\n" "" (p99_us_of i)
+          | _ -> ())
+        reports;
+      Printf.printf "fairness: Jain index %.3f -> %s\n" fairness
+        (if fair then "FAIR" else "UNFAIR");
+      (match slo_met with
+      | None -> ()
+      | Some met ->
+          let ok = Array.fold_left (fun a b -> if b then a + 1 else a) 0 met in
+          Printf.printf "SLO (p99 <= %.1f us): %s (%d/%d tenants)\n" (Option.get slo)
+            (if ok = n then "MET" else "VIOLATED")
+            ok n);
+      if saturated then
+        Printf.printf
+          "warning: aggregate accelerator demand saturates the NIC; contended \
+           predictions are lower bounds\n"
+    end;
+    emit_stats ~stats ~stats_json
+  in
+  let doc =
+    "Predict and simulate N NFs co-resident on one NIC under two-stage \
+     weighted-round-robin scheduling: per-tenant p99/throughput/isolation \
+     error plus a fairness/SLO verdict."
+  in
+  Cmd.v (Cmd.info "tenants" ~doc)
+    Term.(
+      const run $ nfs_arg $ weights_arg $ nic_arg $ payload_arg $ packets_arg
+      $ flows_arg $ rate_arg $ tcp_arg $ seed_arg $ slo_arg $ threads_arg $ json_arg
+      $ stats_arg $ stats_json_arg)
+
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
@@ -824,4 +1078,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
-            interfere_cmd; trace_cmd; sim_cmd; lint_cmd; json_check_cmd ]))
+            interfere_cmd; tenants_cmd; trace_cmd; sim_cmd; lint_cmd; json_check_cmd ]))

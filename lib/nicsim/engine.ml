@@ -240,10 +240,12 @@ let run_core ?threads ?queue_capacity ?sink ~fast ~obs_on lnic (prog : Device.pr
     trace;
   (side, sim, freq_mhz)
 
-let run ?threads ?sink ?(fast = Event_only) lnic prog trace =
+let run ?threads ?queue_capacity ?sink ?(fast = Event_only) lnic prog trace =
   Clara_obs.Registry.span obs "nicsim" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
-  let side, sim, freq_mhz = run_core ?threads ?sink ~fast ~obs_on:true lnic prog trace in
+  let side, sim, freq_mhz =
+    run_core ?threads ?queue_capacity ?sink ~fast ~obs_on:true lnic prog trace
+  in
   finish sim ~freq_mhz side
 
 let mean_latency_cycles r = r.summary.Stats.mean_cycles
@@ -284,52 +286,113 @@ let result_to_json r =
       ("fast_enabled", J.Bool r.fast.Fastpath.enabled);
     ]
 
-let run_pair ?threads ?sink ?(fast = Event_only) lnic (prog_a : Device.prog)
-    (prog_b : Device.prog) (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
-  Clara_obs.Registry.span obs "nicsim-pair" @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* N-tenant co-residence: every tenant's programs share one simulator
+   (accelerators, memory tiers, DMA lanes, caches all contend for real)
+   while hardware threads and ingress-queue slots are divided by weight
+   via {!Scheduler.split}.  Service order within each arrival tick is
+   the two-stage WRR of {!Scheduler}, so a heavy tenant cannot starve a
+   light one of dispatch slots. *)
+
+let run_tenants ?threads ?queue_capacity ?weights ?sink ?(fast = Event_only) lnic
+    (progs : Device.prog array) (traces : W.Trace.t array) =
+  let n = Array.length progs in
+  if n = 0 then invalid_arg "Engine.run_tenants: no tenants";
+  if Array.length traces <> n then
+    invalid_arg "Engine.run_tenants: progs and traces disagree on tenant count";
+  let weights =
+    match weights with
+    | None -> Array.make n 1
+    | Some w ->
+        if Array.length w <> n then
+          invalid_arg "Engine.run_tenants: weights and tenant count disagree";
+        Array.iter
+          (fun x -> if x <= 0 then invalid_arg "Engine.run_tenants: weights must be positive")
+          w;
+        w
+  in
+  Clara_obs.Registry.span obs "nicsim-tenants" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
-  let sim = Device.create_sim_shared lnic [ prog_a; prog_b ] in
-  let freq_mhz = freq_of ~who:"Engine.run_pair" lnic in
+  let sim = Device.create_sim_shared lnic (Array.to_list progs) in
+  let freq_mhz = freq_of ~who:"Engine.run_tenants" lnic in
   let total_threads =
     match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
   in
-  let half_threads = max 1 (total_threads / 2) in
-  (* Halving the ingress queue must never round a small hub down to
-     zero capacity, which would drop every queued packet. *)
-  let capacity = max 1 (default_queue_capacity lnic / 2) in
+  let total_capacity =
+    match queue_capacity with Some c -> max 1 c | None -> default_queue_capacity lnic
+  in
+  (* Weight-proportional division; the split distributes remainder units
+     to low indices, so (unlike the old floor division) the thread and
+     queue pools are conserved whenever they are large enough to cover
+     every tenant. *)
+  let nthreads = Scheduler.split ~total:total_threads ~weights in
+  let caps = Scheduler.split ~total:total_capacity ~weights in
+  if total_threads >= n then
+    assert (Array.fold_left ( + ) 0 nthreads = total_threads);
+  if total_capacity >= n then assert (Array.fold_left ( + ) 0 caps = total_capacity);
   (match sink with
   | None -> ()
-  | Some s -> Trace.set_progs s [| prog_a.Device.name; prog_b.Device.name |]);
-  (* Merge the two arrival streams.  The comparator must totally order
-     every pair: with ties broken on (arrival, side, source index) the
-     merge is deterministic even when A and B packets share a timestamp
-     — a bare arrival comparison under an unstable sort interleaved
-     equal-time packets unpredictably. *)
+  | Some s -> Trace.set_progs s (Array.map (fun p -> p.Device.name) progs));
+  let sides =
+    Array.init n (fun i ->
+        make_side ~pid:i ~nthreads:nthreads.(i) ~capacity:caps.(i)
+          ~fp:(fastpath_of fast sink) progs.(i))
+  in
+  (* Merge all arrival streams under a total order — ties broken on
+     (arrival, tenant, source index) so the merge is deterministic even
+     with colliding timestamps. *)
   let tagged =
-    Array.append
-      (Array.mapi (fun i p -> (p, 0, i)) trace_a.W.Trace.packets)
-      (Array.mapi (fun i p -> (p, 1, i)) trace_b.W.Trace.packets)
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun tid tr -> Array.mapi (fun i p -> (p, tid, i)) tr.W.Trace.packets)
+            traces))
   in
   Array.sort
-    (fun (p, ta, ia) (q, tb, ib) ->
+    (fun ((p : W.Packet.t), ta, ia) ((q : W.Packet.t), tb, ib) ->
       let c = compare p.W.Packet.arrival_ns q.W.Packet.arrival_ns in
       if c <> 0 then c
       else
         let c = compare ta tb in
         if c <> 0 then c else compare ia ib)
     tagged;
-  let mk pid prog =
-    make_side ~pid ~nthreads:half_threads ~capacity ~fp:(fastpath_of fast sink) prog
-  in
-  let sides = [| mk 0 prog_a; mk 1 prog_b |] in
+  (* Packets sharing an arrival tick land in their tenants' VF queues
+     and are dispatched in WRR grant order; credit/cursor state persists
+     across ticks, so service stays weight-proportional over any busy
+     period.  With strictly increasing timestamps this degenerates to
+     plain arrival order. *)
+  let sched : W.Packet.t Scheduler.t = Scheduler.create ~weights in
   let cycles_of_ns = cycles_of_ns_at freq_mhz in
   let seq = ref (-1) in
-  Array.iter
-    (fun (pkt, pid, _) ->
-      incr seq;
-      dispatch ~sim ~sink ~obs_on:true ~cycles_of_ns sides.(pid) ~seq:!seq pkt)
-    tagged;
-  (finish sim ~freq_mhz sides.(0), finish sim ~freq_mhz sides.(1))
+  let m = Array.length tagged in
+  let i = ref 0 in
+  while !i < m do
+    let (p0 : W.Packet.t), _, _ = tagged.(!i) in
+    let t0 = p0.W.Packet.arrival_ns in
+    let continue = ref true in
+    while !continue && !i < m do
+      let (p : W.Packet.t), tid, _ = tagged.(!i) in
+      if Int64.equal p.W.Packet.arrival_ns t0 then begin
+        Scheduler.enqueue sched ~tenant:tid p;
+        incr i
+      end
+      else continue := false
+    done;
+    Scheduler.drain sched (fun tid pkt ->
+        incr seq;
+        dispatch ~sim ~sink ~obs_on:true ~cycles_of_ns sides.(tid) ~seq:!seq pkt)
+  done;
+  Array.map (fun side -> finish sim ~freq_mhz side) sides
+
+(* Pairwise co-residence is now just the N = 2, equal-weights case. *)
+let run_pair ?threads ?queue_capacity ?sink ?fast lnic (prog_a : Device.prog)
+    (prog_b : Device.prog) (trace_a : W.Trace.t) (trace_b : W.Trace.t) =
+  match
+    run_tenants ?threads ?queue_capacity ?sink ?fast lnic [| prog_a; prog_b |]
+      [| trace_a; trace_b |]
+  with
+  | [| a; b |] -> (a, b)
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel simulation: flows are sharded onto independent NIC
@@ -347,8 +410,8 @@ let add_fast (a : Fastpath.stats) (b : Fastpath.stats) =
     enabled = a.Fastpath.enabled || b.Fastpath.enabled;
   }
 
-let run_sharded ?(domains = 1) ?shards ?threads ?(fast = Event_only) lnic
-    (prog : Device.prog) (trace : W.Trace.t) =
+let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?(fast = Event_only)
+    lnic (prog : Device.prog) (trace : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim-sharded" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
   let shards = match shards with Some s -> max 1 s | None -> max 1 domains in
@@ -356,8 +419,19 @@ let run_sharded ?(domains = 1) ?shards ?threads ?(fast = Event_only) lnic
   let total_threads =
     match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
   in
-  let per_threads = max 1 (total_threads / shards) in
-  let per_capacity = max 1 (default_queue_capacity lnic / shards) in
+  let total_capacity =
+    match queue_capacity with Some c -> max 1 c | None -> default_queue_capacity lnic
+  in
+  (* Equal-weight split with deterministic remainder distribution —
+     480 threads / 7 shards used to silently drop 4 threads on the
+     floor (and likewise queue slots). *)
+  let unit_weights = Array.make shards 1 in
+  let per_threads = Scheduler.split ~total:total_threads ~weights:unit_weights in
+  let per_capacity = Scheduler.split ~total:total_capacity ~weights:unit_weights in
+  if total_threads >= shards then
+    assert (Array.fold_left ( + ) 0 per_threads = total_threads);
+  if total_capacity >= shards then
+    assert (Array.fold_left ( + ) 0 per_capacity = total_capacity);
   (* Partition by flow so no flow spans two slices; arrival order is
      preserved within each shard. *)
   let parts = Array.make shards [] in
@@ -371,8 +445,8 @@ let run_sharded ?(domains = 1) ?shards ?threads ?(fast = Event_only) lnic
   let outcomes, _pool_stats =
     Pool.map ~domains
       (fun i ->
-        run_core ~threads:per_threads ~queue_capacity:per_capacity ~fast ~obs_on:false
-          lnic prog sub.(i))
+        run_core ~threads:per_threads.(i) ~queue_capacity:per_capacity.(i) ~fast
+          ~obs_on:false lnic prog sub.(i))
       shards
   in
   let done_ =

@@ -46,36 +46,43 @@ type result = {
 
 val run :
   ?threads:int ->
+  ?queue_capacity:int ->
   ?sink:Trace.t ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Clara_workload.Trace.t ->
   result
-(** [threads] defaults to the NIC's total hardware threads.  [sink]
-    installs a per-packet event trace ({!Trace}); without it the run
-    does no trace work and results are byte-identical to a traced run's
-    (the [bench trace] section guards this).  [fast] defaults to
+(** [threads] defaults to the NIC's total hardware threads and
+    [queue_capacity] to the ingress hub's, so solo, pair, tenant and
+    sharded runs are comparable at a pinned capacity.  [sink] installs a
+    per-packet event trace ({!Trace}); without it the run does no trace
+    work and results are byte-identical to a traced run's (the
+    [bench trace] section guards this).  [fast] defaults to
     {!Event_only}; [Auto] is ignored when [sink] is set. *)
 
 val run_sharded :
   ?domains:int ->
   ?shards:int ->
   ?threads:int ->
+  ?queue_capacity:int ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
   Clara_workload.Trace.t ->
   result
 (** Domain-parallel run: flows are partitioned onto [shards] independent
-    NIC slices (each gets 1/shards of the threads and ingress queue,
-    clamped to at least 1 — the same slicing rule as {!run_pair}), the
-    slices simulate concurrently on up to [domains] domains, and raw
-    stats merge deterministically in shard order.  [shards] defaults to
-    [domains]; for a fixed shard count the result is byte-identical
-    across any domain count.  Not a bit-exact model of one shared NIC:
-    cross-flow contention on accelerators and EMEM is confined to each
-    slice.  Tracing is unsupported here (use {!run}). *)
+    NIC slices, the slices simulate concurrently on up to [domains]
+    domains, and raw stats merge deterministically in shard order.
+    Threads and ingress-queue slots divide by {!Scheduler.split}: equal
+    shares with remainder units to the lowest-indexed shards, each shard
+    clamped to at least 1, and the per-shard sums equal the totals
+    whenever total >= shards (floor division used to lose up to
+    shards-1 threads).  [shards] defaults to [domains]; for a fixed
+    shard count the result is byte-identical across any domain count.
+    Not a bit-exact model of one shared NIC: cross-flow contention on
+    accelerators and EMEM is confined to each slice.  Tracing is
+    unsupported here (use {!run}). *)
 
 val mean_latency_cycles : result -> float
 
@@ -85,8 +92,37 @@ val pp_result : Format.formatter -> result -> unit
 val result_to_json : result -> Clara_util.Json.t
 (** NaN hit rates serialize as [null]. *)
 
+val run_tenants :
+  ?threads:int ->
+  ?queue_capacity:int ->
+  ?weights:int array ->
+  ?sink:Trace.t ->
+  ?fast:fast_mode ->
+  Clara_lnic.Graph.t ->
+  Device.prog array ->
+  Clara_workload.Trace.t array ->
+  result array
+(** N-tenant co-residence: all programs share one simulator — EMEM
+    cache, flow cache, accelerators and DMA lanes contend for real —
+    while hardware threads and ingress-queue slots divide by [weights]
+    (default: equal) via {!Scheduler.split}, remainder units to the
+    lowest-indexed tenants and the per-tenant sums conserved whenever
+    the pool covers every tenant.  Packets from all traces merge under
+    the total order (arrival, tenant, source index); packets sharing an
+    arrival tick are queued per tenant and dispatched in the two-stage
+    weighted-round-robin order of {!Scheduler}, whose credit state
+    persists across ticks — so the whole run is deterministic and a
+    heavy tenant cannot starve a light one of dispatch slots.  Results
+    are reported per tenant, in input order, each with its own
+    per-program cache counters.  With [sink], events carry the owning
+    tenant's index and {!Trace.progs} lists every name.  Raises
+    [Invalid_argument] when [progs], [traces] and [weights] disagree on
+    the tenant count, on an empty tenant list, or on a non-positive
+    weight. *)
+
 val run_pair :
   ?threads:int ->
+  ?queue_capacity:int ->
   ?sink:Trace.t ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
@@ -95,16 +131,7 @@ val run_pair :
   Clara_workload.Trace.t ->
   Clara_workload.Trace.t ->
   result * result
-(** Co-resident execution (§3.5): both programs share one simulator —
-    EMEM cache, flow cache, accelerators and DMA lanes contend for real —
-    while each gets half the hardware threads and half the ingress queue
-    (the paper's "half of the NIC" slicing, each half clamped to at
-    least 1).  Traces are merged by arrival time with deterministic
-    tie-breaking on (arrival, side, source index), so co-run results are
-    stable across repeated runs even with colliding timestamps.  Results
-    are reported per program, each side's cache hit rates from its own
-    per-program counters.  [threads] overrides the NIC's total hardware
-    thread count before halving, like {!run}'s.  With [sink], events
-    carry the owning program's index ([prog] 0/1) and {!Trace.progs}
-    reports both names, so a shared timeline shows who stole the
-    accelerator. *)
+(** Co-resident execution (§3.5): exactly {!run_tenants} with two
+    tenants and equal weights (the paper's "half of the NIC" slicing,
+    each half clamped to at least 1, the odd thread to tenant 0).
+    Results are the pair's, in order. *)

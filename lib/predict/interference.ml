@@ -8,6 +8,8 @@ type report = {
   sliced_cycles : float;
   contended_cycles : float;
   slowdown : float;
+  accel_utilization : float;
+  saturated : bool;
 }
 
 let shrink_emem_cache (g : L.Graph.t) ~by_bytes =
@@ -38,79 +40,143 @@ let pipeline ?options lnic ~source ~sizes ~prob =
 let state_footprint_of df =
   List.fold_left (fun acc s -> acc + Ir.state_bytes s) 0 (D.Graph.states df)
 
-(* Cycles per packet spent on accelerators under a mapping. *)
+(* Cycles per packet spent on genuine accelerator units under a mapping.
+   Classification is by the LNIC unit class, not by bottleneck-row shape:
+   a single general core also shows parallelism = 1, and counting its
+   compute as accelerator time overstated head-of-line contention on
+   thread-poor slices. *)
 let accel_cycles_per_packet lnic df mapping ~sizes ~prob =
+  let is_accel name =
+    Array.exists
+      (fun (u : L.Unit_.t) ->
+        String.equal u.L.Unit_.name name && not (L.Unit_.is_general u))
+      lnic.L.Graph.units
+  in
   let tp = Throughput.estimate ~sizes ~prob lnic df mapping in
   List.fold_left
     (fun acc (r : Throughput.bottleneck) ->
-      if r.Throughput.parallelism = 1 && r.Throughput.resource <> "wire-dma" then
-        acc +. r.Throughput.cycles_per_packet
+      if is_accel r.Throughput.resource then acc +. r.Throughput.cycles_per_packet
       else acc)
     0. tp.Throughput.resources
 
+let sizes_of profile =
+  {
+    D.Cost.payload_bytes = W.Profile.mean_payload profile;
+    packet_bytes = W.Profile.mean_packet_bytes profile;
+    header_bytes = 50.;
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1.;
+  }
+
+let freq_hz_of lnic =
+  match L.Graph.general_cores lnic with
+  | u :: _ -> float_of_int u.L.Unit_.freq_mhz *. 1e6
+  | [] -> 1e9
+
+(* N-tenant interference: tenant [i] runs on a [weights.(i)]/sum slice
+   of the NIC, its EMEM cache shrunk by the summed state footprint of
+   its co-residents, and its accelerator operations inflated by the
+   aggregate utilization the co-residents put on the shared
+   accelerators.  Utilization is traffic-aware (each tenant's own
+   profile rate) and computed against the slice that tenant actually
+   runs on — the full-NIC pipeline maps onto more general threads and a
+   differently-scaled memory system, which understated per-packet
+   accelerator demand roughly in proportion to the slice. *)
+let analyze_n ?options ?weights lnic ~sources ~profiles =
+  let n = Array.length sources in
+  if n = 0 then Error "analyze_n: no tenants"
+  else if Array.length profiles <> n then
+    Error "analyze_n: sources and profiles disagree on tenant count"
+  else begin
+    let weights = match weights with None -> Array.make n 1 | Some w -> w in
+    if Array.length weights <> n then
+      Error "analyze_n: weights and tenant count disagree"
+    else if Array.exists (fun w -> w <= 0) weights then
+      Error "analyze_n: weights must be positive"
+    else begin
+      let wsum = Array.fold_left ( + ) 0 weights in
+      let prob = D.Flow.default_probability in
+      let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+      let rec map_e f = function
+        | [] -> Ok []
+        | x :: tl ->
+            let* y = f x in
+            let* ys = map_e f tl in
+            Ok (y :: ys)
+      in
+      let idxs = List.init n Fun.id in
+      (* Per-tenant precompute on its own slice: footprint, per-packet
+         accelerator cycles, induced utilization. *)
+      let* pre =
+        map_e
+          (fun i ->
+            let sizes = sizes_of profiles.(i) in
+            let slice = L.Graph.slice lnic ~keep_num:weights.(i) ~keep_den:wsum in
+            let* df, m = pipeline ?options slice ~source:sources.(i) ~sizes ~prob in
+            let fp = state_footprint_of df in
+            let accel_cyc = accel_cycles_per_packet slice df m ~sizes ~prob in
+            let u = profiles.(i).W.Profile.rate_pps *. accel_cyc /. freq_hz_of slice in
+            Ok (slice, fp, u))
+          idxs
+      in
+      let pre = Array.of_list pre in
+      let total_u = Array.fold_left (fun a (_, _, u) -> a +. u) 0. pre in
+      let* reports =
+        map_e
+          (fun i ->
+            let sizes = sizes_of profiles.(i) in
+            let source = sources.(i) in
+            let slice, _, own_u = pre.(i) in
+            let* df_full, m_full = pipeline ?options lnic ~source ~sizes ~prob in
+            let trace = W.Trace.synthesize ~seed:17L profiles.(i) in
+            let predict lnic' df mapping =
+              let p = Latency.create lnic' df mapping in
+              (Latency.predict_trace p trace).Latency.mean_cycles
+            in
+            let solo = predict lnic df_full m_full in
+            let* df_s, m_s = pipeline ?options slice ~source ~sizes ~prob in
+            let sliced = predict slice df_s m_s in
+            let others_fp =
+              Array.to_list pre
+              |> List.mapi (fun j (_, fp, _) -> if j = i then 0 else fp)
+              |> List.fold_left ( + ) 0
+            in
+            let shrunk = shrink_emem_cache slice ~by_bytes:others_fp in
+            let* df_c, m_c = pipeline ?options shrunk ~source ~sizes ~prob in
+            let base = predict shrunk df_c m_c in
+            (* Head-of-line blocking on shared accelerators: inflate
+               this tenant's accelerator time by the aggregate
+               co-resident utilization (M/M/1-style).  The queueing term
+               needs u < 1 to stay finite, so it is capped — but
+               saturation is no longer silent: [saturated] flags any mix
+               whose total demand (co-residents plus self) reaches the
+               accelerators' capacity, meaning the contended number is a
+               lower bound. *)
+            let others_u = total_u -. own_u in
+            let u = Float.min 0.9 others_u in
+            let own_accel = accel_cycles_per_packet shrunk df_c m_c ~sizes ~prob in
+            let contended = base +. (own_accel *. (u /. (1. -. u))) in
+            Ok
+              {
+                solo_cycles = solo;
+                sliced_cycles = sliced;
+                contended_cycles = contended;
+                slowdown = contended /. solo;
+                accel_utilization = own_u;
+                saturated = total_u >= 1.;
+              })
+          idxs
+      in
+      Ok (Array.of_list reports)
+    end
+  end
+
 let analyze_pair ?options lnic ~source_a ~source_b ~profile =
-  let sizes =
-    {
-      D.Cost.payload_bytes = W.Profile.mean_payload profile;
-      packet_bytes = W.Profile.mean_packet_bytes profile;
-      header_bytes = 50.;
-      state_entries = (fun _ -> 0.);
-      opaque_trip = 1.;
-    }
-  in
-  let prob = D.Flow.default_probability in
-  let trace = W.Trace.synthesize ~seed:17L profile in
-  let predict lnic' df mapping =
-    let p = Latency.create lnic' df mapping in
-    (Latency.predict_trace p trace).Latency.mean_cycles
-  in
-  let half = L.Graph.slice lnic ~keep_num:1 ~keep_den:2 in
-  let run source other_footprint other_accel_u =
-    match pipeline ?options lnic ~source ~sizes ~prob with
-    | Error e -> Error e
-    | Ok (df_full, m_full) -> (
-        let solo = predict lnic df_full m_full in
-        match pipeline ?options half ~source ~sizes ~prob with
-        | Error e -> Error e
-        | Ok (df_half, m_half) -> (
-            let sliced = predict half df_half m_half in
-            let shrunk = shrink_emem_cache half ~by_bytes:other_footprint in
-            match pipeline ?options shrunk ~source ~sizes ~prob with
-            | Error e -> Error e
-            | Ok (df_c, m_c) ->
-                let base = predict shrunk df_c m_c in
-                (* Head-of-line blocking on shared accelerators: inflate
-                   this NF's accelerator time by the co-resident
-                   utilization (M/M/1-style, capped). *)
-                let own_accel = accel_cycles_per_packet shrunk df_c m_c ~sizes ~prob in
-                let u = Float.min 0.9 other_accel_u in
-                let contended = base +. (own_accel *. (u /. (1. -. u))) in
-                Ok (solo, sliced, contended)))
-  in
-  (* First pass to get each side's footprint and accelerator utilization. *)
-  let precompute source =
-    match pipeline ?options lnic ~source ~sizes ~prob with
-    | Error e -> Error e
-    | Ok (df, m) ->
-        let fp = state_footprint_of df in
-        let accel_cyc = accel_cycles_per_packet lnic df m ~sizes ~prob in
-        let freq =
-          match L.Graph.general_cores lnic with
-          | u :: _ -> float_of_int u.L.Unit_.freq_mhz *. 1e6
-          | [] -> 1e9
-        in
-        Ok (fp, profile.W.Profile.rate_pps *. accel_cyc /. freq)
-  in
-  match (precompute source_a, precompute source_b) with
-  | Error e, _ | _, Error e -> Error e
-  | Ok (fp_a, u_a), Ok (fp_b, u_b) -> (
-      match (run source_a fp_b u_b, run source_b fp_a u_a) with
-      | Error e, _ | _, Error e -> Error e
-      | Ok (solo_a, sliced_a, cont_a), Ok (solo_b, sliced_b, cont_b) ->
-          let mk solo sliced contended =
-            { solo_cycles = solo;
-              sliced_cycles = sliced;
-              contended_cycles = contended;
-              slowdown = contended /. solo }
-          in
-          Ok (mk solo_a sliced_a cont_a, mk solo_b sliced_b cont_b))
+  match
+    analyze_n ?options lnic
+      ~sources:[| source_a; source_b |]
+      ~profiles:[| profile; profile |]
+  with
+  | Error e -> Error e
+  | Ok [| a; b |] -> Ok (a, b)
+  | Ok _ -> assert false

@@ -1,21 +1,45 @@
-(** Co-resident NF interference (§3.5).
+(** Co-resident NF interference (§3.5), generalized to N tenants.
 
-    The paper's starting point: slice the LNIC so each NF sees "half" the
-    NIC, then account for footprints the slices leave in each other's
-    shared resources.  We model two cross-terms on top of the sliced
-    prediction:
-    - {e cache contention}: each NF's effective EMEM cache shrinks by the
-      co-resident NF's state footprint (misses rise);
+    The paper's starting point: slice the LNIC so each NF sees its
+    share of the NIC, then account for footprints the co-residents
+    leave in shared resources.  Two cross-terms sit on top of the
+    sliced prediction:
+    - {e cache contention}: each NF's effective EMEM cache shrinks by
+      the summed state footprint of its co-residents (misses rise);
     - {e accelerator head-of-line blocking}: shared accelerators serve
-      both NFs; each NF's accelerator operations are inflated by the
-      utilization the other NF induces. *)
+      every tenant; each NF's accelerator operations are inflated by
+      the aggregate utilization the co-residents induce, weighted by
+      each tenant's own traffic rate. *)
 
 type report = {
   solo_cycles : float;     (** NF alone on the full NIC. *)
-  sliced_cycles : float;   (** NF alone on its half-slice. *)
+  sliced_cycles : float;   (** NF alone on its weight-proportional slice. *)
   contended_cycles : float;  (** Slice + cross-terms. *)
   slowdown : float;        (** contended / solo. *)
+  accel_utilization : float;
+      (** Accelerator utilization this tenant itself induces on its
+          slice ([rate_pps] x accelerator cycles/packet / core Hz). *)
+  saturated : bool;
+      (** The tenant mix's aggregate accelerator utilization (self
+          included) reaches 1: the queueing term is capped and
+          [contended_cycles] is a lower bound. *)
 }
+
+val analyze_n :
+  ?options:Clara_mapping.Mapping.options ->
+  ?weights:int array ->
+  Clara_lnic.Graph.t ->
+  sources:string array ->
+  profiles:Clara_workload.Profile.t array ->
+  (report array, string) result
+(** Per-tenant interference reports for N NFs sharing the NIC.  Tenant
+    [i] runs on a [weights.(i)] / (sum weights) slice (default: equal
+    weights), sees the cache-shrink from every co-resident's state, and
+    queues behind their aggregate accelerator utilization — computed
+    against the slice each tenant actually runs on, with each tenant's
+    own [profile.rate_pps] as the traffic weighting.  Reports are in
+    input order.  Errors on tenant-count mismatches, non-positive
+    weights, or any per-tenant pipeline failure. *)
 
 val analyze_pair :
   ?options:Clara_mapping.Mapping.options ->
@@ -24,5 +48,16 @@ val analyze_pair :
   source_b:string ->
   profile:Clara_workload.Profile.t ->
   ((report * report), string) result
-(** Reports for NF A and NF B when sharing the NIC half-and-half under
-    the same traffic profile each. *)
+(** {!analyze_n} with two tenants, equal weights, and the same traffic
+    profile each: the paper's half-and-half slicing. *)
+
+val accel_cycles_per_packet :
+  Clara_lnic.Graph.t ->
+  Clara_dataflow.Graph.t ->
+  Clara_mapping.Mapping.t ->
+  sizes:Clara_dataflow.Cost.sizes ->
+  prob:(Clara_cir.Ir.guard -> float) ->
+  float
+(** Cycles per packet the mapping spends on genuine accelerator units
+    (classified by the LNIC unit class — general-core rows never count,
+    even when the slice leaves a single thread). *)

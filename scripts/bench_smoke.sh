@@ -1,11 +1,17 @@
 #!/bin/sh
-# Bench smoke: run the nicsim section of the bench harness.
+# Bench smoke: run the nicsim and tenants sections of the bench harness.
 #
-# The section always enforces correctness, regardless of environment:
+# The sections always enforce correctness, regardless of environment:
 #   - fast path byte-identical to the event path on stateless NFs
 #     (latency summary, drops, hit rates), with >0 packets replayed;
 #   - zero replays on a stateful NF, results identical to Event_only;
-#   - sharded runs byte-identical between 1 domain and N domains.
+#   - sharded runs byte-identical between 1 domain and N domains;
+#   - repeated N-tenant WRR runs byte-identical (scheduler determinism);
+#   - run_pair == run_tenants at N=2 with equal weights;
+#   - under skewed weights the heavy tenant drops no more and admits
+#     no fewer packets than a starved weight-1 tenant (goodput/drops,
+#     not p99 — percentiles cover admitted packets only, so a starved
+#     tenant shedding its worst-wait packets reports a deceptive p99).
 #
 # The throughput gates — the 10x fast-path floor on the op-dense NF and
 # the >20% packets/sec regression check against the committed
@@ -19,5 +25,5 @@ set -eu
 cd "$(dirname "$0")/.."
 : "${CLARA_BENCH_JSON:=$(mktemp "${TMPDIR:-/tmp}/clara-bench-nicsim.XXXXXX")}"
 export CLARA_BENCH_JSON
-dune exec bench/main.exe -- nicsim
+dune exec bench/main.exe -- nicsim tenants
 echo "bench smoke OK (snapshot: $CLARA_BENCH_JSON)"

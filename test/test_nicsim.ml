@@ -596,6 +596,162 @@ let test_run_sharded_domain_determinism () =
   let rf = Eng.run_sharded ~domains:4 ~shards:4 ~fast:(Eng.Auto { warmup = 50 }) lnic (prog ()) tr in
   check "sharded fast path identical" true (same_result r1 rf)
 
+(* ------------------------------------------------------------------ *)
+(* N-tenant WRR scheduling                                             *)
+
+module Sch = Clara_nicsim.Scheduler
+
+let test_scheduler_split_conserves () =
+  (* Regression: run_pair/run_sharded used floor division, losing up to
+     shards-1 threads (480/7 dropped 4). *)
+  let seven = Sch.split ~total:480 ~weights:(Array.make 7 1) in
+  check_int "480/7 sums to 480" 480 (Array.fold_left ( + ) 0 seven);
+  check "remainder to lower indices" true
+    (seven = [| 69; 69; 69; 69; 68; 68; 68 |]);
+  (* Weighted: floors 8,1 of 10*5/6,10*1/6; remainder unit to index 0. *)
+  check "weighted split" true (Sch.split ~total:10 ~weights:[| 5; 1 |] = [| 9; 1 |]);
+  (* Pool too small to conserve: clamp every tenant to 1. *)
+  check "min-1 clamp" true (Sch.split ~total:1 ~weights:[| 1; 1 |] = [| 1; 1 |]);
+  check "clamp under heavy skew" true
+    (Array.for_all (fun p -> p >= 1) (Sch.split ~total:12 ~weights:[| 100; 1; 1 |]));
+  check_int "skewed split still conserves" 12
+    (Array.fold_left ( + ) 0 (Sch.split ~total:12 ~weights:[| 100; 1; 1 |]))
+
+let test_scheduler_wrr_order () =
+  (* Two-stage WRR, weights 2:1 — the granted tenant drains up to its
+     credit, then the grant rotates; credits replenish only when every
+     backlogged tenant is spent. *)
+  let s = Sch.create ~weights:[| 2; 1 |] in
+  List.iter (fun x -> Sch.enqueue s ~tenant:0 x) [ "a1"; "a2"; "a3"; "a4" ];
+  List.iter (fun x -> Sch.enqueue s ~tenant:1 x) [ "b1"; "b2" ];
+  let order = ref [] in
+  Sch.drain s (fun t x -> order := (t, x) :: !order);
+  check "wrr order" true
+    (List.rev !order
+    = [ (0, "a1"); (0, "a2"); (1, "b1"); (0, "a3"); (0, "a4"); (1, "b2") ]);
+  check "empty after drain" true (Sch.is_empty s)
+
+let test_run_tenants_matches_run_pair () =
+  (* run_pair is now the N = 2, equal-weights case; the two entry points
+     must agree exactly. *)
+  let tr_a = trace ~packets:1500 ~rate:300_000. () in
+  let tr_b =
+    W.Trace.synthesize ~seed:9L
+      (W.Profile.make ~packets:1500 ~rate_pps:300_000. ~flow_count:50
+         ~tcp_fraction:0.5 ~payload:(W.Dist.Fixed 200) ())
+  in
+  let mk_a () = Clara_nfs.Nat.ported ~checksum_engine:true () in
+  let mk_b () = Clara_nfs.Dpi.ported () in
+  let pa, pb = Eng.run_pair lnic (mk_a ()) (mk_b ()) tr_a tr_b in
+  let rs = Eng.run_tenants lnic [| mk_a (); mk_b () |] [| tr_a; tr_b |] in
+  check_int "two results" 2 (Array.length rs);
+  check "tenant 0 == pair side a" true (same_result pa rs.(0));
+  check "tenant 1 == pair side b" true (same_result pb rs.(1))
+
+let test_run_tenants_deterministic () =
+  (* WRR scheduling must be reproducible even with 4-way timestamp
+     collisions across three tenants. *)
+  let mk_tr side =
+    W.Trace.of_packets
+      (Array.init 300 (fun i ->
+           { W.Packet.src_ip = Int32.of_int ((side * 1000) + i); dst_ip = 2l;
+             src_port = 1; dst_port = 2; proto = W.Packet.Udp; flags = 0;
+             payload_bytes = 64 + (7 * i mod 100);
+             arrival_ns = Int64.of_int (i / 4 * 1000) }))
+  in
+  let busy name =
+    { Dev.name;
+      tables = [];
+      handler =
+        (fun ctx pkt ->
+          Dev.checksum ctx ~engine:true ~bytes:(W.Packet.total_bytes pkt);
+          Dev.Emit) }
+  in
+  let progs () = [| busy "a"; busy "b"; busy "c" |] in
+  let traces = [| mk_tr 1; mk_tr 2; mk_tr 3 |] in
+  let weights = [| 3; 2; 1 |] in
+  let r1 = Eng.run_tenants ~weights lnic (progs ()) traces in
+  let r2 = Eng.run_tenants ~weights lnic (progs ()) traces in
+  Array.iteri
+    (fun i r -> check (Printf.sprintf "tenant %d deterministic" i) true
+        (same_result r r2.(i)))
+    r1;
+  check_int "all packets accounted" 900
+    (Array.fold_left
+       (fun a (r : Eng.result) ->
+         a + r.Eng.summary.Stats.packets + r.Eng.summary.Stats.drops)
+       0 r1)
+
+let test_run_tenants_starved_tenant () =
+  (* Fairness: three copies of an expensive NF at a rate only the
+     weight-8 slice can sustain; the starved weight-1 tenants must see
+     worse tail latency or drops, never the reverse. *)
+  let heavy = simple_prog ~cost_ops:150_000 in
+  let tr i =
+    W.Trace.synthesize ~seed:(Int64.of_int (11 + i))
+      (W.Profile.make ~packets:1200 ~rate_pps:400_000. ~flow_count:100
+         ~tcp_fraction:0.8 ~payload:(W.Dist.Fixed 300) ())
+  in
+  let rs =
+    Eng.run_tenants ~weights:[| 8; 1; 1 |] lnic
+      [| heavy (); heavy (); heavy () |]
+      [| tr 0; tr 1; tr 2 |]
+  in
+  (* Latency percentiles are computed over admitted packets only, so a
+     starved tenant shedding its worst-wait packets can report a
+     deceptively low p99 — goodput and drops are the honest fairness
+     metrics. *)
+  let admitted i = rs.(i).Eng.summary.Stats.packets in
+  let drops i = rs.(i).Eng.summary.Stats.drops in
+  check "heavy tenant drops no more" true (drops 0 <= drops 1 && drops 0 <= drops 2);
+  check "heavy tenant goodput no worse" true
+    (admitted 0 >= admitted 1 && admitted 0 >= admitted 2);
+  check "starved tenants actually shed load" true (drops 1 > drops 0 && drops 2 > drops 0)
+
+let test_run_tenants_thread_conservation () =
+  (* Odd pools must neither crash the conservation assertion nor starve
+     a tenant: 7 threads across 2 tenants -> 4 + 3. *)
+  let tr () = trace ~packets:400 ~rate:100_000. () in
+  let rs =
+    Eng.run_tenants ~threads:7 lnic
+      [| simple_prog (); Clara_nfs.Dpi.ported () |]
+      [| tr (); tr () |]
+  in
+  check_int "both tenants report" 2 (Array.length rs);
+  Array.iter
+    (fun (r : Eng.result) ->
+      check_int "tenant packets accounted" 400
+        (r.Eng.summary.Stats.packets + r.Eng.summary.Stats.drops))
+    rs
+
+let test_run_queue_capacity_exposed () =
+  (* ?queue_capacity on Engine.run: a burst of same-tick packets against
+     capacity 1 + one thread admits exactly capacity + threads packets. *)
+  let burst =
+    W.Trace.of_packets
+      (Array.init 100 (fun i ->
+           { W.Packet.src_ip = Int32.of_int i; dst_ip = 2l; src_port = 1;
+             dst_port = 2; proto = W.Packet.Udp; flags = 0; payload_bytes = 64;
+             arrival_ns = 0L }))
+  in
+  let tight = Eng.run ~threads:1 ~queue_capacity:1 lnic (simple_prog ()) burst in
+  check_int "capacity 1 + 1 thread admits 2" 2 tight.Eng.summary.Stats.packets;
+  check_int "rest dropped" 98 tight.Eng.summary.Stats.drops;
+  let roomy = Eng.run ~threads:1 ~queue_capacity:200 lnic (simple_prog ()) burst in
+  check_int "large capacity admits all" 100 roomy.Eng.summary.Stats.packets
+
+let test_run_sharded_odd_shards () =
+  (* Regression: 480 threads / 7 shards used to drop 4 threads on the
+     floor.  The split now conserves the pool, and sharded runs stay
+     deterministic at odd shard counts. *)
+  let tr = trace ~packets:2100 ~rate:200_000. () in
+  let prog () = Clara_nfs.Dpi.ported () in
+  let r1 = Eng.run_sharded ~domains:1 ~shards:7 lnic (prog ()) tr in
+  let r3 = Eng.run_sharded ~domains:3 ~shards:7 lnic (prog ()) tr in
+  check "odd shards: 1 vs 3 domains byte-identical" true (same_result r1 r3);
+  check_int "odd shards: all packets accounted" 2100
+    (r1.Eng.summary.Stats.packets + r1.Eng.summary.Stats.drops)
+
 let test_stats_merge () =
   let mk latencies =
     let s = Stats.create () in
@@ -676,6 +832,19 @@ let suite =
       test_run_pair_tie_determinism;
     Alcotest.test_case "run_pair per-side hit rates" `Quick
       test_run_pair_per_side_hit_rates;
+    Alcotest.test_case "scheduler split conserves pools" `Quick
+      test_scheduler_split_conserves;
+    Alcotest.test_case "scheduler WRR order" `Quick test_scheduler_wrr_order;
+    Alcotest.test_case "run_tenants == run_pair at N=2" `Quick
+      test_run_tenants_matches_run_pair;
+    Alcotest.test_case "run_tenants determinism" `Quick test_run_tenants_deterministic;
+    Alcotest.test_case "run_tenants starved tenant" `Quick
+      test_run_tenants_starved_tenant;
+    Alcotest.test_case "run_tenants thread conservation" `Quick
+      test_run_tenants_thread_conservation;
+    Alcotest.test_case "run queue capacity exposed" `Quick
+      test_run_queue_capacity_exposed;
+    Alcotest.test_case "run_sharded odd shard count" `Quick test_run_sharded_odd_shards;
     Alcotest.test_case "run_sharded domain determinism" `Quick
       test_run_sharded_domain_determinism;
     Alcotest.test_case "stats merge" `Quick test_stats_merge ]

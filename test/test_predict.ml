@@ -247,6 +247,141 @@ let test_interference_slowdown () =
         (ra.Inter.contended_cycles >= ra.Inter.sliced_cycles -. 1.
         && rb.Inter.contended_cycles >= rb.Inter.sliced_cycles -. 1.)
 
+(* The exact pipeline Interference runs per tenant (lower -> coarsen ->
+   dataflow -> map), reproduced so tests can pin its intermediate
+   values. *)
+let inter_sizes prof =
+  { D.Cost.payload_bytes = W.Profile.mean_payload prof;
+    packet_bytes = W.Profile.mean_packet_bytes prof;
+    header_bytes = 50.;
+    state_entries = (fun _ -> 0.);
+    opaque_trip = 1. }
+
+let inter_pipeline ?options nic src ~sizes ~prob =
+  let ir = Clara_cir.Lower.lower_source src in
+  let ir, _ = Clara_cir.Patterns.run ir in
+  let df = D.Build.of_ir ir in
+  match Clara_mapping.Encode.map_nf ?options nic df ~sizes ~prob with
+  | Ok m -> (df, m)
+  | Error e -> Alcotest.fail e
+
+let test_interference_slice_utilization () =
+  (* Regression: utilization was computed against the full NIC but the
+     head-of-line inflation applied on the slice.  The reported
+     utilization must now match an independent computation on the slice
+     the NF actually runs on. *)
+  let prof = profile ~packets:2000 () in
+  let src = Clara_nfs.Nat.source () in
+  match
+    Inter.analyze_pair lnic ~source_a:src
+      ~source_b:(Clara_nfs.Firewall.source ())
+      ~profile:prof
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (ra, _) ->
+      check "nat drives the accelerators" true (ra.Inter.accel_utilization > 0.);
+      check "below saturation at 60 kpps" false ra.Inter.saturated;
+      let half = L.Graph.slice lnic ~keep_num:1 ~keep_den:2 in
+      let sizes = inter_sizes prof in
+      let prob = D.Flow.default_probability in
+      let df, m = inter_pipeline half src ~sizes ~prob in
+      let cyc = Inter.accel_cycles_per_packet half df m ~sizes ~prob in
+      let freq =
+        float_of_int (List.hd (L.Graph.general_cores half)).L.Unit_.freq_mhz *. 1e6
+      in
+      let expected = prof.W.Profile.rate_pps *. cyc /. freq in
+      check "utilization computed on the slice" true
+        (abs_float (ra.Inter.accel_utilization -. expected) < 1e-9)
+
+let test_interference_saturation_flag () =
+  (* Regression: aggregate utilization >= 1 was silently capped at 0.9;
+     it must now surface as [saturated] while the prediction stays
+     finite. *)
+  let prof_at rate =
+    W.Profile.make ~payload:(W.Dist.Fixed 300) ~packets:500 ~flow_count:1000
+      ~tcp_fraction:0.8 ~rate_pps:rate ()
+  in
+  let run rate =
+    match
+      Inter.analyze_pair lnic
+        ~source_a:(Clara_nfs.Nat.source ())
+        ~source_b:(Clara_nfs.Nat.source ())
+        ~profile:(prof_at rate)
+    with
+    | Error e -> Alcotest.fail e
+    | Ok (ra, _) -> ra
+  in
+  let calm = run 1_000. in
+  check "low rate not saturated" false calm.Inter.saturated;
+  let hot = run 1e9 in
+  check "absurd rate saturated" true hot.Inter.saturated;
+  check "contended stays finite under saturation" true
+    (Float.is_finite hot.Inter.contended_cycles);
+  check "saturated still inflates" true
+    (hot.Inter.contended_cycles >= hot.Inter.sliced_cycles -. 1.)
+
+let one_thread_nic () =
+  let g = L.Netronome.create ~islands:1 ~npus_per_island:1 () in
+  let units =
+    Array.map
+      (fun (u : L.Unit_.t) ->
+        match u.L.Unit_.kind with
+        | L.Unit_.General_core { has_fpu; _ } ->
+            { u with L.Unit_.kind = L.Unit_.General_core { threads = 1; has_fpu } }
+        | _ -> u)
+      g.L.Graph.units
+  in
+  { g with L.Graph.units }
+
+let test_accel_class_filter () =
+  (* Regression: any bottleneck row with parallelism = 1 (other than
+     wire-dma) was classified as accelerator time.  A single-threaded
+     general core also has parallelism = 1; its compute must not count
+     as accelerator contention. *)
+  let nic = one_thread_nic () in
+  Alcotest.(check int) "nic really has one thread" 1 (L.Graph.total_threads nic);
+  let prof = profile ~packets:500 () in
+  let sizes = inter_sizes prof in
+  let prob = D.Flow.default_probability in
+  let no_accels =
+    { Clara_mapping.Mapping.default_options with
+      Clara_mapping.Mapping.disallowed_accels =
+        [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto ] }
+  in
+  let df, m = inter_pipeline ~options:no_accels nic Clara_nfs.Dpi.source ~sizes ~prob in
+  check "single general thread is not accelerator time" true
+    (Inter.accel_cycles_per_packet nic df m ~sizes ~prob = 0.)
+
+let test_analyze_n_three () =
+  let prof = profile ~packets:1000 () in
+  let sources =
+    [| Clara_nfs.Nat.source (); Clara_nfs.Firewall.source (); Clara_nfs.Dpi.source |]
+  in
+  (match
+     Inter.analyze_n lnic ~weights:[| 2; 1; 1 |] ~sources
+       ~profiles:(Array.make 3 prof)
+   with
+  | Error e -> Alcotest.fail e
+  | Ok rs ->
+      Alcotest.(check int) "three reports" 3 (Array.length rs);
+      Array.iteri
+        (fun i r ->
+          check (Printf.sprintf "tenant %d slowdown >= 1" i) true
+            (r.Inter.slowdown >= 0.99);
+          check (Printf.sprintf "tenant %d contended >= sliced" i) true
+            (r.Inter.contended_cycles >= r.Inter.sliced_cycles -. 1.))
+        rs);
+  (* analyze_pair must be exactly the N = 2 equal-weights case. *)
+  let src_a = Clara_nfs.Nat.source () and src_b = Clara_nfs.Firewall.source () in
+  match
+    ( Inter.analyze_pair lnic ~source_a:src_a ~source_b:src_b ~profile:prof,
+      Inter.analyze_n lnic ~sources:[| src_a; src_b |] ~profiles:[| prof; prof |] )
+  with
+  | Ok (ra, rb), Ok rs ->
+      check "pair == analyze_n tenant 0" true (compare ra rs.(0) = 0);
+      check "pair == analyze_n tenant 1" true (compare rb rs.(1) = 0)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
 (* ------------------------------------------------------------------ *)
 (* Predicted vs actual (the Figure 3 methodology, spot checks)         *)
 
@@ -363,6 +498,12 @@ let suite =
     Alcotest.test_case "symexec = flow-weight expectation" `Quick
       test_symexec_flow_weight_consistency;
     Alcotest.test_case "interference slowdown" `Quick test_interference_slowdown;
+    Alcotest.test_case "interference slice utilization" `Quick
+      test_interference_slice_utilization;
+    Alcotest.test_case "interference saturation flag" `Quick
+      test_interference_saturation_flag;
+    Alcotest.test_case "accelerator class filter" `Quick test_accel_class_filter;
+    Alcotest.test_case "analyze_n three tenants" `Quick test_analyze_n_three;
     Alcotest.test_case "accuracy: NAT" `Quick test_accuracy_nat;
     Alcotest.test_case "accuracy: VNF" `Quick test_accuracy_vnf;
     Alcotest.test_case "accuracy: LPM" `Quick test_accuracy_lpm;
