@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
              ablations ilp interference nics throughput chains energy
-             partial zoo sweep trace nicsim tenants lint bechamel
+             partial zoo sweep trace nicsim offpath tenants lint bechamel
              (default: all) *)
 
 module W = Clara_workload
@@ -32,7 +32,9 @@ let fig3a_options =
 
 let no_accels =
   { Map_.default_options with
-    Map_.disallowed_accels = [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto ] }
+    Map_.disallowed_accels =
+      [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto;
+        L.Unit_.Eswitch ] }
 
 let analyze_exn ?options src prof =
   match Clara.analyze_for_profile ?options lnic ~source:src ~profile:prof with
@@ -1131,6 +1133,95 @@ let nicsim_bench () =
     (List.map (fun (_, ev, fa, _) -> [ ev; fa; shard_pps ]) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Off-path DPU: the two-regime bluefield model                        *)
+
+(* Three guards on the off-path backend: the pinned hit-ratio sweep must
+   be deterministic and monotone with a 0-vs-1 gap of at least the
+   upcall cost; predictor and simulator must agree on p50 latency within
+   the bound the on-path targets meet; and the cross-architecture
+   verdict must diverge (lookup-heavy lpm wins on the eSwitch, the
+   payload-heavy dpi on the NPU part). *)
+let offpath_bench () =
+  header "Off-path: two-regime prediction on the bluefield target";
+  let bf = L.Bluefield.default in
+  let entries = 8_192 in
+  let src = Clara_nfs.Lpm.source ~entries in
+  let prof = profile ~packets:10_000 ~flows:500 () in
+  let a =
+    match Clara.analyze_for_profile bf ~source:src ~profile:prof with
+    | Ok a -> a
+    | Error e -> failwith ("offpath: analyze on bluefield: " ^ e)
+  in
+  let trace = W.Trace.synthesize ~seed:31L prof in
+  let predict_at h =
+    let config = { Lat.default_config with Lat.flow_cache_hit_ratio = Some h } in
+    (Clara.predict ~config a trace).Lat.mean_cycles
+  in
+  (* 1. Hit-ratio sweep: deterministic, monotone, gap >= upcall. *)
+  Printf.printf "%-10s %14s\n" "hit-ratio" "mean cycles";
+  let sweep = [ 0.; 0.25; 0.5; 0.75; 1. ] in
+  let means = List.map predict_at sweep in
+  List.iter2 (fun h m -> Printf.printf "%-10.2f %14.0f\n" h m) sweep means;
+  List.iter2
+    (fun h m ->
+      if predict_at h <> m then
+        failwith "offpath: hit-ratio sweep is not deterministic")
+    sweep means;
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  if not (monotone means) then
+    failwith "offpath: prediction does not fall as the hit ratio rises";
+  let gap = List.nth means 0 -. List.nth means (List.length means - 1) in
+  let upcall = float_of_int (L.Graph.upcall_cycles bf) in
+  if gap < upcall then
+    failwith
+      (Printf.sprintf
+         "offpath: hit-ratio 0 vs 1 differ by %.0f cyc, less than the %.0f \
+          cyc upcall"
+         gap upcall);
+  Printf.printf "hit-ratio 0 vs 1 gap: %.0f cyc (upcall %.0f cyc)\n" gap upcall;
+  (* 2. Predictor vs simulator on the same target (LRU-tracked hits). *)
+  let prog = Clara_nfs.Lpm.ported ~entries ~use_flow_cache:true () in
+  let p = Clara.predict a trace in
+  let r = Eng.run bf prog trace in
+  let pred_p50 = p.Lat.p50_cycles in
+  let sim_p50 = float_of_int r.Eng.summary.SStats.p50_cycles in
+  let err = pct_err pred_p50 sim_p50 in
+  Printf.printf "p50: predicted %.0f cyc, simulated %.0f cyc, err %+.1f%%\n"
+    pred_p50 sim_p50 err;
+  if Float.abs err > 15. then
+    failwith
+      (Printf.sprintf "offpath: predict-vs-sim p50 error %.1f%% exceeds 15%%"
+         err);
+  (* 3. Cross-architecture verdicts in wall time. *)
+  let mean_us lnic' src' =
+    match Clara.analyze_for_profile lnic' ~source:src' ~profile:prof with
+    | Error e -> failwith ("offpath: " ^ e)
+    | Ok a' ->
+        let freq =
+          match L.Graph.general_cores lnic' with
+          | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+          | [] -> 1.
+        in
+        (Clara.predict a' trace).Lat.mean_cycles /. freq
+  in
+  let verdict name src' =
+    let n_us = mean_us lnic src' and b_us = mean_us bf src' in
+    Printf.printf "%-10s netronome %8.2f us   bluefield %8.2f us   -> %s\n"
+      name n_us b_us
+      (if b_us < n_us then "bluefield" else "netronome");
+    b_us < n_us
+  in
+  let lpm_wins_bf = verdict "lpm" src in
+  let dpi_wins_bf = verdict "dpi" Clara_nfs.Dpi.source in
+  if not lpm_wins_bf then
+    failwith "offpath: lookup-heavy lpm does not win on the eSwitch fast path";
+  if dpi_wins_bf then
+    failwith "offpath: payload-heavy dpi should stay on the on-path NPU"
+
+(* ------------------------------------------------------------------ *)
 (* N-tenant WRR co-residence                                           *)
 
 let tenants_bench () =
@@ -1219,6 +1310,7 @@ let sections =
     ("sweep", sweep_bench);
     ("trace", trace_guard);
     ("nicsim", nicsim_bench);
+    ("offpath", offpath_bench);
     ("tenants", tenants_bench);
     ("lint", lint_bench);
     ("bechamel", bechamel) ]

@@ -26,7 +26,9 @@ open Cmdliner
 (* ---- shared arguments -------------------------------------------- *)
 
 let nic_arg =
-  let doc = "Target: 'netronome' (default), 'soc', 'asic', or 'host'." in
+  let doc =
+    "Target: 'netronome' (default), 'soc', 'bluefield', 'asic', or 'host'."
+  in
   Arg.(value & opt string "netronome" & info [ "nic" ] ~docv:"NIC" ~doc)
 
 let lnic_of_name = L.Targets.of_name
@@ -73,8 +75,10 @@ let seed_arg =
 
 let options_of ~no_flow_cache ~no_accels =
   let disallowed =
-    if no_accels then [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto ]
-    else if no_flow_cache then [ L.Unit_.Lookup ]
+    if no_accels then
+      [ L.Unit_.Parse; L.Unit_.Checksum; L.Unit_.Lookup; L.Unit_.Crypto;
+        L.Unit_.Eswitch ]
+    else if no_flow_cache then [ L.Unit_.Lookup; L.Unit_.Eswitch ]
     else []
   in
   { Clara_mapping.Mapping.default_options with
@@ -165,6 +169,13 @@ let write_json_file path j =
       output_char oc '\n')
 
 let predict_cmd =
+  let hit_ratio_arg =
+    let doc =
+      "Pin the off-path flow-cache hit ratio in [0,1] instead of tracking \
+       per-flow hits (only affects off-path targets like 'bluefield')."
+    in
+    Arg.(value & opt (some float) None & info [ "hit-ratio" ] ~docv:"RATIO" ~doc)
+  in
   let trace_out_arg =
     let doc =
       "Write the predicted per-packet timeline as Chrome/Perfetto trace-event \
@@ -173,14 +184,18 @@ let predict_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
   let run src nic no_flow_cache no_accels payload packets flows rate tcp pcap seed
-      trace_out stats stats_json =
+      hit_ratio trace_out stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let source = read_file src in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
     let options = options_of ~no_flow_cache ~no_accels in
     let analysis = or_die (Clara.analyze_for_profile ~options lnic ~source ~profile) in
     let trace = trace_of ~pcap ~profile ~seed in
-    let p = Clara.predict analysis trace in
+    let config =
+      { Clara_predict.Latency.default_config with
+        Clara_predict.Latency.flow_cache_hit_ratio = hit_ratio }
+    in
+    let p = Clara.predict ~config analysis trace in
     Format.printf "%a@." Clara_predict.Latency.pp_prediction p;
     let freq =
       match L.Graph.general_cores lnic with u :: _ -> u.L.Unit_.freq_mhz | [] -> 1
@@ -190,7 +205,8 @@ let predict_cmd =
       freq;
     (* Where the predicted cycles go, per packet type. *)
     let predictor =
-      Clara_predict.Latency.create lnic analysis.Clara.df analysis.Clara.mapping
+      Clara_predict.Latency.create ~config lnic analysis.Clara.df
+        analysis.Clara.mapping
     in
     let att = Clara_predict.Latency.attribute_trace predictor trace in
     Format.printf "attribution (mean cycles per packet):@.%a"
@@ -217,7 +233,7 @@ let predict_cmd =
     Term.(
       const run $ source_arg $ nic_arg $ no_flow_cache_arg $ no_accels_arg
       $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg $ pcap_arg
-      $ seed_arg $ trace_out_arg $ stats_arg $ stats_json_arg)
+      $ seed_arg $ hit_ratio_arg $ trace_out_arg $ stats_arg $ stats_json_arg)
 
 (* ---- microbench ---------------------------------------------------- *)
 
@@ -239,7 +255,10 @@ let nics_cmd =
     List.iter
       (fun (name, lnic) ->
         match Clara.analyze_for_profile lnic ~source ~profile with
-        | Error e -> Printf.printf "%-12s error: %s\n" name e
+        | Error e ->
+            Printf.printf "%-12s %-9s error: %s\n" name
+              (L.Graph.arch_name lnic.L.Graph.arch)
+              e
         | Ok a ->
             let p = Clara.predict_profile a profile in
             let tp = Clara_predict.Throughput.estimate lnic a.Clara.df a.Clara.mapping in
@@ -248,8 +267,11 @@ let nics_cmd =
               | u :: _ -> u.L.Unit_.freq_mhz
               | [] -> 1
             in
-            Printf.printf "%-12s latency %9.0f cyc (%7.2f us)   max tput %10.0f pps\n"
-              name p.Clara_predict.Latency.mean_cycles
+            Printf.printf
+              "%-12s %-9s latency %9.0f cyc (%7.2f us)   max tput %10.0f pps\n"
+              name
+              (L.Graph.arch_name lnic.L.Graph.arch)
+              p.Clara_predict.Latency.mean_cycles
               (p.Clara_predict.Latency.mean_cycles /. float_of_int freq)
               tp.Clara_predict.Throughput.max_pps)
       L.Targets.nics
@@ -471,7 +493,7 @@ let lint_cmd =
   in
   let target_arg =
     let doc =
-      "Lint against this target: 'netronome' (default), 'soc', 'asic', or \
+      "Lint against this target: 'netronome' (default), 'soc', 'bluefield', 'asic', or \
        'host'."
     in
     Arg.(value & opt string "netronome" & info [ "target"; "nic" ] ~docv:"NIC" ~doc)

@@ -102,4 +102,74 @@ let analyze ~(lnic : L.Graph.t) (p : Ir.program) =
                  '%s' (largest sharable region: %d bytes)"
                 st.Ir.st_name bytes lnic.L.Graph.name largest)))
     p.Ir.states;
+  (* CLARA105: off-path fast-path demotions.  On a target with an eSwitch,
+     a state rides the hardware fast path only if every touch is a vcall
+     the eSwitch implements, it is race-free, and it fits the flow-cache
+     SRAM; explain violations here so `clara lint --target bluefield`
+     shows the slow-path demotion before mapping runs. *)
+  (if L.Graph.find_accelerator lnic L.Unit_.Eswitch <> None then
+     let sram = L.Params.accel_sram lnic.L.Graph.params L.Unit_.Eswitch in
+     let sharing, _ = Sharing.analyze p in
+     let vcalls_of = Hashtbl.create 8 and raw_touch = Hashtbl.create 8 in
+     Array.iter
+       (fun (b : Ir.block) ->
+         List.iter
+           (fun instr ->
+             match instr with
+             | Ir.Vcall { vc; state = Some s; _ } ->
+                 let cur =
+                   Option.value ~default:[] (Hashtbl.find_opt vcalls_of s)
+                 in
+                 if not (List.mem vc cur) then
+                   Hashtbl.replace vcalls_of s (vc :: cur)
+             | Ir.Load (Ir.L_state s)
+             | Ir.Store (Ir.L_state s)
+             | Ir.Atomic_op (Ir.L_state s) ->
+                 Hashtbl.replace raw_touch s ()
+             | _ -> ())
+           b.Ir.instrs)
+       p.Ir.blocks;
+     List.iter
+       (fun (st : Ir.state_obj) ->
+         let s = st.Ir.st_name in
+         match Hashtbl.find_opt vcalls_of s with
+         | None -> () (* never vcall-touched: nothing to offload *)
+         | Some vcs ->
+             let unsupported =
+               List.filter
+                 (fun vc ->
+                   L.Params.accel_vcall_cost lnic.L.Graph.params L.Unit_.Eswitch
+                     vc
+                   = None)
+                 vcs
+             in
+             let reasons = ref [] in
+             if unsupported <> [] then
+               reasons :=
+                 Printf.sprintf "vcall%s %s not implemented by the eSwitch"
+                   (if List.length unsupported > 1 then "s" else "")
+                   (String.concat ", "
+                      (List.map L.Params.vcall_name (List.rev unsupported)))
+                 :: !reasons;
+             if Hashtbl.mem raw_touch s then
+               reasons :=
+                 "raw loads/stores touch it outside any vcall" :: !reasons;
+             if List.assoc_opt s sharing = Some Sharing.Racy then
+               reasons := "the sharing analysis judged it racy" :: !reasons;
+             if Ir.state_bytes st > sram then
+               reasons :=
+                 Printf.sprintf "its %d bytes exceed the %d-byte flow cache"
+                   (Ir.state_bytes st) sram
+                 :: !reasons;
+             if !reasons <> [] then
+               emit
+                 (Diag.make ~code:"CLARA105" ~severity:Diag.Warn
+                    ~pass:"feasibility"
+                    (Printf.sprintf
+                       "state '%s' cannot ride the eSwitch fast path on \
+                        target '%s' (%s): its packets take the core slow \
+                        path, paying the upcall on every flow-cache miss"
+                       s lnic.L.Graph.name
+                       (String.concat "; " (List.rev !reasons)))))
+       p.Ir.states);
   List.rev !diags

@@ -11,7 +11,13 @@
     - CLARA103 (warn): a loop with a statically-unknown ([S_opaque])
       trip count — prediction falls back to a fixed guess, so the
       latency clarity the tool exists for is lost on that path.
-    - CLARA104 (info): a vcall sized by an opaque expression. *)
+    - CLARA104 (info): a vcall sized by an opaque expression.
+    - CLARA105 (warn, eSwitch targets only): a state object that cannot
+      ride the hardware fast path — some touching vcall is not
+      implemented by the eSwitch, raw loads/stores or a racy sharing
+      verdict disqualify it, or it exceeds the flow-cache SRAM — so its
+      packets demote to the core slow path and pay the upcall on every
+      flow-cache miss. *)
 
 val analyze :
   lnic:Clara_lnic.Graph.t -> Clara_cir.Ir.program -> Diag.t list

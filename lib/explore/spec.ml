@@ -48,12 +48,14 @@ let zip xs ys =
 let option_variants =
   [ ("default", M.default_options);
     ( "no-flow-cache",
-      { M.default_options with M.disallowed_accels = [ Clara_lnic.Unit_.Lookup ] } );
+      { M.default_options with
+        M.disallowed_accels = [ Clara_lnic.Unit_.Lookup; Clara_lnic.Unit_.Eswitch ] } );
     ( "no-accels",
       { M.default_options with
         M.disallowed_accels =
           [ Clara_lnic.Unit_.Parse; Clara_lnic.Unit_.Checksum;
-            Clara_lnic.Unit_.Lookup; Clara_lnic.Unit_.Crypto ] } ) ]
+            Clara_lnic.Unit_.Lookup; Clara_lnic.Unit_.Crypto;
+            Clara_lnic.Unit_.Eswitch ] } ) ]
 
 let options_of_name name = List.assoc_opt name option_variants
 

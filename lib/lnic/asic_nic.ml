@@ -118,6 +118,7 @@ let create () =
   | [] -> ());
   {
     Graph.name = "asic-pipeline-100g";
+    arch = Graph.On_path;
     units = Array.of_list (List.rev !units);
     memories;
     hubs;

@@ -1,0 +1,15 @@
+(** A BlueField-class off-path DPU instance (ROADMAP open item 1).
+
+    Unlike every on-path target, the Arm cores here are {e not} on the
+    packet path: a hardware eSwitch match-action engine forwards cached
+    flows at line rate, and only flow-cache misses cross the internal
+    fabric to software (see {!Graph.arch} and {!Graph.upcall_cycles}).
+    Lookup-heavy NFs whose tables fit the eSwitch flow cache run almost
+    entirely in hardware; payload-touching NFs pay an extra DMA transfer
+    to reach the cores and are better served by an on-path part. *)
+
+val create : ?cores:int -> unit -> Graph.t
+(** Default: 8 Arm A72-class cores at 2.5 GHz, 2 threads each, plus the
+    eSwitch and DOCA checksum/crypto engines. *)
+
+val default : Graph.t

@@ -1,5 +1,13 @@
+type arch = On_path | Off_path | Host_only
+
+let arch_name = function
+  | On_path -> "on-path"
+  | Off_path -> "off-path"
+  | Host_only -> "host"
+
 type t = {
   name : string;
+  arch : arch;
   units : Unit_.t array;
   memories : Memory.t array;
   hubs : Hub.t array;
@@ -24,6 +32,21 @@ let accelerators t =
 
 let find_accelerator t kind =
   Array.to_list t.units |> List.find_opt (fun u -> Unit_.is_accelerator u kind)
+
+(* The fast-path-miss penalty of an off-path NIC: the fabric hub models
+   the eSwitch -> core upcall queue, so its per-packet cost is what a
+   missed packet pays before the software slow path runs.  On-path NICs
+   may also have a fabric hub (core-to-core switching), but there a miss
+   never changes domains, so the upcall charge is zero. *)
+let upcall_cycles t =
+  match t.arch with
+  | On_path | Host_only -> 0
+  | Off_path -> (
+      match
+        List.find_opt (fun h -> h.Hub.kind = `Fabric) (Array.to_list t.hubs)
+      with
+      | Some h -> h.Hub.per_packet_cycles
+      | None -> 0)
 
 let access_weight t ~unit_id ~mem_id =
   List.find_map
@@ -189,7 +212,8 @@ let slice t ~keep_num ~keep_den =
     links = List.filter_map remap_link t.links }
 
 let pp fmt t =
-  Format.fprintf fmt "LNIC %s: %d units, %d memories, %d hubs, %d links@." t.name
+  Format.fprintf fmt "LNIC %s (%s): %d units, %d memories, %d hubs, %d links@." t.name
+    (arch_name t.arch)
     (Array.length t.units) (Array.length t.memories) (Array.length t.hubs)
     (List.length t.links);
   Array.iter (fun u -> Format.fprintf fmt "  %a@." Unit_.pp u) t.units;

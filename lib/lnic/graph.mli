@@ -5,8 +5,24 @@
     attachments.  The graph plus its {!Params.t} is everything Clara knows
     about a NIC backend. *)
 
+(** Where the NIC's general cores sit relative to the wire (ROADMAP
+    open item 1: cross-architecture clarity).
+
+    - [On_path]: every packet flows through the cores (NPU/ASIC style);
+      accelerator misses stay in the same clock domain.
+    - [Off_path]: a hardware eSwitch fast path handles cached flows at
+      line rate and only flow-cache {e misses} are upcalled to the core
+      complex (BlueField/DPU style) — predictions become two-regime.
+    - [Host_only]: no NIC at all; the baseline x86 path. *)
+type arch = On_path | Off_path | Host_only
+
+val arch_name : arch -> string
+(** Stable lower-case name ("on-path", "off-path", "host") — printed by
+    [clara nics] and used in reports. *)
+
 type t = {
   name : string;
+  arch : arch;
   units : Unit_.t array;
   memories : Memory.t array;
   hubs : Hub.t array;
@@ -23,6 +39,11 @@ val hub : t -> int -> Hub.t
 val general_cores : t -> Unit_.t list
 val accelerators : t -> Unit_.t list
 val find_accelerator : t -> Unit_.accel_kind -> Unit_.t option
+
+val upcall_cycles : t -> int
+(** Per-packet cost of an eSwitch fast-path miss being upcalled to the
+    core complex, read off the fabric hub; 0 on [On_path]/[Host_only]
+    graphs (a miss there never changes execution domains). *)
 
 val access_weight : t -> unit_id:int -> mem_id:int -> int option
 (** NUMA weight of the bus between a unit and a region; [None] when the

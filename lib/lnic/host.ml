@@ -89,6 +89,7 @@ let create ?(cores = 6) () =
   link (Link.Hierarchy (2, 3)) 0;
   {
     Graph.name = "x86-host";
+    arch = Graph.Host_only;
     units;
     memories;
     hubs;

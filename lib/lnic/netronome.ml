@@ -175,6 +175,7 @@ let create ?(islands = 5) ?(npus_per_island = 12) () =
   link (Link.Hub_edge (1, Link.U csum_accel.Unit_.id)) 0;
   {
     Graph.name = "netronome-agilio-cx-40g";
+    arch = Graph.On_path;
     units = Array.of_list (List.rev !units);
     memories = Array.of_list (List.rev !memories);
     hubs;

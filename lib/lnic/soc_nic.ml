@@ -107,6 +107,7 @@ let create ?(cores = 8) () =
   link (Link.Hub_edge (1, Link.U csum_accel.Unit_.id)) 0;
   {
     Graph.name = "soc-armnic-25g";
+    arch = Graph.On_path;
     units = Array.of_list (List.rev !units);
     memories;
     hubs;

@@ -5,6 +5,7 @@
 let all =
   [ ("netronome", Netronome.default);
     ("soc", Soc_nic.default);
+    ("bluefield", Bluefield.default);
     ("asic", Asic_nic.default);
     ("host", Host.default) ]
 
@@ -14,12 +15,47 @@ let nics = List.filter (fun (n, _) -> n <> "host") all
 
 let names = List.map fst all
 
+let arch_of name =
+  Option.map (fun (g : Graph.t) -> g.Graph.arch) (List.assoc_opt name all)
+
 let find name = List.assoc_opt name all
+
+(* Edit distance for of_name's did-you-mean: classic two-row
+   Levenshtein; target names are short so no need for anything fancy. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  List.filter_map
+    (fun cand ->
+      let d = edit_distance (String.lowercase_ascii name) cand in
+      if d <= 2 then Some (d, cand) else None)
+    names
+  |> List.sort compare
+  |> function
+  | [] -> None
+  | (_, best) :: _ -> Some best
 
 let of_name name =
   match find name with
   | Some g -> Ok g
   | None ->
+      let hint =
+        match suggest name with
+        | Some s -> Printf.sprintf " — did you mean %S?" s
+        | None -> ""
+      in
       Error
-        (Printf.sprintf "unknown NIC %S (expected %s)" name
-           (String.concat "|" names))
+        (Printf.sprintf "unknown NIC %S (expected %s)%s" name
+           (String.concat "|" names) hint)

@@ -1,4 +1,4 @@
-type accel_kind = Checksum | Crypto | Lookup | Parse
+type accel_kind = Checksum | Crypto | Lookup | Parse | Eswitch
 
 type kind =
   | General_core of { threads : int; has_fpu : bool }
@@ -25,6 +25,7 @@ let accel_name = function
   | Crypto -> "crypto"
   | Lookup -> "lookup"
   | Parse -> "parse"
+  | Eswitch -> "eswitch"
 
 let pp fmt t =
   match t.kind with

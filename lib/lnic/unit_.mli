@@ -11,6 +11,10 @@ type accel_kind =
   | Crypto          (** AES/SHA bulk crypto. *)
   | Lookup          (** Hardware match/action with flow-cache SRAM. *)
   | Parse           (** Dedicated header parser / ingress engine. *)
+  | Eswitch
+      (** Hardware eSwitch match-action engine of an off-path DPU: a
+          high-capacity fast path whose flow-cache misses upcall to the
+          general cores (two-regime cost, see {!Graph.arch}). *)
 
 type kind =
   | General_core of { threads : int; has_fpu : bool }
@@ -35,8 +39,8 @@ val threads : t -> int
 (** 1 for accelerators. *)
 
 val accel_name : accel_kind -> string
-(** Stable lower-case name ("checksum", "crypto", "lookup", "parse") —
-    used in reports and in sweep cache keys, so renaming one
-    invalidates cached results. *)
+(** Stable lower-case name ("checksum", "crypto", "lookup", "parse",
+    "eswitch") — used in reports and in sweep cache keys, so renaming
+    one invalidates cached results. *)
 
 val pp : Format.formatter -> t -> unit

@@ -78,6 +78,40 @@ let errors (g : Graph.t) =
       if not (List.mem_assoc op g.params.Params.core_op_cycles) then
         add (err "params-op" "missing op cost for %s" (Params.op_name op)))
     Params.all_op_classes;
+  (* Off-path invariants: an eSwitch fast path is only meaningful when it
+     is wired into the datapath and backed by flow-cache capacity, and an
+     off-path NIC without a host DMA hub has no way to reach the host. *)
+  Array.iter
+    (fun (u : Unit_.t) ->
+      if Unit_.is_accelerator u Unit_.Eswitch then begin
+        let touches l =
+          Link.src l = Link.U u.Unit_.id || Link.dst l = Link.U u.Unit_.id
+        in
+        if not (List.exists touches g.links) then
+          add
+            (err "eswitch-disconnected"
+               "eSwitch %s has no links: attach it to the ingress/egress hubs \
+                and give it a pipeline edge to the cores so misses can be \
+                upcalled"
+               u.Unit_.name);
+        if Params.accel_sram g.params Unit_.Eswitch = 0 then
+          add
+            (err "eswitch-no-flow-cache"
+               "eSwitch %s advertises a zero-capacity flow cache: every \
+                packet would miss; set accel_sram_bytes for Eswitch"
+               u.Unit_.name)
+      end)
+    g.units;
+  (if g.arch = Graph.Off_path then
+     let has_dma =
+       Array.exists (fun (h : Hub.t) -> h.Hub.kind = `Host_dma) g.hubs
+     in
+     if not has_dma then
+       add
+         (err "offpath-no-pcie"
+            "off-path NIC %s has no Host_dma hub: add a PCIe DMA link so \
+             slow-path packets can round-trip to the host"
+            g.name));
   List.rev !errs
 
 let is_valid g = errors g = []

@@ -17,7 +17,10 @@ val errors : Graph.t -> error list
       present in the graph's hierarchy chain;
     - memory hierarchy edges go from faster to slower levels;
     - per-island memories name an existing island;
-    - parameter tables cover every op class. *)
+    - parameter tables cover every op class;
+    - eSwitch units are linked into the datapath and advertise a
+      non-zero flow cache;
+    - [Off_path] graphs carry a [Host_dma] (PCIe) hub. *)
 
 val is_valid : Graph.t -> bool
 val pp_error : Format.formatter -> error -> unit

@@ -25,6 +25,11 @@ type sim = {
   params : P.t;
   memm : Mem_model.t;
   flow_cache : Lru.t option;        (* LRU over flow keys *)
+  (* Which accelerator fronts the flow cache (the eSwitch on off-path
+     DPUs, the lookup engine on NPU-style parts), and what a miss pays
+     to be upcalled to software on an off-path target (0 on-path). *)
+  fc_kind : L.Unit_.accel_kind;
+  upcall_cycles : int;
   tables : (string, table_state) Hashtbl.t;
   accel_free : (L.Unit_.accel_kind, int ref) Hashtbl.t;
   (* Store-and-forward DMA lanes between the wire and packet memory;
@@ -157,14 +162,23 @@ let region_of_placement = function
 
 let create_sim_shared lnic progs =
   let params = lnic.L.Graph.params in
+  (* The eSwitch wins when both are present: it is the wire-fronting
+     match-action engine, the lookup unit a core-driven sidekick. *)
+  let fc_accel =
+    match L.Graph.find_accelerator lnic L.Unit_.Eswitch with
+    | Some _ -> Some L.Unit_.Eswitch
+    | None -> (
+        match L.Graph.find_accelerator lnic L.Unit_.Lookup with
+        | Some _ -> Some L.Unit_.Lookup
+        | None -> None)
+  in
   let tables = Hashtbl.create 8 in
   let next_base = ref 0x1000_0000 in
   List.iter
     (fun decl ->
       if Hashtbl.mem tables decl.t_name then
         invalid_arg (Printf.sprintf "Device: duplicate table '%s'" decl.t_name);
-      if decl.t_placement = P_flow_cache && L.Graph.find_accelerator lnic L.Unit_.Lookup = None
-      then
+      if decl.t_placement = P_flow_cache && fc_accel = None then
         invalid_arg
           (Printf.sprintf "Device: table '%s' wants a flow cache this NIC lacks"
              decl.t_name);
@@ -176,10 +190,10 @@ let create_sim_shared lnic progs =
       next_base := !next_base + (decl.t_entries * decl.t_entry_bytes) + 0x10_0000)
     (List.concat_map (fun p -> p.tables) progs);
   let flow_cache =
-    match L.Graph.find_accelerator lnic L.Unit_.Lookup with
+    match fc_accel with
     | None -> None
-    | Some _ ->
-        let sram = P.accel_sram params L.Unit_.Lookup in
+    | Some kind ->
+        let sram = P.accel_sram params kind in
         (* Flow-cache entries are ~32B each. *)
         Some (Lru.create ~capacity:(max 1 (sram / 32)))
   in
@@ -216,6 +230,8 @@ let create_sim_shared lnic progs =
     params;
     memm = Mem_model.create lnic;
     flow_cache;
+    fc_kind = Option.value ~default:L.Unit_.Lookup fc_accel;
+    upcall_cycles = L.Graph.upcall_cycles lnic;
     tables;
     accel_free;
     dma_rx_free = Array.make 4 0;
@@ -365,9 +381,17 @@ let table_access ctx (ts : table_state) ~mode ~key =
 (* Handler operations                                                  *)
 
 let parse_header ctx ~engine =
-  if engine then
-    use_accel ctx L.Unit_.Parse
-      (accel_vcall_cost ctx L.Unit_.Parse P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+  if engine then begin
+    (* The dedicated parser when the NIC has one; off-path parts parse
+       in the eSwitch match-action pipeline instead. *)
+    let kind =
+      match L.Graph.find_accelerator ctx.sim.lnic L.Unit_.Parse with
+      | Some _ -> L.Unit_.Parse
+      | None -> ctx.sim.fc_kind
+    in
+    use_accel ctx kind
+      (accel_vcall_cost ctx kind P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+  end
   else begin
     let t0 = ctx.clock in
     spend ctx (core_vcall_cost ctx P.V_parse_header (W.Packet.header_bytes ctx.pkt));
@@ -488,18 +512,27 @@ let lpm_lookup ctx name ~key =
       match ctx.sim.flow_cache with
       | None -> invalid_arg "Device.lpm_lookup: no flow cache"
       | Some fc ->
-          let cost = accel_vcall_cost ctx L.Unit_.Lookup P.V_lpm_lookup ts.decl.t_entries in
+          let kind = ctx.sim.fc_kind in
+          let cost = accel_vcall_cost ctx kind P.V_lpm_lookup ts.decl.t_entries in
           if Lru.touch fc key then begin
             ctx.sim.fc_hits <- ctx.sim.fc_hits + 1;
             bump ctx.sim.fc_hits_by ctx.prog_id;
-            use_accel ctx L.Unit_.Lookup cost;
+            use_accel ctx kind cost;
             true
           end
           else begin
             (* Miss: consult the rule set in memory, result gets cached. *)
             ctx.sim.fc_misses <- ctx.sim.fc_misses + 1;
             bump ctx.sim.fc_misses_by ctx.prog_id;
-            use_accel ctx L.Unit_.Lookup cost;
+            use_accel ctx kind cost;
+            (* Off-path: the miss is upcalled across the internal fabric
+               before software can walk the rules (the path is already
+               tainted, so the recorder never replays this). *)
+            if ctx.sim.upcall_cycles > 0 then begin
+              let t0 = ctx.clock in
+              spend ctx ctx.sim.upcall_cycles;
+              emit ctx ~kind:Trace.Hub ~label:"upcall" ~t0 ~arg:0
+            end;
             (* The walk happens in EMEM regardless of the declared
                placement for flow-cache tables. *)
             lpm_walk ctx

@@ -31,7 +31,10 @@ type prog = { name : string; tables : table_decl list; handler : handler }
 
 val create_sim : Clara_lnic.Graph.t -> prog -> sim
 (** @raise Invalid_argument on duplicate table names or a [P_flow_cache]
-    table on a NIC without a lookup accelerator. *)
+    table on a NIC with neither an eSwitch nor a lookup accelerator.
+    When both are present the eSwitch fronts the flow cache, and on
+    off-path targets every miss additionally pays the fabric upcall
+    ({!Clara_lnic.Graph.upcall_cycles}) before the software walk. *)
 
 val create_sim_shared : Clara_lnic.Graph.t -> prog list -> sim
 (** One simulator hosting several co-resident programs: caches, flow

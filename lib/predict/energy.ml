@@ -27,7 +27,8 @@ let default_powers (g : L.Graph.t) =
       | L.Unit_.Checksum -> 0.2
       | L.Unit_.Parse -> 0.25
       | L.Unit_.Lookup -> 0.5
-      | L.Unit_.Crypto -> 0.6);
+      | L.Unit_.Crypto -> 0.6
+      | L.Unit_.Eswitch -> 0.8);
     idle_w;
     dma_w_per_gbps = 0.35;
   }

@@ -12,11 +12,12 @@ type config = {
   opaque_fraction : float;
   seed : int64;
   include_wire : bool;
+  flow_cache_hit_ratio : float option;
 }
 
 let default_config =
   { scan_match_fraction = 0.1; exceed_fraction = 0.05; opaque_fraction = 0.5;
-    seed = 7L; include_wire = true }
+    seed = 7L; include_wire = true; flow_cache_hit_ratio = None }
 
 type t = {
   lnic : L.Graph.t;
@@ -28,6 +29,11 @@ type t = {
   (* LPM/route tables are provisioned configuration, not learned state:
      matches against them succeed. *)
   provisioned : (string, unit) Hashtbl.t;
+  (* Off-path only: the eSwitch flow cache, sized by its SRAM.  A vcall
+     on cached flows runs at the hardware hit price; a miss pays the
+     upcall plus the software cost of the same node (two-regime). *)
+  eswitch_cache : Lru.t option;
+  upcall_cycles : float;
   mutable rng : W.Prng.t;
   nodes_by_block : (int, D.Node.t list) Hashtbl.t;
 }
@@ -48,11 +54,22 @@ let create ?(config = default_config) lnic df mapping =
       if s.Ir.st_kind = Clara_cir.Ast.S_lpm then
         Hashtbl.replace provisioned s.Ir.st_name ())
     (D.Graph.states df);
-  { lnic; df; mapping; config; flow_seen; provisioned;
+  let eswitch_cache =
+    if lnic.L.Graph.arch = L.Graph.Off_path
+       && L.Graph.find_accelerator lnic L.Unit_.Eswitch <> None
+    then
+      let sram = P.accel_sram lnic.L.Graph.params L.Unit_.Eswitch in
+      (* ~32 B per match-action entry, as in the simulator's flow cache. *)
+      if sram > 0 then Some (Lru.create ~capacity:(max 1 (sram / 32))) else None
+    else None
+  in
+  { lnic; df; mapping; config; flow_seen; provisioned; eswitch_cache;
+    upcall_cycles = float_of_int (L.Graph.upcall_cycles lnic);
     rng = W.Prng.create ~seed:config.seed; nodes_by_block }
 
 let reset_state t =
   Hashtbl.iter (fun _ l -> Lru.clear l) t.flow_seen;
+  Option.iter Lru.clear t.eswitch_cache;
   t.rng <- W.Prng.create ~seed:t.config.seed
 
 type per_packet = { cycles : float; emitted : bool }
@@ -110,6 +127,65 @@ let node_cost t (pkt : W.Packet.t) (n : D.Node.t) =
       failwith
         (Printf.sprintf "Latency: node n%d unexecutable on its mapped unit" n.D.Node.id)
 
+(* What [n] would cost run in software on a general core — the price a
+   flow-cache miss pays after the upcall, regardless of where the mapping
+   placed the node.  Accel-hosted state is charged at external memory
+   here (see [state_region_of_mapping]): the slow path walks the full
+   table in DRAM, not the cached entries. *)
+let software_node_cost t (pkt : W.Packet.t) (n : D.Node.t) =
+  match L.Graph.general_cores t.lnic with
+  | [] -> 0.
+  | core :: _ ->
+      let sizes = sizes_of_packet pkt (D.Graph.states t.df) in
+      let footprint s =
+        match List.find_opt (fun o -> o.Ir.st_name = s) (D.Graph.states t.df) with
+        | Some o -> Ir.state_bytes o
+        | None -> 0
+      in
+      let ctx =
+        {
+          D.Cost.lnic = t.lnic;
+          exec_unit = core;
+          state_region = state_region_of_mapping t;
+          state_footprint = footprint;
+          packet_region =
+            Clara_mapping.Encode.packet_region_for t.lnic core
+              ~packet_bytes:sizes.D.Cost.packet_bytes;
+          sizes;
+        }
+      in
+      Option.value ~default:0. (D.Cost.node_cycles ctx n)
+
+(* The two-regime off-path charge.  [node_cost] prices an
+   eSwitch-mapped vcall at its fast-path hit cost; this adds what the
+   miss regime costs on top: the upcall over the fabric plus the
+   software replay of the node on the Arm cores.  The hit/miss decision
+   tracks a per-flow LRU sized by the eSwitch SRAM, or blends
+   analytically when [flow_cache_hit_ratio] pins the ratio.  Zero on
+   every on-path target ([Graph.upcall_cycles] is 0 there), and only
+   stateful vcalls blend — the flow cache caches flows, so stateless
+   eSwitch work (parsing, header rewrites) is hit-priced pipeline
+   hardware.  Must be called exactly once per charged node so the LRU
+   state advances identically in every walk. *)
+let eswitch_node_extra t (pkt : W.Packet.t) (n : D.Node.t) =
+  if t.upcall_cycles = 0. then 0.
+  else
+    let unit_ = L.Graph.unit_ t.lnic t.mapping.M.node_unit.(n.D.Node.id) in
+    match (unit_.L.Unit_.kind, n.D.Node.kind) with
+    | L.Unit_.Accelerator L.Unit_.Eswitch, D.Node.N_vcall v
+      when v.Ir.state <> None ->
+        let miss =
+          match t.config.flow_cache_hit_ratio with
+          | Some h -> 1. -. Float.max 0. (Float.min 1. h)
+          | None -> (
+              match t.eswitch_cache with
+              | Some c -> if Lru.touch c (W.Packet.flow_key pkt) then 0. else 1.
+              | None -> 0.)
+        in
+        if miss = 0. then 0.
+        else miss *. (t.upcall_cycles +. software_node_cost t pkt n)
+    | _ -> 0.
+
 (* Resolve a guard against the packet and tracked state.  Table-hit
    guards are pure queries; state only becomes "seen" when the walk
    actually executes an insertion (V_table_update) for that table —
@@ -160,7 +236,7 @@ let packet_latency t (pkt : W.Packet.t) =
   let charge_block bid =
     List.iter
       (fun (n : D.Node.t) ->
-        cost := !cost +. node_cost t pkt n;
+        cost := !cost +. node_cost t pkt n +. eswitch_node_extra t pkt n;
         match n.D.Node.kind with
         | D.Node.N_vcall v when v.Ir.vc = P.V_emit -> emitted := true
         | D.Node.N_vcall v when v.Ir.vc = P.V_table_update -> (
@@ -318,7 +394,9 @@ let packet_components t (pkt : W.Packet.t) =
   let charge_block bid =
     List.iter
       (fun (n : D.Node.t) ->
-        cost := !cost +. node_cost t pkt n;
+        (* The miss-regime extra is charged as compute: it lands in the
+           residual, keeping the component sums exact. *)
+        cost := !cost +. node_cost t pkt n +. eswitch_node_extra t pkt n;
         let b = node_split n in
         mem := !mem +. b.D.Cost.b_mem;
         accel := !accel +. b.D.Cost.b_accel;
@@ -514,7 +592,7 @@ let perfetto_timeline t (trace : W.Trace.t) =
       let charge_block bid =
         List.iter
           (fun (n : D.Node.t) ->
-            span (node_name n) (node_cost t pkt n) ~seq;
+            span (node_name n) (node_cost t pkt n +. eswitch_node_extra t pkt n) ~seq;
             match n.D.Node.kind with
             | D.Node.N_vcall v when v.Ir.vc = P.V_emit -> emitted := true
             | D.Node.N_vcall v when v.Ir.vc = P.V_table_update -> (

@@ -16,6 +16,13 @@ type config = {
   include_wire : bool;
       (** Charge wire DMA + hub constants per packet (on by default);
           chains turn this off per stage and charge the wire once. *)
+  flow_cache_hit_ratio : float option;
+      (** Off-path targets only: pin the eSwitch flow-cache hit ratio
+          (clamped to [0,1]) instead of tracking per-flow hits with an
+          LRU sized by the eSwitch SRAM ([None], the default).  A miss
+          pays the fabric upcall plus the software cost of the node on
+          the Arm cores; a hit pays only the hardware fast-path price.
+          Ignored on on-path / host targets. *)
 }
 
 val default_config : config

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Bench smoke: run the nicsim and tenants sections of the bench harness.
+# Bench smoke: run the nicsim, offpath and tenants sections of the bench
+# harness.
 #
 # The sections always enforce correctness, regardless of environment:
 #   - fast path byte-identical to the event path on stateless NFs
@@ -11,7 +12,11 @@
 #   - under skewed weights the heavy tenant drops no more and admits
 #     no fewer packets than a starved weight-1 tenant (goodput/drops,
 #     not p99 — percentiles cover admitted packets only, so a starved
-#     tenant shedding its worst-wait packets reports a deceptive p99).
+#     tenant shedding its worst-wait packets reports a deceptive p99);
+#   - on the off-path bluefield target: the pinned hit-ratio sweep is
+#     deterministic and monotone with a 0-vs-1 gap of at least the
+#     upcall cost, predict-vs-sim p50 agreement is within bound, and
+#     the netronome/bluefield verdicts diverge (lpm vs dpi).
 #
 # The throughput gates — the 10x fast-path floor on the op-dense NF and
 # the >20% packets/sec regression check against the committed
@@ -25,5 +30,5 @@ set -eu
 cd "$(dirname "$0")/.."
 : "${CLARA_BENCH_JSON:=$(mktemp "${TMPDIR:-/tmp}/clara-bench-nicsim.XXXXXX")}"
 export CLARA_BENCH_JSON
-dune exec bench/main.exe -- nicsim tenants
+dune exec bench/main.exe -- nicsim offpath tenants
 echo "bench smoke OK (snapshot: $CLARA_BENCH_JSON)"

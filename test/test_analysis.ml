@@ -316,6 +316,25 @@ let test_feasibility_opaque_trip () =
   check "un-coarsened while is flagged" true (has_code "CLARA103" r);
   check "opaque trip is only a warning" false (A.Suite.has_errors r)
 
+let test_feasibility_eswitch_demotion () =
+  (* NAT's flow table needs table_update, which the eSwitch refuses:
+     CLARA105 explains the slow-path demotion and names the vcall. *)
+  let nat = Clara_nfs.Nat.source () in
+  let r = lint ~lnic:L.Bluefield.default nat in
+  check "CLARA105 on nat@bluefield" true (has_code "CLARA105" r);
+  check "demotion is only a warning" false (A.Suite.has_errors r);
+  let d =
+    List.find (fun d -> d.A.Diag.code = "CLARA105") r.A.Suite.diagnostics
+  in
+  check "message names the missing vcall" true
+    (contains d.A.Diag.message "table_update");
+  (* No eSwitch on the target: the pass stays silent. *)
+  let on_nfp = lint ~lnic:L.Netronome.default nat in
+  check "no CLARA105 on netronome" false (has_code "CLARA105" on_nfp);
+  (* A pure-lookup NF rides the fast path without demotion. *)
+  let lpm = lint ~lnic:L.Bluefield.default (Clara_nfs.Lpm.source ~entries:1024) in
+  check "lpm rides the fast path" false (has_code "CLARA105" lpm)
+
 let test_feasibility_skipped_without_target () =
   let r = lint (Clara_nfs.Dpi.source) in
   check "no target recorded" true (r.A.Suite.target = None);
@@ -547,6 +566,8 @@ let suite =
       test_feasibility_oversized_state;
     Alcotest.test_case "feasibility: opaque trip" `Quick
       test_feasibility_opaque_trip;
+    Alcotest.test_case "feasibility: eswitch demotion" `Quick
+      test_feasibility_eswitch_demotion;
     Alcotest.test_case "feasibility: skipped without target" `Quick
       test_feasibility_skipped_without_target;
     Alcotest.test_case "paths: contradiction" `Quick test_paths_contradiction;

@@ -91,7 +91,7 @@ let test_json_accessors () =
 (* ---- Targets -------------------------------------------------------- *)
 
 let test_targets () =
-  check_int "four targets" 4 (List.length L.Targets.all);
+  check_int "five targets" 5 (List.length L.Targets.all);
   check "host excluded from nics" true
     (not (List.mem_assoc "host" L.Targets.nics));
   List.iter
@@ -100,7 +100,7 @@ let test_targets () =
       | Ok g -> check ("valid " ^ name) true (L.Validate.is_valid g)
       | Error e -> Alcotest.fail e)
     L.Targets.names;
-  match L.Targets.of_name "bluefield" with
+  match L.Targets.of_name "pensando" with
   | Ok _ -> Alcotest.fail "unknown NIC accepted"
   | Error e ->
       (* the error message names every valid target *)
@@ -150,7 +150,7 @@ let test_spec_zip () =
 let test_spec_rejects () =
   let bad j = match E.Spec.of_string j with Error _ -> true | Ok _ -> false in
   check "unknown NF" true (bad {|{ "nfs": ["nonesuch"], "nics": ["soc"] }|});
-  check "unknown NIC" true (bad {|{ "nfs": ["nat"], "nics": ["bluefield"] }|});
+  check "unknown NIC" true (bad {|{ "nfs": ["nat"], "nics": ["pensando"] }|});
   check "unknown options" true
     (bad {|{ "nfs": ["nat"], "nics": ["soc"], "options": ["turbo"] }|});
   check "empty nfs" true (bad {|{ "nfs": [], "nics": ["soc"] }|});

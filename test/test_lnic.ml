@@ -161,6 +161,60 @@ let test_validate_catches () =
   in
   check "stage violation caught" false (V.is_valid bad2)
 
+let test_bluefield_shape () =
+  let g = Clara_lnic.Bluefield.default in
+  check "valid" true (V.is_valid g);
+  check "off-path" true (g.G.arch = G.Off_path);
+  check "has eswitch" true (G.find_accelerator g U.Eswitch <> None);
+  check_int "8 arm cores" 8 (List.length (G.general_cores g));
+  check "eswitch holds flow-cache SRAM" true
+    (P.accel_sram g.G.params U.Eswitch = 2 * 1024 * 1024);
+  (* Upcall price: only off-path graphs pay it. *)
+  check_int "bluefield upcall 1000" 1000 (G.upcall_cycles g);
+  check_int "netronome upcall 0" 0 (G.upcall_cycles N.default);
+  check_int "host upcall 0" 0 (G.upcall_cycles Clara_lnic.Host.default);
+  (* The eSwitch prices match-action work but refuses table updates —
+     the capability gap behind the CLARA105 slow-path demotion. *)
+  check "eswitch serves lpm" true
+    (P.accel_vcall_cost g.G.params U.Eswitch P.V_lpm_lookup <> None);
+  check "eswitch refuses table_update" true
+    (P.accel_vcall_cost g.G.params U.Eswitch P.V_table_update = None)
+
+let test_validate_offpath_shapes () =
+  let bf = Clara_lnic.Bluefield.default in
+  let has what g =
+    List.exists (fun (e : V.error) -> e.V.what = what) (V.errors g)
+  in
+  (* Disconnected eSwitch: drop every link touching it. *)
+  let esw = Option.get (G.find_accelerator bf U.Eswitch) in
+  let touches l =
+    Clara_lnic.Link.src l = Clara_lnic.Link.U esw.U.id
+    || Clara_lnic.Link.dst l = Clara_lnic.Link.U esw.U.id
+  in
+  let cut =
+    { bf with G.links = List.filter (fun l -> not (touches l)) bf.G.links }
+  in
+  check "disconnected eSwitch caught" true (has "eswitch-disconnected" cut);
+  check "intact bluefield has no such error" false
+    (has "eswitch-disconnected" bf);
+  (* Zero-capacity flow cache. *)
+  let no_sram =
+    { bf with G.params = { bf.G.params with P.accel_sram_bytes = [] } }
+  in
+  check "zero flow cache caught" true (has "eswitch-no-flow-cache" no_sram);
+  (* Off-path NIC whose hub array lost its PCIe DMA hub. *)
+  let no_pcie =
+    { bf with
+      G.hubs = Array.sub bf.G.hubs 0 3;
+      G.links =
+        List.filter
+          (fun l -> Clara_lnic.Link.src l <> Clara_lnic.Link.H 3)
+          bf.G.links }
+  in
+  check "missing PCIe DMA hub caught" true (has "offpath-no-pcie" no_pcie);
+  (* An on-path NIC without a Host_dma hub is fine. *)
+  check "on-path needs no PCIe hub" false (has "offpath-no-pcie" N.default)
+
 let test_warnings () =
   (* The shipped targets are warning-free... *)
   List.iter
@@ -206,5 +260,7 @@ let suite =
     Alcotest.test_case "slice for interference" `Quick test_slice;
     Alcotest.test_case "pipeline stage order" `Quick test_pipeline_ok;
     Alcotest.test_case "validate catches corruption" `Quick test_validate_catches;
+    Alcotest.test_case "bluefield off-path shape" `Quick test_bluefield_shape;
+    Alcotest.test_case "validate off-path shapes" `Quick test_validate_offpath_shapes;
     Alcotest.test_case "validate warnings" `Quick test_warnings ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_slice_monotonic ]

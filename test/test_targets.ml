@@ -52,6 +52,88 @@ let test_asic_beats_npu_on_lpm () =
     (wall L.Asic_nic.default src < wall L.Netronome.default src)
 
 (* ------------------------------------------------------------------ *)
+(* Off-path DPU (bluefield)                                            *)
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_targets_registry () =
+  (* bluefield resolves and the registry's arch tags tell the families
+     apart. *)
+  (match L.Targets.of_name "bluefield" with
+  | Ok g -> check "bluefield off-path" true (g.L.Graph.arch = L.Graph.Off_path)
+  | Error e -> Alcotest.fail e);
+  check "netronome on-path" true
+    (L.Targets.arch_of "netronome" = Some L.Graph.On_path);
+  check "host tagged host-only" true
+    (L.Targets.arch_of "host" = Some L.Graph.Host_only);
+  (* Misspellings within edit distance 2 earn a did-you-mean hint while
+     the error still lists every valid name. *)
+  (match L.Targets.of_name "bluefeld" with
+  | Ok _ -> Alcotest.fail "misspelling resolved"
+  | Error e ->
+      check "hint names bluefield" true (contains e "did you mean \"bluefield\"");
+      check "all names still listed" true
+        (contains e "netronome" && contains e "soc" && contains e "asic"
+        && contains e "host"));
+  (* A distant name gets the plain error, no guessing. *)
+  match L.Targets.of_name "pensando" with
+  | Ok _ -> Alcotest.fail "unknown name resolved"
+  | Error e -> check "no hint for distant name" false (contains e "did you mean")
+
+let test_offpath_two_regimes () =
+  (* Pinned hit ratio selects the regime: all-hit stays on the eSwitch
+     price; all-miss pays the upcall plus a software replay per stateful
+     node, so the gap must cover at least the upcall itself. *)
+  let bf = L.Bluefield.default in
+  let src = Clara_nfs.Lpm.source ~entries:8_192 in
+  match Clara.analyze_for_profile bf ~source:src ~profile with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      let trace = W.Trace.synthesize ~seed:31L profile in
+      let at h =
+        let config =
+          { Lat.default_config with Lat.flow_cache_hit_ratio = Some h }
+        in
+        (Clara.predict ~config a trace).Lat.mean_cycles
+      in
+      let hit = at 1.0 and miss = at 0.0 in
+      check "all-hit cheaper than all-miss" true (hit < miss);
+      check "gap covers the upcall" true
+        (miss -. hit >= float_of_int (L.Graph.upcall_cycles bf));
+      (* Default config (no pin): the LRU lands between the regimes. *)
+      let lru = (Clara.predict a trace).Lat.mean_cycles in
+      check "LRU between regimes" true (hit <= lru && lru <= miss)
+
+let test_cross_arch_verdicts () =
+  (* The §2 selection question: lookup-heavy work wins on the eSwitch
+     fast path, payload-heavy work on the on-path NPU complex — the two
+     architectures must disagree for the sweep to be worth running. *)
+  (* Enough packets that cold flow-cache misses amortize: the verdict
+     should reflect steady state, not the warm-up transient. *)
+  let steady = W.Profile.make ~packets:10_000 ~flow_count:500 () in
+  let wall target src =
+    match Clara.analyze_for_profile target ~source:src ~profile:steady with
+    | Ok a ->
+        let p = Clara.predict_profile a steady in
+        let freq =
+          match L.Graph.general_cores target with
+          | u :: _ -> float_of_int u.L.Unit_.freq_mhz
+          | [] -> 1.
+        in
+        p.Lat.mean_cycles /. freq
+    | Error e -> Alcotest.fail e
+  in
+  let lpm = Clara_nfs.Lpm.source ~entries:8_192 in
+  let dpi = Clara_nfs.Dpi.source in
+  check "bluefield wins lookup-heavy lpm" true
+    (wall L.Bluefield.default lpm < wall L.Netronome.default lpm);
+  check "netronome wins payload-heavy dpi" true
+    (wall L.Netronome.default dpi < wall L.Bluefield.default dpi)
+
+(* ------------------------------------------------------------------ *)
 (* Chains                                                              *)
 
 let lnic = L.Netronome.default
@@ -138,6 +220,9 @@ let suite =
   [ Alcotest.test_case "asic graph valid" `Quick test_asic_valid;
     Alcotest.test_case "asic feasibility answers" `Quick test_asic_feasibility_answers;
     Alcotest.test_case "asic wins on table workloads" `Quick test_asic_beats_npu_on_lpm;
+    Alcotest.test_case "targets registry & did-you-mean" `Quick test_targets_registry;
+    Alcotest.test_case "off-path two-regime latency" `Quick test_offpath_two_regimes;
+    Alcotest.test_case "cross-architecture verdicts" `Quick test_cross_arch_verdicts;
     Alcotest.test_case "chain analyze" `Quick test_chain_analyze;
     Alcotest.test_case "chain error reporting" `Quick test_chain_errors;
     Alcotest.test_case "chain latency composition" `Quick test_chain_latency_composition;
