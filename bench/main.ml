@@ -74,6 +74,84 @@ let csv_out name columns rows =
       Printf.printf "[csv] wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_nicsim.json snapshot plumbing.  Sections merge their own keys
+   into the snapshot (CLARA_BENCH_JSON, default the committed baseline)
+   so `bench nicsim` and `bench offpath` can each run alone without
+   clobbering the other's entry.  Schema history: v1 carried only the
+   nicsim numbers; v2 adds a provenance object (git commit, OCaml
+   version, host, UTC timestamp) and the offpath entry.  Readers accept
+   both. *)
+
+let bench_baseline_path = "BENCH_nicsim.json"
+
+let bench_out_path () =
+  Option.value (Sys.getenv_opt "CLARA_BENCH_JSON") ~default:bench_baseline_path
+
+let read_json_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    if String.trim s = "" then None
+    else
+      match Clara_util.Json.parse s with
+      | Ok j -> Some j
+      | Error e ->
+          Printf.printf "[warn] %s unreadable: %s\n" path e;
+          None
+  end
+
+let load_baseline () =
+  match read_json_file bench_baseline_path with
+  | None -> None
+  | Some j -> (
+      match
+        Option.bind (Clara_util.Json.member "schema" j) Clara_util.Json.to_int_opt
+      with
+      | Some (1 | 2) -> Some j
+      | Some v ->
+          Printf.printf "[warn] %s: unsupported schema %d (expected 1 or 2)\n"
+            bench_baseline_path v;
+          None
+      | None ->
+          Printf.printf "[warn] %s: no schema field\n" bench_baseline_path;
+          None)
+
+(* Read-modify-write: replace [fields] in the snapshot, keep everything
+   else, and restamp schema + provenance. *)
+let update_snapshot fields =
+  let path = bench_out_path () in
+  let keep (k, _) =
+    k <> "schema" && k <> "provenance" && not (List.mem_assoc k fields)
+  in
+  let old =
+    match read_json_file path with
+    | Some (Clara_util.Json.Obj kvs) -> List.filter keep kvs
+    | _ -> []
+  in
+  let p = Clara_calib.Calib.current_provenance ~options_hash:"bench" in
+  let prov =
+    Clara_util.Json.Obj
+      [ ("timestamp", Clara_util.Json.String p.Clara_calib.Calib.timestamp);
+        ("git_commit", Clara_util.Json.String p.Clara_calib.Calib.git_commit);
+        ("ocaml_version", Clara_util.Json.String p.Clara_calib.Calib.ocaml_version);
+        ("host", Clara_util.Json.String p.Clara_calib.Calib.host) ]
+  in
+  let snapshot =
+    Clara_util.Json.Obj
+      (("schema", Clara_util.Json.Int 2)
+      :: ("provenance", prov)
+      :: (fields @ old))
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Clara_util.Json.to_channel oc snapshot);
+  Printf.printf "[json] wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1: performance variability of five NFs                       *)
 
 let figure1 () =
@@ -1057,77 +1135,87 @@ let nicsim_bench () =
       "wordscan" par pps par;
     pps
   in
+  (* --metrics guard: a telemetry collector on the event path must not
+     perturb results (byte-identical result JSON) and must stay cheap
+     (>2% throughput overhead warns; fails under enforce). *)
+  (let prog = Clara_nfs.Nat.ported ~checksum_engine:true () in
+   let trace = W.Trace.synthesize ~seed:31L prof in
+   ignore (Eng.run lnic prog trace);
+   (* warm-up *)
+   let r_off, t_off = time (fun () -> Eng.run lnic prog trace) in
+   let tel = Clara_nicsim.Telemetry.create () in
+   let r_on, t_on = time (fun () -> Eng.run lnic prog ~metrics:tel trace) in
+   let j_off = Clara_util.Json.to_string (Eng.result_to_json r_off) in
+   let j_on = Clara_util.Json.to_string (Eng.result_to_json r_on) in
+   if not (String.equal j_off j_on) then
+     failwith "metrics: results differ with telemetry enabled";
+   if Clara_nicsim.Telemetry.series tel = [] then
+     failwith "metrics: collector recorded no series";
+   let overhead = 100. *. (t_on -. t_off) /. t_off in
+   Printf.printf
+     "%-10s telemetry: identical results; off %6.1f ms   on %6.1f ms   overhead %+5.1f%%\n"
+     "nat" (1e3 *. t_off) (1e3 *. t_on) overhead;
+   if overhead > 2. then begin
+     let msg =
+       Printf.sprintf "telemetry overhead %.1f%% exceeds the 2%% budget" overhead
+     in
+     if enforce then failwith msg
+     else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
+   end);
   (* Snapshot + regression gate.  The committed BENCH_nicsim.json is the
      baseline; CLARA_BENCH_JSON redirects the new snapshot (CI does this
      to keep the tree clean). *)
-  let baseline_path = "BENCH_nicsim.json" in
-  let out_path =
-    Option.value (Sys.getenv_opt "CLARA_BENCH_JSON") ~default:baseline_path
-  in
-  (if Sys.file_exists baseline_path then
-     let ic = open_in_bin baseline_path in
-     let n = in_channel_length ic in
-     let s = really_input_string ic n in
-     close_in ic;
-     match Clara_util.Json.parse s with
-     | Error e -> Printf.printf "[warn] %s unreadable: %s\n" baseline_path e
-     | Ok j ->
-         let old_pps name =
-           match Clara_util.Json.member "nfs" j with
-           | Some (Clara_util.Json.List nfs) ->
-               List.find_map
-                 (fun nf ->
-                   match Clara_util.Json.member "name" nf with
-                   | Some (Clara_util.Json.String n) when String.equal n name ->
-                       Option.bind
-                         (Clara_util.Json.member "fast_pps" nf)
-                         Clara_util.Json.to_float_opt
-                   | _ -> None)
-                 nfs
-           | _ -> None
-         in
-         List.iter
-           (fun (name, _, fa_pps, _) ->
-             match old_pps name with
-             | None -> ()
-             | Some old_ when fa_pps < 0.8 *. old_ ->
-                 let msg =
-                   Printf.sprintf
-                     "%s fast-path throughput regressed: %.0f pps vs baseline %.0f pps (>20%%)"
-                     name fa_pps old_
-                 in
-                 if enforce then failwith msg
-                 else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
-             | Some _ -> ())
-           rows);
-  let snapshot =
-    Clara_util.Json.Obj
-      [ ("schema", Clara_util.Json.Int 1);
-        ("packets", Clara_util.Json.Int packets);
-        ("warmup", Clara_util.Json.Int warmup);
-        ( "nfs",
-          Clara_util.Json.List
-            (List.map
-               (fun (name, ev_pps, fa_pps, replayed) ->
-                 Clara_util.Json.Obj
-                   [ ("name", Clara_util.Json.String name);
-                     ("event_pps", Clara_util.Json.Float ev_pps);
-                     ("fast_pps", Clara_util.Json.Float fa_pps);
-                     ("speedup", Clara_util.Json.Float (fa_pps /. ev_pps));
-                     ("replayed", Clara_util.Json.Int replayed) ])
-               rows) );
-        ( "sharded",
-          Clara_util.Json.Obj
-            [ ("nf", Clara_util.Json.String "wordscan");
-              ("shards", Clara_util.Json.Int 4);
-              ("domains", Clara_util.Json.Int par);
-              ("pps", Clara_util.Json.Float shard_pps) ] ) ]
-  in
-  let oc = open_out out_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Clara_util.Json.to_channel oc snapshot);
-  Printf.printf "[json] wrote %s\n" out_path;
+  (match load_baseline () with
+  | None -> ()
+  | Some j ->
+      let old_pps name =
+        match Clara_util.Json.member "nfs" j with
+        | Some (Clara_util.Json.List nfs) ->
+            List.find_map
+              (fun nf ->
+                match Clara_util.Json.member "name" nf with
+                | Some (Clara_util.Json.String n) when String.equal n name ->
+                    Option.bind
+                      (Clara_util.Json.member "fast_pps" nf)
+                      Clara_util.Json.to_float_opt
+                | _ -> None)
+              nfs
+        | _ -> None
+      in
+      List.iter
+        (fun (name, _, fa_pps, _) ->
+          match old_pps name with
+          | None -> ()
+          | Some old_ when fa_pps < 0.8 *. old_ ->
+              let msg =
+                Printf.sprintf
+                  "%s fast-path throughput regressed: %.0f pps vs baseline %.0f pps (>20%%)"
+                  name fa_pps old_
+              in
+              if enforce then failwith msg
+              else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
+          | Some _ -> ())
+        rows);
+  update_snapshot
+    [ ("packets", Clara_util.Json.Int packets);
+      ("warmup", Clara_util.Json.Int warmup);
+      ( "nfs",
+        Clara_util.Json.List
+          (List.map
+             (fun (name, ev_pps, fa_pps, replayed) ->
+               Clara_util.Json.Obj
+                 [ ("name", Clara_util.Json.String name);
+                   ("event_pps", Clara_util.Json.Float ev_pps);
+                   ("fast_pps", Clara_util.Json.Float fa_pps);
+                   ("speedup", Clara_util.Json.Float (fa_pps /. ev_pps));
+                   ("replayed", Clara_util.Json.Int replayed) ])
+             rows) );
+      ( "sharded",
+        Clara_util.Json.Obj
+          [ ("nf", Clara_util.Json.String "wordscan");
+            ("shards", Clara_util.Json.Int 4);
+            ("domains", Clara_util.Json.Int par);
+            ("pps", Clara_util.Json.Float shard_pps) ] ) ];
   csv_out "nicsim"
     [ "event_pps"; "fast_pps"; "sharded_pps" ]
     (List.map (fun (_, ev, fa, _) -> [ ev; fa; shard_pps ]) rows)
@@ -1195,6 +1283,36 @@ let offpath_bench () =
     failwith
       (Printf.sprintf "offpath: predict-vs-sim p50 error %.1f%% exceeds 15%%"
          err);
+  (* Regression gate against the committed baseline: the absolute
+     predict-vs-sim gap may not grow more than 20% (plus a 0.5 pp noise
+     floor) over the recorded one.  Warns by default; fails under
+     CLARA_BENCH_ENFORCE=1, like the nicsim throughput gate. *)
+  let enforce = Sys.getenv_opt "CLARA_BENCH_ENFORCE" = Some "1" in
+  (match
+     Option.bind (load_baseline ()) (fun j ->
+         Option.bind (Clara_util.Json.member "offpath" j) (fun o ->
+             Option.bind
+               (Clara_util.Json.member "p50_err_pct" o)
+               Clara_util.Json.to_float_opt))
+   with
+  | None -> ()
+  | Some base_err when Float.abs err > (Float.abs base_err *. 1.2) +. 0.5 ->
+      let msg =
+        Printf.sprintf
+          "offpath predict-vs-sim p50 gap regressed: %+.1f%% vs baseline %+.1f%% (>20%%)"
+          err base_err
+      in
+      if enforce then failwith msg
+      else Printf.printf "[warn] %s (CLARA_BENCH_ENFORCE=1 would fail)\n" msg
+  | Some base_err ->
+      Printf.printf "p50 gap vs baseline: %+.1f%% now, %+.1f%% recorded — ok\n" err
+        base_err);
+  update_snapshot
+    [ ( "offpath",
+        Clara_util.Json.Obj
+          [ ("nf", Clara_util.Json.String "lpm");
+            ("entries", Clara_util.Json.Int entries);
+            ("p50_err_pct", Clara_util.Json.Float err) ] ) ];
   (* 3. Cross-architecture verdicts in wall time. *)
   let mean_us lnic' src' =
     match Clara.analyze_for_profile lnic' ~source:src' ~profile:prof with

@@ -484,6 +484,41 @@ let resolve_nf arg =
   if Sys.file_exists arg then (Filename.basename arg, read_file arg)
   else (arg, (corpus_entry arg).Clara_nfs.Corpus.source)
 
+(* ---- sim-time telemetry (--metrics) --------------------------------- *)
+
+let metrics_arg =
+  let doc =
+    "Write sim-time telemetry series (per-tenant queue depth, goodput, drops, \
+     latency, WRR deficit, cache hits/misses; sim-wide accel/DMA occupancy, \
+     upcalls, fast-path outcomes) to $(docv).  A '.csv' extension selects CSV, \
+     anything else JSON.  Off by default, with zero simulation cost when off."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let metrics_cadence_arg =
+  let doc = "Telemetry window width in core cycles (downsamples as runs grow)." in
+  Arg.(value & opt int 8192 & info [ "metrics-cadence" ] ~docv:"CYCLES" ~doc)
+
+let metrics_of ~metrics ~cadence =
+  match metrics with
+  | None -> None
+  | Some _ ->
+      if cadence <= 0 then or_die (Error "--metrics-cadence must be positive");
+      Some (Nsim.Telemetry.create ~cadence ())
+
+let write_metrics tel path_opt =
+  match (tel, path_opt) with
+  | Some t, Some path ->
+      if Filename.check_suffix path ".csv" then begin
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Nsim.Telemetry.to_csv t))
+      end
+      else write_json_file path (Nsim.Telemetry.to_json t);
+      Format.eprintf "clara: wrote metrics to %s@." path
+  | _ -> ()
+
 (* ---- lint ----------------------------------------------------------- *)
 
 let lint_cmd =
@@ -566,16 +601,20 @@ let trace_cmd =
     Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc)
   in
   let run nf nf_b nic payload packets flows rate tcp pcap seed out limit slowest timeline
-      threads stats stats_json =
+      threads metrics metrics_cadence stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
     let sink = Nsim.Trace.create ~limit () in
+    let tel = metrics_of ~metrics ~cadence:metrics_cadence in
     let ea = corpus_entry nf in
     let freq_mhz =
       match nf_b with
       | None ->
           let wtrace = trace_of ~pcap ~profile ~seed in
-          let r = Nsim.Engine.run ?threads ~sink lnic ea.Clara_nfs.Corpus.ported wtrace in
+          let r =
+            Nsim.Engine.run ?threads ~sink ?metrics:tel lnic ea.Clara_nfs.Corpus.ported
+              wtrace
+          in
           Format.printf "%s on %s: %a@." nf nic Nsim.Engine.pp_result r;
           r.Nsim.Engine.freq_mhz
       | Some nfb ->
@@ -583,8 +622,13 @@ let trace_cmd =
           let ta = trace_of ~pcap ~profile ~seed in
           let tb = trace_of ~pcap:None ~profile ~seed:(seed + 1) in
           let ra, rb =
-            Nsim.Engine.run_pair ?threads ~sink lnic ea.Clara_nfs.Corpus.ported
-              eb.Clara_nfs.Corpus.ported ta tb
+            match
+              Nsim.Engine.run_tenants ?threads ~sink ?metrics:tel lnic
+                [| ea.Clara_nfs.Corpus.ported; eb.Clara_nfs.Corpus.ported |]
+                [| ta; tb |]
+            with
+            | [| a; b |] -> (a, b)
+            | _ -> assert false
           in
           Format.printf "co-resident on %s:@." nic;
           Format.printf "  %-14s %a@." nf Nsim.Engine.pp_result ra;
@@ -608,6 +652,7 @@ let trace_cmd =
         Nsim.Trace_export.write_perfetto sink ~freq_mhz ~path;
         Format.eprintf "clara: wrote Perfetto trace to %s@." path)
       out;
+    write_metrics tel metrics;
     emit_stats ~stats ~stats_json
   in
   let doc =
@@ -619,7 +664,8 @@ let trace_cmd =
     Term.(
       const run $ nf_arg $ nf_b_arg $ nic_arg $ payload_arg $ packets_arg $ flows_arg
       $ rate_arg $ tcp_arg $ pcap_arg $ seed_arg $ out_arg $ limit_arg $ slowest_arg
-      $ timeline_arg $ threads_arg $ stats_arg $ stats_json_arg)
+      $ timeline_arg $ threads_arg $ metrics_arg $ metrics_cadence_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ---- sim ------------------------------------------------------------ *)
 
@@ -665,11 +711,12 @@ let sim_cmd =
     | ir -> Clara_analysis.Sharing.stateless ir
   in
   let run nf nic fast warmup domains shards threads payload packets flows rate tcp pcap
-      seed json stats stats_json =
+      seed metrics metrics_cadence json stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
     let entry = corpus_entry nf in
     let profile = profile_of ~payload ~packets ~flows ~rate ~tcp in
     let wtrace = trace_of ~pcap ~profile ~seed in
+    let tel = metrics_of ~metrics ~cadence:metrics_cadence in
     let fast_mode, why =
       match fast with
       | "off" -> (Nsim.Engine.Event_only, "forced off")
@@ -683,11 +730,11 @@ let sim_cmd =
     let t0 = Unix.gettimeofday () in
     let r =
       if domains > 1 || shards <> None then
-        Nsim.Engine.run_sharded ~domains ?shards ?threads ~fast:fast_mode lnic
-          entry.Clara_nfs.Corpus.ported wtrace
+        Nsim.Engine.run_sharded ~domains ?shards ?threads ?metrics:tel ~fast:fast_mode
+          lnic entry.Clara_nfs.Corpus.ported wtrace
       else
-        Nsim.Engine.run ?threads ~fast:fast_mode lnic entry.Clara_nfs.Corpus.ported
-          wtrace
+        Nsim.Engine.run ?threads ?metrics:tel ~fast:fast_mode lnic
+          entry.Clara_nfs.Corpus.ported wtrace
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     let total = r.Nsim.Engine.summary.Nsim.Stats.packets + r.Nsim.Engine.summary.Nsim.Stats.drops in
@@ -709,6 +756,7 @@ let sim_cmd =
       Format.printf "fast path: %s@." why;
       Format.printf "simulated %d packets in %.3fs — %.0f packets/sec@." total wall_s pps
     end;
+    write_metrics tel metrics;
     emit_stats ~stats ~stats_json
   in
   let doc =
@@ -721,7 +769,8 @@ let sim_cmd =
     Term.(
       const run $ nf_arg $ nic_arg $ fast_arg $ warmup_arg $ domains_arg $ shards_arg
       $ threads_arg $ payload_arg $ packets_arg $ flows_arg $ rate_arg $ tcp_arg
-      $ pcap_arg $ seed_arg $ json_arg $ stats_arg $ stats_json_arg)
+      $ pcap_arg $ seed_arg $ metrics_arg $ metrics_cadence_arg $ json_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ---- json-check ------------------------------------------------------ *)
 
@@ -730,16 +779,175 @@ let json_check_cmd =
     let doc = "JSON file to validate." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
-    let s = read_file file in
-    match Clara_util.Json.parse s with
-    | Ok _ -> Printf.printf "%s: valid JSON (%d bytes)\n" file (String.length s)
-    | Error e ->
-        prerr_endline ("clara: " ^ file ^ ": " ^ e);
-        exit 1
+  let lines_arg =
+    let doc =
+      "Treat the file as JSON Lines (one JSON value per non-empty line), e.g. a \
+       calibration ledger."
+    in
+    Arg.(value & flag & info [ "lines" ] ~doc)
   in
-  let doc = "Validate that a file parses as JSON (used by CI smoke tests)." in
-  Cmd.v (Cmd.info "json-check" ~doc) Term.(const run $ file_arg)
+  let run file lines =
+    let s = read_file file in
+    if lines then begin
+      let n = ref 0 in
+      String.split_on_char '\n' s
+      |> List.iteri (fun i line ->
+             if String.trim line <> "" then
+               match Clara_util.Json.parse line with
+               | Ok _ -> incr n
+               | Error e ->
+                   prerr_endline
+                     (Printf.sprintf "clara: %s:%d: %s" file (i + 1) e);
+                   exit 1);
+      Printf.printf "%s: valid JSONL (%d records)\n" file !n
+    end
+    else
+      match Clara_util.Json.parse s with
+      | Ok _ -> Printf.printf "%s: valid JSON (%d bytes)\n" file (String.length s)
+      | Error e ->
+          prerr_endline ("clara: " ^ file ^ ": " ^ e);
+          exit 1
+  in
+  let doc =
+    "Validate that a file parses as JSON, or as JSON Lines with $(b,--lines) \
+     (used by CI smoke tests)."
+  in
+  Cmd.v (Cmd.info "json-check" ~doc) Term.(const run $ file_arg $ lines_arg)
+
+(* ---- calibrate / report --------------------------------------------- *)
+
+module Calib = Clara_calib.Calib
+
+let ledger_arg =
+  let doc = "Calibration ledger file (JSON Lines, one record per case)." in
+  Arg.(value & opt string "calibration.jsonl" & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let calibrate_cmd =
+  let nfs_arg =
+    let doc =
+      "NFs to calibrate: corpus names or DSL file paths (a path reduces to its \
+       basename, so examples/nf_sources/*.clara works).  Default: the whole \
+       corpus."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"NF" ~doc)
+  in
+  let nics_arg =
+    let doc = "Comma-separated targets to calibrate against." in
+    Arg.(
+      value
+      & opt string "netronome,soc,bluefield"
+      & info [ "nics" ] ~docv:"NIC,..." ~doc)
+  in
+  let packets_arg =
+    let doc = "Trace length in packets per case." in
+    Arg.(value & opt int 4000 & info [ "packets" ] ~docv:"N" ~doc)
+  in
+  let flows_arg =
+    let doc = "Concurrent flows per case." in
+    Arg.(value & opt int 2000 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let run nfs nics ledger payload packets flows rate tcp seed json stats stats_json =
+    let nfs = if nfs = [] then Clara_nfs.Corpus.names else nfs in
+    let nics =
+      String.split_on_char ',' nics |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if nics = [] then or_die (Error "--nics is empty");
+    let appended = ref [] in
+    let failed = ref 0 in
+    List.iter
+      (fun nf ->
+        List.iter
+          (fun nic ->
+            let case =
+              {
+                (Calib.default_case ~nf ~nic) with
+                Calib.case_packets = packets;
+                case_payload = payload;
+                case_flows = flows;
+                case_rate = rate;
+                case_tcp = tcp;
+                case_seed = seed;
+              }
+            in
+            match Calib.run_case case with
+            | Error e ->
+                incr failed;
+                Format.eprintf "clara: skipping %s@." e
+            | Ok r ->
+                Calib.append ~path:ledger r;
+                appended := r :: !appended;
+                if not json then
+                  Printf.printf
+                    "%-14s %-10s pred %8.0f cyc  sim %8.0f cyc  gap %+6.1f%%  p50 \
+                     %+6.1f%%  p99 %+6.1f%%\n"
+                    r.Calib.nf r.Calib.nic r.Calib.pred_mean r.Calib.sim_mean
+                    r.Calib.gap_mean_pct r.Calib.gap_p50_pct r.Calib.gap_p99_pct)
+          nics)
+      nfs;
+    let records = List.rev !appended in
+    if json then
+      print_endline
+        (Clara_util.Json.to_string
+           (Clara_util.Json.Obj
+              [
+                ("ledger", Clara_util.Json.String ledger);
+                ("appended", Clara_util.Json.Int (List.length records));
+                ("skipped", Clara_util.Json.Int !failed);
+                ( "records",
+                  Clara_util.Json.List (List.map Calib.record_to_json records) );
+              ]))
+    else
+      Printf.printf "appended %d record%s to %s (%d case%s skipped)\n"
+        (List.length records)
+        (if List.length records = 1 then "" else "s")
+        ledger !failed
+        (if !failed = 1 then "" else "s");
+    emit_stats ~stats ~stats_json;
+    if records = [] then exit 1
+  in
+  let doc =
+    "Run the static predictor and the event simulator over an NF x NIC x \
+     workload corpus, decompose both latencies per component \
+     (queue/compute/accel-wait/mem/wire), and append per-case calibration \
+     records (signed component errors, p50/p99 gaps, provenance) to the \
+     ledger.  Cases a target cannot host are skipped with a warning."
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc)
+    Term.(
+      const run $ nfs_arg $ nics_arg $ ledger_arg $ payload_arg $ packets_arg
+      $ flows_arg $ rate_arg $ tcp_arg $ seed_arg $ json_arg $ stats_arg
+      $ stats_json_arg)
+
+let report_cmd =
+  let threshold_arg =
+    let doc =
+      "Drift threshold in percentage points: the latest entry of an (NF, NIC) \
+       group drifts when its absolute gap exceeds the previous entry's by more \
+       than this."
+    in
+    Arg.(value & opt float 5.0 & info [ "threshold" ] ~docv:"PP" ~doc)
+  in
+  let run ledger threshold json =
+    let records = or_die (Calib.load ~path:ledger) in
+    let rep = Calib.build_report ~drift_threshold:threshold records in
+    if json then print_endline (Clara_util.Json.to_string (Calib.report_to_json rep))
+    else Format.printf "%a" Calib.pp_report rep;
+    if rep.Calib.drifts <> [] then begin
+      if Sys.getenv_opt "CLARA_BENCH_ENFORCE" = Some "1" then begin
+        prerr_endline "clara: accuracy drift detected and CLARA_BENCH_ENFORCE=1";
+        exit 4
+      end
+      else prerr_endline "clara: warning: accuracy drift detected (not enforcing)"
+    end
+  in
+  let doc =
+    "Summarize a calibration ledger: per-NF / per-NIC error tables, \
+     worst-component attribution, and drift detection against prior entries \
+     (warns by default; exits 4 under CLARA_BENCH_ENFORCE=1)."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ ledger_arg $ threshold_arg $ json_arg)
 
 (* ---- interfere ------------------------------------------------------ *)
 
@@ -860,9 +1068,10 @@ let tenants_cmd =
     let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0. xs in
     if s2 <= 0. then 1. else s *. s /. (n *. s2)
   in
-  let run nfs weights_s nic payload packets flows rate tcp seed slo threads json stats
-      stats_json =
+  let run nfs weights_s nic payload packets flows rate tcp seed slo threads metrics
+      metrics_cadence json stats stats_json =
     let lnic = or_die (lnic_of_name nic) in
+    let tel = metrics_of ~metrics ~cadence:metrics_cadence in
     let n = List.length nfs in
     if n < 2 then or_die (Error "tenants needs at least two NFs");
     let weights = parse_weights n weights_s in
@@ -895,7 +1104,7 @@ let tenants_cmd =
           Array.init n (fun i ->
               W.Trace.synthesize ~seed:(Int64.of_int (seed + i)) profile)
         in
-        match Nsim.Engine.run_tenants ?threads ~weights lnic progs traces with
+        match Nsim.Engine.run_tenants ?threads ~weights ?metrics:tel lnic progs traces with
         | rs -> Ok rs
         | exception Invalid_argument m -> Error ("simulation skipped: " ^ m)
       end
@@ -1050,6 +1259,7 @@ let tenants_cmd =
           "warning: aggregate accelerator demand saturates the NIC; contended \
            predictions are lower bounds\n"
     end;
+    write_metrics tel metrics;
     emit_stats ~stats ~stats_json
   in
   let doc =
@@ -1060,8 +1270,8 @@ let tenants_cmd =
   Cmd.v (Cmd.info "tenants" ~doc)
     Term.(
       const run $ nfs_arg $ weights_arg $ nic_arg $ payload_arg $ packets_arg
-      $ flows_arg $ rate_arg $ tcp_arg $ seed_arg $ slo_arg $ threads_arg $ json_arg
-      $ stats_arg $ stats_json_arg)
+      $ flows_arg $ rate_arg $ tcp_arg $ seed_arg $ slo_arg $ threads_arg $ metrics_arg
+      $ metrics_cadence_arg $ json_arg $ stats_arg $ stats_json_arg)
 
 (* ---- corpus --------------------------------------------------------- *)
 
@@ -1100,4 +1310,5 @@ let () =
        (Cmd.group info
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
-            interfere_cmd; tenants_cmd; trace_cmd; sim_cmd; lint_cmd; json_check_cmd ]))
+            interfere_cmd; tenants_cmd; trace_cmd; sim_cmd; calibrate_cmd;
+            report_cmd; lint_cmd; json_check_cmd ]))

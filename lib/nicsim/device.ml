@@ -41,6 +41,13 @@ type sim = {
   has_fpu : bool;
   mutable fc_hits : int;
   mutable fc_misses : int;
+  (* Cumulative occupancy: total cycles any accelerator / DMA lane spent
+     busy, and how many flow-cache misses were upcalled.  Plain adds on
+     paths that already mutate the sim, so they cost nothing measurable;
+     telemetry samples them by delta. *)
+  mutable accel_busy : int;
+  mutable dma_busy : int;
+  mutable upcall_count : int;
   (* Per-program cache accounting, indexed by [prog_id].  run_pair's
      per-side hit rates come from here; the shared totals above stay for
      single-program callers. *)
@@ -148,9 +155,14 @@ let replay sim ~start (p : profile) =
               let s = max !clock !free in
               let done_ = s + c in
               free := done_;
+              sim.accel_busy <- sim.accel_busy + c;
               clock := done_)
-      | Seg_dma_rx c -> clock := replay_dma sim.dma_rx_free !clock c
-      | Seg_dma_tx c -> clock := replay_dma sim.dma_tx_free !clock c)
+      | Seg_dma_rx c ->
+          sim.dma_busy <- sim.dma_busy + c;
+          clock := replay_dma sim.dma_rx_free !clock c
+      | Seg_dma_tx c ->
+          sim.dma_busy <- sim.dma_busy + c;
+          clock := replay_dma sim.dma_tx_free !clock c)
     p.segs;
   !clock
 
@@ -241,6 +253,9 @@ let create_sim_shared lnic progs =
     has_fpu;
     fc_hits = 0;
     fc_misses = 0;
+    accel_busy = 0;
+    dma_busy = 0;
+    upcall_count = 0;
     fc_hits_by = Array.make nprogs 0;
     fc_misses_by = Array.make nprogs 0;
     emem_hits_by = Array.make nprogs 0;
@@ -311,6 +326,7 @@ let use_accel ctx kind cycles =
       let start = max ctx.clock !free in
       let done_ = start + cycles in
       free := done_;
+      ctx.sim.accel_busy <- ctx.sim.accel_busy + cycles;
       ctx.clock <- done_;
       rec_seg ctx (Seg_accel (kind, cycles)) done_;
       (match ctx.trace with
@@ -381,18 +397,30 @@ let table_access ctx (ts : table_state) ~mode ~key =
 (* Handler operations                                                  *)
 
 let parse_header ctx ~engine =
-  if engine then begin
-    (* The dedicated parser when the NIC has one; off-path parts parse
-       in the eSwitch match-action pipeline instead. *)
-    let kind =
-      match L.Graph.find_accelerator ctx.sim.lnic L.Unit_.Parse with
-      | Some _ -> L.Unit_.Parse
-      | None -> ctx.sim.fc_kind
-    in
-    use_accel ctx kind
-      (accel_vcall_cost ctx kind P.V_parse_header (W.Packet.header_bytes ctx.pkt))
-  end
-  else begin
+  (* The dedicated parser when the NIC has one; off-path parts parse in
+     the eSwitch match-action pipeline instead.  A NIC with neither
+     (e.g. a plain ARM SoC) parses on the cores even when the program
+     asked for the engine — that's what the hardware would do. *)
+  let engine_kind =
+    if not engine then None
+    else
+      let kind =
+        match L.Graph.find_accelerator ctx.sim.lnic L.Unit_.Parse with
+        | Some _ -> L.Unit_.Parse
+        | None -> ctx.sim.fc_kind
+      in
+      match
+        ( Hashtbl.find_opt ctx.sim.accel_free kind,
+          P.accel_vcall_cost ctx.sim.params kind P.V_parse_header )
+      with
+      | Some _, Some _ -> Some kind
+      | _ -> None
+  in
+  match engine_kind with
+  | Some kind ->
+      use_accel ctx kind
+        (accel_vcall_cost ctx kind P.V_parse_header (W.Packet.header_bytes ctx.pkt))
+  | None -> begin
     let t0 = ctx.clock in
     spend ctx (core_vcall_cost ctx P.V_parse_header (W.Packet.header_bytes ctx.pkt));
     emit_compute ctx ~label:"parse" ~t0 ~arg:(W.Packet.header_bytes ctx.pkt)
@@ -530,6 +558,7 @@ let lpm_lookup ctx name ~key =
                tainted, so the recorder never replays this). *)
             if ctx.sim.upcall_cycles > 0 then begin
               let t0 = ctx.clock in
+              ctx.sim.upcall_count <- ctx.sim.upcall_count + 1;
               spend ctx ctx.sim.upcall_cycles;
               emit ctx ~kind:Trace.Hub ~label:"upcall" ~t0 ~arg:0
             end;
@@ -601,6 +630,7 @@ let use_dma ctx dir cycles =
   let start = max ctx.clock lanes.(!li) in
   let done_ = start + cycles in
   lanes.(!li) <- done_;
+  ctx.sim.dma_busy <- ctx.sim.dma_busy + cycles;
   ctx.clock <- done_;
   rec_seg ctx
     (match dir with `Rx -> Seg_dma_rx cycles | `Tx -> Seg_dma_tx cycles)
@@ -640,6 +670,9 @@ let wire_tx ctx =
 
 let flow_cache_hits sim = sim.fc_hits
 let flow_cache_misses sim = sim.fc_misses
+let accel_busy_cycles sim = sim.accel_busy
+let dma_busy_cycles sim = sim.dma_busy
+let upcalls sim = sim.upcall_count
 let mem sim = sim.memm
 
 let[@inline] cell arr i = if i >= 0 && i < Array.length arr then arr.(i) else 0

@@ -135,6 +135,19 @@ val wire_tx : t -> unit
 
 val flow_cache_hits : sim -> int
 val flow_cache_misses : sim -> int
+
+val accel_busy_cycles : sim -> int
+(** Cumulative cycles any accelerator spent servicing requests (execute
+    and fast-path replay alike).  Telemetry samples this by delta to
+    chart accelerator occupancy over sim time. *)
+
+val dma_busy_cycles : sim -> int
+(** Cumulative busy cycles across all RX+TX DMA lanes. *)
+
+val upcalls : sim -> int
+(** Flow-cache misses that paid the off-path fabric upcall (always 0 on
+    on-path targets). *)
+
 val mem : sim -> Mem_model.t
 
 (** Per-program cache accounting (indexed by the [prog] passed to

@@ -124,8 +124,10 @@ let make_side ~pid ~nthreads ~capacity ~fp prog =
 
 (* [obs_on] gates the process-global metrics: sharded workers run on
    other domains, where the registry's plain mutable cells must not be
-   touched concurrently. *)
-let dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
+   touched concurrently.  [tel] is the optional sim-time telemetry
+   collector: like [sink], every hook is one [match], so runs without
+   [--metrics] do no telemetry work at all. *)
+let dispatch ~sim ~sink ~obs_on ~tel ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
   let arrival = cycles_of_ns pkt.W.Packet.arrival_ns in
   let inflight = side.inflight in
   (* Retire completed packets from the in-flight window. *)
@@ -134,6 +136,9 @@ let dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
   done;
   let depth = Heap.length inflight in
   if obs_on then Clara_obs.Metrics.observe h_qdepth depth;
+  (match tel with
+  | None -> ()
+  | Some t -> Telemetry.on_arrival t ~tenant:side.pid ~now:arrival ~depth);
   ev sink ~seq ~prog:side.pid ~thread:(-1) ~kind:Trace.Arrival ~label:"" ~t0:arrival
     ~t1:arrival ~arg:depth;
   let nthreads = side.threads.Tpool.n in
@@ -141,6 +146,9 @@ let dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
     (* Ingress queue full: drop. *)
     if obs_on then Clara_obs.Metrics.incr c_drops;
     Stats.record_drop side.stats;
+    (match tel with
+    | None -> ()
+    | Some t -> Telemetry.on_drop t ~tenant:side.pid ~now:arrival);
     ev sink ~seq ~prog:side.pid ~thread:(-1) ~kind:Trace.Dropped ~label:"" ~t0:arrival
       ~t1:arrival ~arg:depth
   end
@@ -164,26 +172,41 @@ let dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq (pkt : W.Packet.t) =
       | Device.Drop -> ());
       ctx
     in
+    let[@inline] tel_fast replayed =
+      match tel with
+      | None -> ()
+      | Some t -> Telemetry.on_fast t ~now:arrival ~replayed
+    in
     let done_ =
       match side.fp with
-      | None -> Device.now (execute ())
+      | None ->
+          tel_fast false;
+          Device.now (execute ())
       | Some fp -> (
           match Fastpath.decide fp ~seq pkt with
           | Fastpath.Replay p ->
               Fastpath.count_replay fp;
+              tel_fast true;
               Device.replay sim ~start p
           | Fastpath.Record ->
               Fastpath.count_execute fp;
+              tel_fast false;
               let ctx = execute ~recorder:side.recorder () in
               Fastpath.note fp pkt (Device.recorded ctx);
               Device.now ctx
           | Fastpath.Plain ->
               Fastpath.count_execute fp;
+              tel_fast false;
               Device.now (execute ()))
     in
     Tpool.set_min_free side.threads done_;
     Heap.push inflight done_;
     if obs_on then Clara_obs.Metrics.incr c_packets;
+    (match tel with
+    | None -> ()
+    | Some t ->
+        Telemetry.on_retire t ~sim ~tenant:side.pid ~now:arrival
+          ~latency:(done_ - arrival) ~service:(done_ - start));
     ev sink ~seq ~prog:side.pid ~thread:ti ~kind:Trace.Retire ~label:"" ~t0:done_
       ~t1:done_ ~arg:(retire_arg pkt);
     Stats.record side.stats ~proto:pkt.W.Packet.proto ~syn:(W.Packet.is_syn pkt)
@@ -217,7 +240,7 @@ let finish sim ~freq_mhz side =
 (* Single-program run against one sim; shared by [run] (full NIC,
    metrics on) and [run_sharded]'s workers (a 1/shards slice, metrics
    off).  Returns the side so sharding can merge raw stats. *)
-let run_core ?threads ?queue_capacity ?sink ~fast ~obs_on lnic (prog : Device.prog)
+let run_core ?threads ?queue_capacity ?sink ?tel ~fast ~obs_on lnic (prog : Device.prog)
     (trace : W.Trace.t) =
   let sim = Device.create_sim lnic prog in
   let freq_mhz = freq_of ~who:"Engine.run" lnic in
@@ -236,15 +259,19 @@ let run_core ?threads ?queue_capacity ?sink ~fast ~obs_on lnic (prog : Device.pr
   W.Trace.iter
     (fun pkt ->
       incr seq;
-      dispatch ~sim ~sink ~obs_on ~cycles_of_ns side ~seq:!seq pkt)
+      dispatch ~sim ~sink ~obs_on ~tel ~cycles_of_ns side ~seq:!seq pkt)
     trace;
   (side, sim, freq_mhz)
 
-let run ?threads ?queue_capacity ?sink ?(fast = Event_only) lnic prog trace =
+let run ?threads ?queue_capacity ?sink ?metrics ?(fast = Event_only) lnic prog trace =
   Clara_obs.Registry.span obs "nicsim" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
+  (match metrics with
+  | None -> ()
+  | Some t -> Telemetry.set_tenants t [| prog.Device.name |]);
   let side, sim, freq_mhz =
-    run_core ?threads ?queue_capacity ?sink ~fast ~obs_on:true lnic prog trace
+    run_core ?threads ?queue_capacity ?sink ?tel:metrics ~fast ~obs_on:true lnic prog
+      trace
   in
   finish sim ~freq_mhz side
 
@@ -294,8 +321,8 @@ let result_to_json r =
    the two-stage WRR of {!Scheduler}, so a heavy tenant cannot starve a
    light one of dispatch slots. *)
 
-let run_tenants ?threads ?queue_capacity ?weights ?sink ?(fast = Event_only) lnic
-    (progs : Device.prog array) (traces : W.Trace.t array) =
+let run_tenants ?threads ?queue_capacity ?weights ?sink ?metrics ?(fast = Event_only)
+    lnic (progs : Device.prog array) (traces : W.Trace.t array) =
   let n = Array.length progs in
   if n = 0 then invalid_arg "Engine.run_tenants: no tenants";
   if Array.length traces <> n then
@@ -333,6 +360,9 @@ let run_tenants ?threads ?queue_capacity ?weights ?sink ?(fast = Event_only) lni
   (match sink with
   | None -> ()
   | Some s -> Trace.set_progs s (Array.map (fun p -> p.Device.name) progs));
+  (match metrics with
+  | None -> ()
+  | Some t -> Telemetry.set_tenants t (Array.map (fun p -> p.Device.name) progs));
   let sides =
     Array.init n (fun i ->
         make_side ~pid:i ~nthreads:nthreads.(i) ~capacity:caps.(i)
@@ -380,7 +410,13 @@ let run_tenants ?threads ?queue_capacity ?weights ?sink ?(fast = Event_only) lni
     done;
     Scheduler.drain sched (fun tid pkt ->
         incr seq;
-        dispatch ~sim ~sink ~obs_on:true ~cycles_of_ns sides.(tid) ~seq:!seq pkt)
+        (match metrics with
+        | None -> ()
+        | Some t ->
+            let now = cycles_of_ns pkt.W.Packet.arrival_ns in
+            Telemetry.on_deficit t ~tenant:tid ~now ~credit:(Scheduler.credit sched tid));
+        dispatch ~sim ~sink ~obs_on:true ~tel:metrics ~cycles_of_ns sides.(tid)
+          ~seq:!seq pkt)
   done;
   Array.map (fun side -> finish sim ~freq_mhz side) sides
 
@@ -410,11 +446,14 @@ let add_fast (a : Fastpath.stats) (b : Fastpath.stats) =
     enabled = a.Fastpath.enabled || b.Fastpath.enabled;
   }
 
-let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?(fast = Event_only)
-    lnic (prog : Device.prog) (trace : W.Trace.t) =
+let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?metrics
+    ?(fast = Event_only) lnic (prog : Device.prog) (trace : W.Trace.t) =
   Clara_obs.Registry.span obs "nicsim-sharded" @@ fun () ->
   Clara_obs.Metrics.incr c_runs;
   let shards = match shards with Some s -> max 1 s | None -> max 1 domains in
+  (match metrics with
+  | None -> ()
+  | Some t -> Telemetry.set_tenants t [| prog.Device.name |]);
   let freq_mhz = freq_of ~who:"Engine.run_sharded" lnic in
   let total_threads =
     match threads with Some n -> max 1 n | None -> max 1 (L.Graph.total_threads lnic)
@@ -445,8 +484,16 @@ let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?(fast = Event_o
   let outcomes, _pool_stats =
     Pool.map ~domains
       (fun i ->
-        run_core ~threads:per_threads.(i) ~queue_capacity:per_capacity.(i) ~fast
-          ~obs_on:false lnic prog sub.(i))
+        (* Each worker records into its own collector (the coordinator's
+           cells must not be touched from other domains); the per-shard
+           series merge below in shard order, so the merged telemetry —
+           like the merged stats — depends on the shard count only. *)
+        let tel = Option.map Telemetry.fresh_like metrics in
+        let side, sim, freq =
+          run_core ~threads:per_threads.(i) ~queue_capacity:per_capacity.(i) ?tel ~fast
+            ~obs_on:false lnic prog sub.(i)
+        in
+        (side, sim, freq, tel))
       shards
   in
   let done_ =
@@ -456,14 +503,19 @@ let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?(fast = Event_o
         | Pool.Failed m -> failwith ("Engine.run_sharded: shard failed: " ^ m))
       outcomes
   in
+  (match metrics with
+  | None -> ()
+  | Some t ->
+      Telemetry.absorb t
+        (Array.to_list done_ |> List.filter_map (fun (_, _, _, tel) -> tel)));
   (* The workers could not touch the global metrics; account the merged
      totals once, from the coordinating domain. *)
-  let stats_all = Array.to_list (Array.map (fun (side, _, _) -> side.stats) done_) in
+  let stats_all = Array.to_list (Array.map (fun (side, _, _, _) -> side.stats) done_) in
   let merged = Stats.merge stats_all in
   let summary = Stats.summarize merged in
   Clara_obs.Metrics.add c_packets summary.Stats.packets;
   Clara_obs.Metrics.add c_drops summary.Stats.drops;
-  let sum f = Array.fold_left (fun a (side, sim, _) -> a + f sim side.pid) 0 done_ in
+  let sum f = Array.fold_left (fun a (side, sim, _, _) -> a + f sim side.pid) 0 done_ in
   {
     summary;
     emem_hit_rate = ratio (sum Device.emem_hits_of) (sum Device.emem_misses_of);
@@ -472,7 +524,7 @@ let run_sharded ?(domains = 1) ?shards ?threads ?queue_capacity ?(fast = Event_o
     freq_mhz;
     fast =
       Array.fold_left
-        (fun acc (side, _, _) ->
+        (fun acc (side, _, _, _) ->
           match side.fp with Some fp -> add_fast acc (Fastpath.stats fp) | None -> acc)
         no_fast done_;
   }

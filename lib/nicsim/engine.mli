@@ -48,6 +48,7 @@ val run :
   ?threads:int ->
   ?queue_capacity:int ->
   ?sink:Trace.t ->
+  ?metrics:Telemetry.t ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
@@ -58,14 +59,18 @@ val run :
     sharded runs are comparable at a pinned capacity.  [sink] installs a
     per-packet event trace ({!Trace}); without it the run does no trace
     work and results are byte-identical to a traced run's (the
-    [bench trace] section guards this).  [fast] defaults to
-    {!Event_only}; [Auto] is ignored when [sink] is set. *)
+    [bench trace] section guards this).  [metrics] installs a sim-time
+    telemetry collector ({!Telemetry}) under the same discipline:
+    without it no telemetry work happens and results are byte-identical
+    to an instrumented run's.  [fast] defaults to {!Event_only}; [Auto]
+    is ignored when [sink] is set. *)
 
 val run_sharded :
   ?domains:int ->
   ?shards:int ->
   ?threads:int ->
   ?queue_capacity:int ->
+  ?metrics:Telemetry.t ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog ->
@@ -82,7 +87,9 @@ val run_sharded :
     shard count the result is byte-identical across any domain count.
     Not a bit-exact model of one shared NIC: cross-flow contention on
     accelerators and EMEM is confined to each slice.  Tracing is
-    unsupported here (use {!run}). *)
+    unsupported here (use {!run}).  [metrics] gives each shard worker a
+    fresh collector and merges them in shard order, so the telemetry —
+    like the stats — is deterministic in the shard count. *)
 
 val mean_latency_cycles : result -> float
 
@@ -97,6 +104,7 @@ val run_tenants :
   ?queue_capacity:int ->
   ?weights:int array ->
   ?sink:Trace.t ->
+  ?metrics:Telemetry.t ->
   ?fast:fast_mode ->
   Clara_lnic.Graph.t ->
   Device.prog array ->

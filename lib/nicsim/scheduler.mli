@@ -22,6 +22,13 @@ val length : _ t -> int
 (** Total queued items across all tenants. *)
 
 val queue_length : _ t -> int -> int
+
+val credit : _ t -> int -> int
+(** The tenant's remaining per-round credit — its current WRR deficit
+    counter.  Replenishes to the weight when every backlogged tenant has
+    spent its credit.  Telemetry samples this to show fairness
+    transients. *)
+
 val is_empty : _ t -> bool
 
 val enqueue : 'a t -> tenant:int -> 'a -> unit

@@ -1,0 +1,89 @@
+(** Fixed-cadence windowed time series with bounded memory.
+
+    A series buckets observations into windows of [cadence] time units
+    (simulator cycles, nanoseconds — the unit is the caller's).  Each
+    window keeps only a sum and a count, so memory is bounded by
+    [max_windows] regardless of run length: when an observation lands
+    past the last window, adjacent windows are pairwise merged and the
+    cadence doubles (classic streaming downsampling).  Because a window
+    is a (sum, count) pair, merging is exact and associative — the merge
+    of per-shard series does not depend on how observations were
+    partitioned, which is what makes sharded-run telemetry deterministic
+    in the shard count.
+
+    Two kinds:
+    - {b Gauge}: a sampled level (queue depth, deficit, latency).  A
+      window's value is the mean of the samples that landed in it.
+    - {b Rate}: an event count or amount (packets, drops, busy cycles).
+      A window's value is the sum; divide by [cadence] for a rate.
+
+    Series are not thread-safe (same discipline as the rest of
+    [lib/obs]); sharded runs keep one series per shard and merge. *)
+
+type kind = Gauge | Rate
+
+type t
+
+val create : ?max_windows:int -> name:string -> kind:kind -> cadence:int -> unit -> t
+(** [max_windows] defaults to 256 and is clamped to at least 8;
+    [cadence] must be positive (raises [Invalid_argument] otherwise).
+    Allocation happens here, never in {!observe}. *)
+
+val name : t -> string
+val kind : t -> kind
+
+val cadence : t -> int
+(** The {e current} window width: the construction cadence times a
+    power of two ([2^k] after [k] downsamplings). *)
+
+val base_cadence : t -> int
+val max_windows : t -> int
+
+val observe : t -> now:int -> float -> unit
+(** Record one observation at time [now] (clamped to 0).  O(1) amortized;
+    downsampling when [now] overruns the window range is O(max_windows)
+    and halves future work. *)
+
+val observe_agg : t -> now:int -> sum:float -> count:int -> unit
+(** Record [count] observations totalling [sum] in one shot — exactly
+    equivalent to [count] {!observe} calls landing in the same window.
+    No-op when [count] is zero.  This is what lets hot paths accumulate
+    per-window scalars and flush once per window boundary. *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val total : t -> float
+(** Sum of every observed value (exact for integral values). *)
+
+type window = {
+  w_start : int;   (** Window start time, inclusive. *)
+  w_sum : float;
+  w_count : int;
+}
+
+val windows : t -> window list
+(** Non-empty windows in time order. *)
+
+val value : kind -> window -> float
+(** Gauge: mean ([sum/count]); Rate: sum. *)
+
+val merge : t list -> t
+(** Combine series of the same name, kind and base cadence (raises
+    [Invalid_argument] on a mismatch or an empty list).  Every input is
+    first brought to the coarsest cadence among them, then windows add
+    element-wise.  Inputs are not mutated.  The result is independent of
+    list order and of how observations were partitioned across the
+    inputs, whenever window sums are exact (integral values). *)
+
+val to_json : t -> Clara_util.Json.t
+(** {v
+    { "name", "kind", "cadence", "base_cadence", "count", "total",
+      "windows": [ { "t", "sum", "count", "value" }, ... ] }
+    v} *)
+
+val csv_header : string
+(** ["series,kind,cadence,window_start,sum,count,value"] *)
+
+val to_csv_rows : t -> string list
+(** One CSV row per non-empty window, matching {!csv_header}. *)

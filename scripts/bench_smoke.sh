@@ -25,10 +25,21 @@
 # hard wall-clock gates.
 #
 # The fresh snapshot is written to CLARA_BENCH_JSON (default: a temp
-# file, so a smoke run never dirties the committed baseline).
+# file, so a smoke run never dirties the committed baseline).  The
+# committed baseline may be schema v1 (nicsim numbers only) or v2
+# (adds provenance + the offpath gap entry); the bench reads both, and
+# fresh snapshots are always written as v2.
 set -eu
 cd "$(dirname "$0")/.."
 : "${CLARA_BENCH_JSON:=$(mktemp "${TMPDIR:-/tmp}/clara-bench-nicsim.XXXXXX")}"
 export CLARA_BENCH_JSON
 dune exec bench/main.exe -- nicsim offpath tenants
+
+# The snapshot must be valid JSON with a schema the readers accept.
+dune exec bin/clara_cli.exe -- json-check "$CLARA_BENCH_JSON"
+schema=$(sed -n 's/.*"schema":[[:space:]]*\([0-9]*\).*/\1/p' "$CLARA_BENCH_JSON" | head -1)
+case "$schema" in
+  1|2) echo "snapshot schema v$schema OK" ;;
+  *) echo "unexpected snapshot schema '$schema'" >&2; exit 1 ;;
+esac
 echo "bench smoke OK (snapshot: $CLARA_BENCH_JSON)"

@@ -2,4 +2,4 @@
 
 let () =
   Alcotest.run "clara"
-    [ ("ilp", Test_ilp.suite); ("lnic", Test_lnic.suite); ("cir", Test_cir.suite); ("analysis", Test_analysis.suite); ("dataflow", Test_dataflow.suite); ("mapping", Test_mapping.suite); ("workload", Test_workload.suite); ("nicsim", Test_nicsim.suite); ("trace", Test_trace.suite); ("predict", Test_predict.suite); ("core", Test_core.suite); ("nfs", Test_nfs.suite); ("targets", Test_targets.suite); ("ilp-deep", Test_ilp_deep.suite); ("fuzz", Test_fuzz.suite); ("obs", Test_obs.suite); ("explore", Test_explore.suite) ]
+    [ ("ilp", Test_ilp.suite); ("lnic", Test_lnic.suite); ("cir", Test_cir.suite); ("analysis", Test_analysis.suite); ("dataflow", Test_dataflow.suite); ("mapping", Test_mapping.suite); ("workload", Test_workload.suite); ("nicsim", Test_nicsim.suite); ("trace", Test_trace.suite); ("predict", Test_predict.suite); ("core", Test_core.suite); ("nfs", Test_nfs.suite); ("targets", Test_targets.suite); ("ilp-deep", Test_ilp_deep.suite); ("fuzz", Test_fuzz.suite); ("obs", Test_obs.suite); ("explore", Test_explore.suite); ("telemetry", Test_telemetry.suite); ("calib", Test_calib.suite) ]
