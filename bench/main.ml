@@ -5,8 +5,8 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: figure1 figure3a figure3b figure3c microbench mapping
              ablations ilp interference nics throughput chains energy
-             partial zoo sweep trace nicsim offpath tenants lint bechamel
-             (default: all) *)
+             partial zoo sweep trace nicsim offpath tenants lint bounds
+             bechamel (default: all) *)
 
 module W = Clara_workload
 module L = Clara_lnic
@@ -1009,6 +1009,143 @@ let lint_bench () =
       "analysis.diags.paths"; "analysis.diags.cost" ]
 
 (* ------------------------------------------------------------------ *)
+(* bounds: static interval soundness gate + SLO-pruned sweep           *)
+
+let bounds_bench () =
+  header "Bounds: static latency intervals vs simulation (soundness gate)";
+  Printf.printf
+    "For every example NF on every target, the interval abstract\n\
+     interpretation's per-type [lower, upper] cycle bounds must contain\n\
+     the simulated per-type mean latency (2000 packets, 300 B payload,\n\
+     60 kpps, seed 42).  Also enforces a %.0f ms per-NF analysis budget\n\
+     and finite upper bounds for loop-free / derivable-trip NFs, and\n\
+     demonstrates the bounds as a pre-simulation SLO pruning predicate\n\
+     on the standard sweep grid.\n\n"
+    100.;
+  let module B = Clara_analysis.Bounds in
+  let module I = Clara_analysis.Interval in
+  let module Att = Clara_nicsim.Attribution in
+  let example_nfs = [ "nat"; "lpm"; "firewall"; "dpi"; "syn-proxy" ] in
+  let targets =
+    [ ("netronome", L.Netronome.default);
+      ("soc", L.Soc_nic.default);
+      ("bluefield", L.Bluefield.default) ]
+  in
+  let budget_ms = 100. in
+  List.iter
+    (fun nf ->
+      let entry =
+        match Clara_nfs.Corpus.find nf with
+        | Some e -> e
+        | None -> failwith ("bounds: unknown corpus NF " ^ nf)
+      in
+      let ir =
+        fst
+          (Clara_cir.Patterns.run
+             (Clara_cir.Lower.lower_source entry.Clara_nfs.Corpus.source))
+      in
+      List.iter
+        (fun (nic_name, nic) ->
+          let t0 = Unix.gettimeofday () in
+          let b = B.analyze ~lnic:nic ir in
+          let ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+          if ms > budget_ms then
+            failwith
+              (Printf.sprintf "bounds: %s@%s analysis took %.1f ms > %.0f ms"
+                 nf nic_name ms budget_ms);
+          (* Finite ceilings: these NFs have no loop without a derivable
+             trip bound, so an infinite upper bound is an analysis bug. *)
+          List.iter
+            (fun (row : B.type_bounds) ->
+              if not (I.is_finite row.B.tb_total) then
+                failwith
+                  (Printf.sprintf "bounds: %s@%s type %s has a non-finite bound"
+                     nf nic_name row.B.tb_type))
+            b.B.bt_per_type;
+          (* Soundness: simulate and check every attributed per-type mean
+             falls inside the static interval. *)
+          let prof =
+            W.Profile.make ~payload:(W.Dist.Fixed 300) ~packets:2_000
+              ~flow_count:2_000 ~rate_pps:60_000. ~tcp_fraction:0.8 ()
+          in
+          let trace = W.Trace.synthesize ~seed:42L prof in
+          let sink = Clara_nicsim.Trace.create ~limit:(2_000 * 64) () in
+          let all = Option.get (B.find b "all") in
+          match Eng.run ~sink nic entry.Clara_nfs.Corpus.ported trace with
+          (* A ported device can require hardware a target lacks (e.g.
+             lpm's flow cache on the soc): nothing to gate against. *)
+          | exception Invalid_argument reason ->
+              Printf.printf
+                "%-10s %-10s %4.1f ms  sim n/a (%s)  all: [%.0f, %.0f] cycles\n"
+                nf nic_name ms reason
+                (I.lo all.B.tb_total) (I.hi all.B.tb_total)
+          | _ ->
+              let rep = Att.analyze sink in
+              let checked = ref 0 in
+              List.iter
+                (fun (row : Att.row) ->
+                  if row.Att.r_prog = 0 && row.Att.r_count > 0 then
+                    match B.find b row.Att.r_type with
+                    | None -> ()
+                    | Some sb ->
+                        incr checked;
+                        let lo = I.lo sb.B.tb_total
+                        and hi = I.hi sb.B.tb_total in
+                        if row.Att.r_total < lo || row.Att.r_total > hi then
+                          failwith
+                            (Printf.sprintf
+                               "bounds UNSOUND: %s@%s type %-7s sim mean %.0f \
+                                outside static [%.0f, %.0f]"
+                               nf nic_name row.Att.r_type row.Att.r_total lo hi))
+                rep.Att.rows;
+              if !checked = 0 then
+                failwith
+                  (Printf.sprintf
+                     "bounds: %s@%s simulator attributed no packets" nf nic_name);
+              Printf.printf
+                "%-10s %-10s %4.1f ms  %d type rows inside  all: [%.0f, %.0f] cycles\n"
+                nf nic_name ms !checked
+                (I.lo all.B.tb_total) (I.hi all.B.tb_total))
+        targets)
+    example_nfs;
+  (* SLO pruning on the standard sweep grid: cells whose static latency
+     lower bound already exceeds the SLO are closed before simulation. *)
+  let module E = Clara_explore in
+  let nfs =
+    List.filter_map
+      (fun n ->
+        Clara_nfs.Corpus.find n
+        |> Option.map (fun e -> (n, e.Clara_nfs.Corpus.source)))
+      [ "nat"; "lpm"; "firewall"; "heavy-hitter" ]
+  in
+  let workloads =
+    List.map
+      (fun rate ->
+        ( Printf.sprintf "r%g" rate,
+          W.Profile.make ~payload:(W.Dist.Fixed 300) ~packets:2_000
+            ~flow_count:5_000 ~rate_pps:rate () ))
+      [ 60_000.; 1_000_000. ]
+  in
+  let spec =
+    E.Spec.make ~name:"bench-bounds-slo" ~seed:42 ~nfs
+      ~nics:[ "netronome"; "soc"; "asic" ]
+      ~opts:[ ("default", Map_.default_options) ]
+      ~workloads ()
+  in
+  let slo = 1.0 in
+  let r = E.Sweep.run ~domains:1 ?slo_p99_us:(Some slo) spec in
+  let s = r.E.Sweep.stats in
+  Printf.printf
+    "\nsweep with --slo-p99-us %.1f: %d cells, %d pruned before simulation, \
+     %d computed\n"
+    slo s.E.Sweep.cells s.E.Sweep.pruned
+    (s.E.Sweep.cells - s.E.Sweep.pruned - s.E.Sweep.failed);
+  if s.E.Sweep.pruned < 1 then
+    failwith "bounds: SLO pruning closed no cell on the standard grid";
+  if s.E.Sweep.pruned >= s.E.Sweep.cells then
+    failwith "bounds: SLO pruning closed every cell (predicate too eager)"
+
+(* ------------------------------------------------------------------ *)
 (* nicsim: steady-state fast path vs event path, sharded throughput    *)
 
 (* Op-dense stateless NF: a payload scanner that walks the packet a
@@ -1431,6 +1568,7 @@ let sections =
     ("offpath", offpath_bench);
     ("tenants", tenants_bench);
     ("lint", lint_bench);
+    ("bounds", bounds_bench);
     ("bechamel", bechamel) ]
 
 let () =

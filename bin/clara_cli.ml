@@ -422,7 +422,16 @@ let sweep_cmd =
     in
     Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
-  let run spec_file domains cache_dir no_cache format out timeout_ms stats stats_json =
+  let sweep_slo_arg =
+    let doc =
+      "Prune cells whose static latency lower bound (see 'clara bounds') \
+       already exceeds this p99 SLO in microseconds, skipping their \
+       simulation entirely; pruned cells are reported with status 'pruned'."
+    in
+    Arg.(value & opt (some float) None & info [ "slo-p99-us" ] ~docv:"US" ~doc)
+  in
+  let run spec_file domains cache_dir no_cache format out timeout_ms slo stats
+      stats_json =
     let spec = or_die (Clara_explore.Spec.load spec_file) in
     let domains =
       if domains > 0 then domains else min 8 (Domain.recommended_domain_count ())
@@ -430,7 +439,9 @@ let sweep_cmd =
     let cache =
       if no_cache then None else Some (Clara_explore.Cache.create ~dir:cache_dir)
     in
-    let report = Clara_explore.Sweep.run ~domains ?timeout_ms ?cache spec in
+    let report =
+      Clara_explore.Sweep.run ~domains ?timeout_ms ?cache ?slo_p99_us:slo spec
+    in
     let emit oc =
       match format with
       | `Text ->
@@ -463,7 +474,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ spec_arg $ domains_arg $ cache_arg $ no_cache_arg $ format_arg
-      $ out_arg $ timeout_arg $ stats_arg $ stats_json_arg)
+      $ out_arg $ timeout_arg $ sweep_slo_arg $ stats_arg $ stats_json_arg)
 
 (* ---- trace ---------------------------------------------------------- *)
 
@@ -567,6 +578,90 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run $ nf_arg $ target_arg $ json_arg $ stats_arg $ stats_json_arg)
+
+(* ---- bounds --------------------------------------------------------- *)
+
+let bounds_cmd =
+  let nf_arg =
+    let doc = "NF to bound: a DSL source file, or a corpus NF name." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+  in
+  let target_arg =
+    let doc =
+      "Target NIC: 'netronome' (default), 'soc', 'bluefield', 'asic', or \
+       'host'."
+    in
+    Arg.(value & opt string "netronome" & info [ "target"; "nic" ] ~docv:"NIC" ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "p99 latency SLO in microseconds.  The verdict is three-way: \
+       'provably-meets' (static upper bound under the SLO), \
+       'provably-violates' (even the best case exceeds it — also a \
+       CLARA403 error), or 'unclear' (the SLO falls inside the bounds)."
+    in
+    Arg.(value & opt (some float) None & info [ "slo-p99-us" ] ~docv:"US" ~doc)
+  in
+  let run nf nic slo json stats stats_json =
+    let lnic = or_die (lnic_of_name nic) in
+    let _name, source = resolve_nf nf in
+    let ir =
+      match Clara_cir.Lower.lower_source source with
+      | exception Failure msg -> or_die (Error msg)
+      | exception Clara_cir.Ir.Unknown_state s ->
+          or_die (Error (Printf.sprintf "NF references undeclared state '%s'" s))
+      | ir -> fst (Clara_cir.Patterns.run ir)
+    in
+    let module B = Clara_analysis.Bounds in
+    let b = B.analyze ~lnic ir in
+    let diags = B.lint ~lnic ?slo_p99_us:slo ir in
+    if json then begin
+      let module J = Clara_util.Json in
+      let fields =
+        match (B.to_json b, slo) with
+        | J.Obj fs, Some s ->
+            J.Obj
+              (fs
+              @ [
+                  ("slo_p99_us", J.Float s);
+                  ( "verdict",
+                    J.String (B.verdict_name (B.verdict b ~slo_p99_us:s)) );
+                ])
+        | j, _ -> j
+      in
+      print_endline (Clara_util.Json.to_string fields)
+    end
+    else begin
+      Format.printf "%a@." B.pp b;
+      List.iter
+        (fun d -> Format.printf "%a@." Clara_analysis.Diag.pp d)
+        diags;
+      match slo with
+      | None -> ()
+      | Some s ->
+          Format.printf "SLO p99 <= %.2f us (%.0f cycles): %s@." s
+            (B.slo_cycles b ~slo_p99_us:s)
+            (B.verdict_name (B.verdict b ~slo_p99_us:s))
+    end;
+    emit_stats ~stats ~stats_json;
+    if
+      List.exists
+        (fun d -> d.Clara_analysis.Diag.severity = Clara_analysis.Diag.Error)
+        diags
+    then exit 1
+  in
+  let doc =
+    "Static per-packet-type latency bounds via interval abstract \
+     interpretation: loop trips inferred from guards and payload ranges, \
+     per-axis cycle intervals (queue/compute/accel-wait/mem/wire) per \
+     traffic class, and an optional provable SLO verdict.  Exits nonzero \
+     on CLARA401 (statically unbounded loop) or CLARA403 (provable SLO \
+     violation)."
+  in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(
+      const run $ nf_arg $ target_arg $ slo_arg $ json_arg $ stats_arg
+      $ stats_json_arg)
 
 let trace_cmd =
   let nf_arg =
@@ -1311,4 +1406,4 @@ let () =
           [ analyze_cmd; predict_cmd; microbench_cmd; nics_cmd; trace_gen_cmd;
             paths_cmd; partial_cmd; energy_cmd; corpus_cmd; chain_cmd; sweep_cmd;
             interfere_cmd; tenants_cmd; trace_cmd; sim_cmd; calibrate_cmd;
-            report_cmd; lint_cmd; json_check_cmd ]))
+            report_cmd; lint_cmd; bounds_cmd; json_check_cmd ]))

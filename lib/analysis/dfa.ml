@@ -13,7 +13,12 @@ type direction = Forward | Backward
 module Make (L : LATTICE) = struct
   type result = { input : L.t array; output : L.t array; iterations : int }
 
-  let solve ?(direction = Forward) ?edge ~init ~transfer (p : Ir.program) =
+  type outcome =
+    | Fixpoint of result
+    | Budget_exhausted of { budget : int; prog : string; partial : result }
+
+  let solve ?(direction = Forward) ?edge ?widen ?(widen_delay = 3) ~init
+      ~transfer (p : Ir.program) =
     let n = Array.length p.Ir.blocks in
     let edge =
       match edge with Some f -> f | None -> fun ~src:_ ~dst:_ x -> x
@@ -41,8 +46,15 @@ module Make (L : LATTICE) = struct
             if b.Ir.term = Ir.Ret then seeds := b.Ir.bid :: !seeds)
       p.Ir.blocks;
     List.iter (fun s -> input.(s) <- L.join input.(s) init) !seeds;
+    (* How many times each block's input has strictly grown.  Past
+       [widen_delay] updates the join is replaced by [widen] (when
+       supplied), which must over-approximate the join and stabilize
+       ascending chains — the termination story for infinite-height
+       lattices like {!Interval}. *)
+    let bumps = Array.make n 0 in
     let budget = 1000 * (n + 1) in
     let iterations = ref 0 in
+    let exhausted = ref false in
     let queue = Queue.create () in
     let queued = Array.make n false in
     let enqueue b =
@@ -51,27 +63,45 @@ module Make (L : LATTICE) = struct
         Queue.add b queue)
     in
     List.iter enqueue (List.rev !seeds);
-    while not (Queue.is_empty queue) do
+    while (not (Queue.is_empty queue)) && not !exhausted do
       let b = Queue.pop queue in
       queued.(b) <- false;
       incr iterations;
-      if !iterations > budget then
+      if !iterations > budget then exhausted := true
+      else
+        let out = transfer p.Ir.blocks.(b) input.(b) in
+        if not (L.equal out output.(b)) then (
+          output.(b) <- out;
+          List.iter
+            (fun (src, dst, next) ->
+              let contrib = edge ~src ~dst out in
+              let joined = L.join input.(next) contrib in
+              if not (L.equal joined input.(next)) then (
+                bumps.(next) <- bumps.(next) + 1;
+                let updated =
+                  match widen with
+                  | Some w when bumps.(next) > widen_delay ->
+                      w input.(next) joined
+                  | _ -> joined
+                in
+                input.(next) <- updated;
+                enqueue next))
+            flow.(b))
+    done;
+    let r = { input; output; iterations = !iterations } in
+    if !exhausted then
+      Budget_exhausted { budget; prog = p.Ir.prog_name; partial = r }
+    else Fixpoint r
+
+  (* Most passes want the fixpoint or a loud failure; the suite-facing
+     passes match on the outcome instead and degrade to a diagnostic. *)
+  let solve_exn ?direction ?edge ?widen ?widen_delay ~init ~transfer p =
+    match solve ?direction ?edge ?widen ?widen_delay ~init ~transfer p with
+    | Fixpoint r -> r
+    | Budget_exhausted { budget; prog; _ } ->
         failwith
           (Printf.sprintf
              "Dfa.solve: no fixed point after %d steps on %s (non-monotone \
               transfer?)"
-             budget p.Ir.prog_name);
-      let out = transfer p.Ir.blocks.(b) input.(b) in
-      if not (L.equal out output.(b)) then (
-        output.(b) <- out;
-        List.iter
-          (fun (src, dst, next) ->
-            let contrib = edge ~src ~dst out in
-            let joined = L.join input.(next) contrib in
-            if not (L.equal joined input.(next)) then (
-              input.(next) <- joined;
-              enqueue next))
-          flow.(b))
-    done;
-    { input; output; iterations = !iterations }
+             budget prog)
 end

@@ -5,20 +5,28 @@ module Ir = Clara_cir.Ir
 type fact = Ir.guard * bool
 
 module L = struct
-  type t = Unreached | Facts of fact list (* sorted, duplicate-free *)
+  type t = Unreached | Facts of fact list (* canonical: sorted, duplicate-free *)
 
   let bottom = Unreached
+
+  (* Fact lists are sets; compare and intersect canonically so an
+     order- or duplicate-perturbed list still behaves as the same
+     element.  (The old structural [=] made [join]'s filter order-
+     dependent: intersecting two differently-ordered equal sets could
+     oscillate against [equal] and burn worklist iterations.) *)
+  let canon fs = List.sort_uniq compare fs
 
   let equal a b =
     match (a, b) with
     | Unreached, Unreached -> true
-    | Facts x, Facts y -> x = y
+    | Facts x, Facts y -> canon x = canon y
     | _ -> false
 
   let join a b =
     match (a, b) with
     | Unreached, x | x, Unreached -> x
-    | Facts x, Facts y -> Facts (List.filter (fun f -> List.mem f y) x)
+    | Facts x, Facts y ->
+        Facts (canon (List.filter (fun f -> List.mem f y) x))
 end
 
 module Solver = Dfa.Make (L)
@@ -77,49 +85,61 @@ let cfg_reachable (p : Ir.program) =
   seen
 
 let analyze (p : Ir.program) =
-  let r =
+  match
     Solver.solve ~edge ~init:(L.Facts []) ~transfer:(fun _ x -> x) p
-  in
-  let reachable = cfg_reachable p in
-  let diags = ref [] in
-  let emit d = diags := d :: !diags in
-  Array.iter
-    (fun (b : Ir.block) ->
-      let bid = b.Ir.bid in
-      match r.Solver.input.(bid) with
-      | L.Unreached ->
-          (* CFG-unreachable blocks are eliminate_dead_blocks' problem;
-             only report blocks a CFG walk believes are live. *)
-          if reachable.(bid) then
-            emit
-              (Diag.make ~block:bid ~code:"CLARA202" ~severity:Diag.Warn
-                 ~pass:"paths"
-                 (Printf.sprintf
-                    "block b%d is unreachable: every path to it carries \
-                     contradictory guard facts"
-                    bid))
-      | L.Facts fs -> (
-          match b.Ir.term with
-          | Ir.Cond { guard; then_; else_ } when then_ <> else_ ->
-              let dead pol = assuming fs guard pol = None in
-              let guard_str = Format.asprintf "%a" Ir.pp_guard guard in
-              if dead true then
+  with
+  | Solver.Budget_exhausted { budget; _ } ->
+      (* Degrade instead of crashing the lint run: the partial facts are
+         an under-approximation, so none of the CLARA201-203 claims
+         ("on every path") would be sound to emit from them. *)
+      [
+        Diag.make ~code:"CLARA204" ~severity:Diag.Warn ~pass:"paths"
+          (Printf.sprintf
+             "path analysis exhausted its %d-step iteration budget before \
+              reaching a fixed point; guard-fact diagnostics skipped"
+             budget);
+      ]
+  | Solver.Fixpoint r ->
+      let reachable = cfg_reachable p in
+      let diags = ref [] in
+      let emit d = diags := d :: !diags in
+      Array.iter
+        (fun (b : Ir.block) ->
+          let bid = b.Ir.bid in
+          match r.Solver.input.(bid) with
+          | L.Unreached ->
+              (* CFG-unreachable blocks are eliminate_dead_blocks' problem;
+                 only report blocks a CFG walk believes are live. *)
+              if reachable.(bid) then
                 emit
-                  (Diag.make ~block:bid ~code:"CLARA201" ~severity:Diag.Warn
+                  (Diag.make ~block:bid ~code:"CLARA202" ~severity:Diag.Warn
                      ~pass:"paths"
                      (Printf.sprintf
-                        "guard '%s' at b%d contradicts facts established on \
-                         every path here; its then-branch (b%d) never \
-                         executes"
-                        guard_str bid then_))
-              else if dead false then
-                emit
-                  (Diag.make ~block:bid ~code:"CLARA203" ~severity:Diag.Info
-                     ~pass:"paths"
-                     (Printf.sprintf
-                        "guard '%s' at b%d is implied by earlier guards; its \
-                         else-branch (b%d) is dead"
-                        guard_str bid else_))
-          | _ -> ()))
-    p.Ir.blocks;
-  List.rev !diags
+                        "block b%d is unreachable: every path to it carries \
+                         contradictory guard facts"
+                        bid))
+          | L.Facts fs -> (
+              match b.Ir.term with
+              | Ir.Cond { guard; then_; else_ } when then_ <> else_ ->
+                  let dead pol = assuming fs guard pol = None in
+                  let guard_str = Format.asprintf "%a" Ir.pp_guard guard in
+                  if dead true then
+                    emit
+                      (Diag.make ~block:bid ~code:"CLARA201"
+                         ~severity:Diag.Warn ~pass:"paths"
+                         (Printf.sprintf
+                            "guard '%s' at b%d contradicts facts established \
+                             on every path here; its then-branch (b%d) never \
+                             executes"
+                            guard_str bid then_))
+                  else if dead false then
+                    emit
+                      (Diag.make ~block:bid ~code:"CLARA203"
+                         ~severity:Diag.Info ~pass:"paths"
+                         (Printf.sprintf
+                            "guard '%s' at b%d is implied by earlier guards; \
+                             its else-branch (b%d) is dead"
+                            guard_str bid else_))
+              | _ -> ()))
+        p.Ir.blocks;
+      List.rev !diags

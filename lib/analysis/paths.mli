@@ -18,6 +18,36 @@
       [Patterns.eliminate_dead_blocks] keeps it — but every path to it
       carries contradictory guard facts.
     - CLARA203 (info): a guard implied by earlier guards; its else-arm
-      is dead. *)
+      is dead.
+    - CLARA204 (warn): the dataflow solver exhausted its iteration
+      budget before a fixed point; the pass degrades to this single
+      diagnostic instead of crashing the lint run. *)
+
+type fact = Clara_cir.Ir.guard * bool
+(** An atomic guard and the polarity under which it is known to hold. *)
+
+module L : sig
+  type t = Unreached | Facts of fact list
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  (** Set semantics: fact lists are compared and intersected
+      canonically (sorted, duplicate-free), so element order never
+      affects the fixpoint. *)
+end
+
+val facts_of_guard : Clara_cir.Ir.guard -> bool -> fact list
+(** Atomic facts implied by the guard evaluating to the given polarity.
+    De Morgan over negated disjunctions: [not (a || b)] yields the
+    negative facts of both arms.  Untrackable atoms yield nothing. *)
+
+val conflicts : fact -> fact -> bool
+(** Same atom under opposite polarity, or two different [G_proto]s both
+    asserted. *)
+
+val assuming : fact list -> Clara_cir.Ir.guard -> bool -> fact list option
+(** Extend a consistent fact set with a guard outcome; [None] when the
+    outcome contradicts the set (that branch is infeasible). *)
 
 val analyze : Clara_cir.Ir.program -> Diag.t list

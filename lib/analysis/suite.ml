@@ -16,8 +16,9 @@ let c_sharing = Clara_obs.Registry.counter obs "analysis.diags.sharing"
 let c_feas = Clara_obs.Registry.counter obs "analysis.diags.feasibility"
 let c_paths = Clara_obs.Registry.counter obs "analysis.diags.paths"
 let c_cost = Clara_obs.Registry.counter obs "analysis.diags.cost"
+let c_bounds = Clara_obs.Registry.counter obs "analysis.diags.bounds"
 
-let run ?lnic (p : Ir.program) =
+let run ?lnic ?slo_p99_us ?bounds_gap_ratio (p : Ir.program) =
   Clara_obs.Metrics.incr c_runs;
   let sharing, sharing_diags = Sharing.analyze p in
   let feas_diags =
@@ -25,13 +26,17 @@ let run ?lnic (p : Ir.program) =
   in
   let path_diags = Paths.analyze p in
   let cost_diags = Cost_sanity.analyze p in
+  let bounds_diags =
+    Bounds.lint ?lnic ?slo_p99_us ?gap_ratio:bounds_gap_ratio p
+  in
   Clara_obs.Metrics.add c_sharing (List.length sharing_diags);
   Clara_obs.Metrics.add c_feas (List.length feas_diags);
   Clara_obs.Metrics.add c_paths (List.length path_diags);
   Clara_obs.Metrics.add c_cost (List.length cost_diags);
+  Clara_obs.Metrics.add c_bounds (List.length bounds_diags);
   let diagnostics =
     List.sort Diag.compare
-      (sharing_diags @ feas_diags @ path_diags @ cost_diags)
+      (sharing_diags @ feas_diags @ path_diags @ cost_diags @ bounds_diags)
   in
   List.iter
     (fun (d : Diag.t) ->

@@ -16,7 +16,15 @@ type report = {
 }
 
 val run :
-  ?lnic:Clara_lnic.Graph.t -> Clara_cir.Ir.program -> report
+  ?lnic:Clara_lnic.Graph.t ->
+  ?slo_p99_us:float ->
+  ?bounds_gap_ratio:float ->
+  Clara_cir.Ir.program ->
+  report
+(** [?slo_p99_us] arms the CLARA403 provable-SLO-violation check and
+    [?bounds_gap_ratio] overrides {!Bounds.default_gap_ratio}; both
+    feed the bounds pass, which otherwise runs with defaults (CLARA401
+    needs no target, CLARA402/403 only fire when [?lnic] is given). *)
 
 val errors : report -> Diag.t list
 val warnings : report -> Diag.t list

@@ -1,0 +1,74 @@
+(** {!Cost} lifted from scalars to ranges.
+
+    Every price becomes a closed range [[rlo, rhi]] covering the cost
+    under any admissible execution: any candidate unit, any candidate
+    memory region, cache hit through miss, any packet size in the
+    workload envelope, and — for stateful vcalls — the flow-cache hit
+    regime at the fast end and the miss/upcall/table-walk regime at the
+    slow end.  Mapping-independent by design: {!Clara_analysis.Bounds}
+    runs before ILP placement, so a node's range is the hull over every
+    unit that could execute it.
+
+    Ranges are plain float pairs (not {!Clara_analysis.Interval}) to
+    keep the analysis -> dataflow dependency one-way; upper endpoints
+    may be [infinity] (an [S_opaque] loop trip). *)
+
+type r = { rlo : float; rhi : float }
+
+val rconst : float -> r
+val rzero : r
+val radd : r -> r -> r
+val rjoin : r -> r -> r
+(** Hull. *)
+
+val rmul : r -> r -> r
+(** Non-negative ranges; [0 * inf = 0]. *)
+
+val rfinite : r -> bool
+
+type sizes = {
+  payload_bytes : r;
+  packet_bytes : r;
+  header_bytes : r;
+  state_entries : string -> r;
+  opaque_trip : r;  (** Typically [[1, inf)]: no derivable bound. *)
+}
+
+val eval_size : sizes -> Clara_cir.Ir.size_expr -> r
+
+val cost_fn_r : Clara_lnic.Cost_fn.t -> r -> r
+(** Hull of the endpoint evaluations; an infinite size yields the
+    function's limit (infinite iff it actually grows with [n]). *)
+
+type ctx = {
+  lnic : Clara_lnic.Graph.t;
+  units : Clara_lnic.Unit_.t list;     (** Candidate execution units. *)
+  state_regions : string -> int list;  (** Candidate regions per state. *)
+  packet_regions : int list;           (** Candidate packet-data regions. *)
+  state_footprint : string -> int;
+  sizes : sizes;
+}
+
+type breakdown = { i_compute : r; i_mem : r; i_accel : r }
+
+val bzero : breakdown
+val badd : breakdown -> breakdown -> breakdown
+val bjoin : breakdown -> breakdown -> breakdown
+val btotal : breakdown -> r
+
+val instr_r : ctx -> Clara_cir.Ir.instr -> breakdown option
+(** Hull over the candidate units; [None] when no candidate unit can
+    execute the instruction. *)
+
+val node_r : ?with_trip:bool -> ctx -> Node.t -> breakdown option
+(** Node envelope.  With [with_trip] (default) the loop-trip range
+    multiplies the body: lower end admits zero iterations, upper end is
+    floored at one execution.  Pass [~with_trip:false] when the caller
+    accounts for loop multiplicity itself (e.g. through execution-count
+    intervals). *)
+
+val trip_r : ctx -> Node.t -> r
+
+val wire_r :
+  Clara_lnic.Graph.t -> packet_bytes:r -> dir:[ `Rx | `Tx ] -> r
+(** DMA serialization + hub per-packet price over the size envelope. *)

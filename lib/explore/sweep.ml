@@ -24,6 +24,7 @@ let c_hits = Clara_obs.Registry.counter obs "explore.cache.hits"
 let c_misses = Clara_obs.Registry.counter obs "explore.cache.misses"
 let c_computed = Clara_obs.Registry.counter obs "explore.jobs.computed"
 let c_failed = Clara_obs.Registry.counter obs "explore.jobs.failed"
+let c_pruned = Clara_obs.Registry.counter obs "explore.cells.pruned"
 let c_busy = Clara_obs.Registry.counter obs "explore.worker.busy_ns"
 let c_wall = Clara_obs.Registry.counter obs "explore.sweep.wall_ns"
 
@@ -42,7 +43,14 @@ type metrics = {
   watts : float;
 }
 
-type status = Computed of metrics | Failed of string
+type status =
+  | Computed of metrics
+  | Failed of string
+  | Pruned of string
+      (* Skipped before simulation: the static bounds analysis proved
+         the cell cannot meet the sweep's SLO (its latency lower bound
+         already exceeds it).  Never cached — a later run without the
+         SLO, or with a looser one, must still compute the cell. *)
 
 type outcome = {
   cell : Spec.cell;
@@ -56,6 +64,7 @@ type run_stats = {
   cache_hits : int;
   cache_misses : int;     (* cache enabled, entry absent or corrupt *)
   failed : int;
+  pruned : int;           (* closed by the static-bounds SLO predicate *)
   wall_ns : int;
   busy_ns : int;
   utilization : float;
@@ -143,10 +152,52 @@ let evaluate (cell : Spec.cell) =
 
 (* ---- the sweep ----------------------------------------------------- *)
 
-let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
+let run ?(domains = 1) ?timeout_ms ?cache ?slo_p99_us (spec : Spec.t) =
   Clara_obs.Registry.span obs "sweep" @@ fun () ->
   let cells = Array.of_list spec.Spec.cells in
   let n = Array.length cells in
+  (* Pre-simulation pruning: with an SLO, run the static bounds
+     analysis once per distinct (nf, nic) pair on the coordinator (so
+     worker domains never share mutable state) and close every cell
+     whose latency {e lower} bound already exceeds the SLO — no
+     placement or workload choice can save it. *)
+  let prune_table =
+    match slo_p99_us with
+    | None -> []
+    | Some slo ->
+        Array.to_list cells
+        |> List.map (fun (c : Spec.cell) ->
+               ((c.Spec.nf_name, c.Spec.nic_name), c.Spec.nf_source))
+        |> List.sort_uniq compare
+        |> List.filter_map (fun ((nf, nic), source) ->
+               match L.Targets.of_name nic with
+               | Error _ -> None
+               | Ok lnic -> (
+                   match Clara_cir.Lower.lower_source source with
+                   | exception _ -> None
+                   | ir -> (
+                       let ir = fst (Clara_cir.Patterns.run ir) in
+                       let module B = Clara_analysis.Bounds in
+                       let b = B.analyze ~lnic ir in
+                       match B.find b "all" with
+                       | Some row ->
+                           let lo_us =
+                             B.us_of b
+                               (Clara_analysis.Interval.lo row.B.tb_total)
+                           in
+                           if lo_us > slo then
+                             Some
+                               ( (nf, nic),
+                                 Printf.sprintf
+                                   "static lower bound %.2f us exceeds SLO \
+                                    p99 %.2f us"
+                                   lo_us slo )
+                           else None
+                       | None -> None)))
+  in
+  let prune_of (c : Spec.cell) =
+    List.assoc_opt (c.Spec.nf_name, c.Spec.nic_name) prune_table
+  in
   (* Only successful results are cached: a Failed cell (parse error,
      infeasible mapping, timeout) is recomputed on the next run so a
      transient failure cannot poison the cache. *)
@@ -160,6 +211,9 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
           (Computed m, false)
       | Error e -> (Failed e, false)
     in
+    match prune_of cell with
+    | Some reason -> (Pruned reason, false)
+    | None -> (
     match cache with
     | None -> compute ()
     | Some c -> (
@@ -168,7 +222,7 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
             match metrics_of_json payload with
             | Some m -> (Computed m, true)
             | None -> compute () (* well-formed JSON, wrong shape: miss *))
-        | None -> compute ())
+        | None -> compute ()))
   in
   let results, xstats = Executor.map ~domains ?timeout_ms job n in
   let outcomes =
@@ -182,13 +236,17 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
   let count p = Array.fold_left (fun n o -> if p o then n + 1 else n) 0 outcomes in
   let cache_hits = count (fun o -> o.cached) in
   let failed = count (fun o -> match o.status with Failed _ -> true | _ -> false) in
-  let cache_misses = if Option.is_some cache then n - cache_hits else 0 in
+  let pruned = count (fun o -> match o.status with Pruned _ -> true | _ -> false) in
+  let cache_misses =
+    if Option.is_some cache then n - cache_hits - pruned else 0
+  in
   let stats =
     { domains = xstats.Executor.domains;
       cells = n;
       cache_hits;
       cache_misses;
       failed;
+      pruned;
       wall_ns = xstats.Executor.wall_ns;
       busy_ns = xstats.Executor.busy_ns;
       utilization = Executor.utilization xstats }
@@ -196,8 +254,9 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
   Clara_obs.Metrics.add c_cells n;
   Clara_obs.Metrics.add c_hits cache_hits;
   Clara_obs.Metrics.add c_misses cache_misses;
-  Clara_obs.Metrics.add c_computed (n - cache_hits);
+  Clara_obs.Metrics.add c_computed (n - cache_hits - pruned);
   Clara_obs.Metrics.add c_failed failed;
+  Clara_obs.Metrics.add c_pruned pruned;
   Clara_obs.Metrics.add c_busy stats.busy_ns;
   Clara_obs.Metrics.add c_wall stats.wall_ns;
   (* Post-processing over the successful cells only. *)
@@ -210,7 +269,7 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
                  ( o.cell.Spec.id,
                    { Frontier.p99_us = m.p99_us; max_pps = m.max_pps;
                      nj_per_packet = m.nj_per_packet } )
-           | Failed _ -> None)
+           | Failed _ | Pruned _ -> None)
   in
   let frontier = Frontier.pareto ok_points |> List.map fst in
   let nf_names =
@@ -221,7 +280,9 @@ let run ?(domains = 1) ?timeout_ms ?cache (spec : Spec.t) =
     |> List.rev
   in
   let metrics_of id =
-    match outcomes.(id).status with Computed m -> Some m | Failed _ -> None
+    match outcomes.(id).status with
+    | Computed m -> Some m
+    | Failed _ | Pruned _ -> None
   in
   let best =
     List.map
@@ -268,6 +329,8 @@ let cell_to_json (o : outcome) =
       J.Obj (base @ [ ("status", J.String "ok"); ("metrics", metrics_to_json m) ])
   | Failed e ->
       J.Obj (base @ [ ("status", J.String "failed"); ("error", J.String e) ])
+  | Pruned reason ->
+      J.Obj (base @ [ ("status", J.String "pruned"); ("reason", J.String reason) ])
 
 let to_json (r : report) =
   J.Obj
@@ -317,7 +380,11 @@ let to_csv (r : report) =
                m.gbps m.nj_per_packet m.watts)
       | Failed e ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,failed,%b,,,,,,,,,%s" common o.cached (csv_quote e)));
+            (Printf.sprintf "%s,failed,%b,,,,,,,,,%s" common o.cached (csv_quote e))
+      | Pruned reason ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,pruned,%b,,,,,,,,,%s" common o.cached
+               (csv_quote reason)));
       Buffer.add_char buf '\n')
     r.outcomes;
   Buffer.contents buf
@@ -337,7 +404,11 @@ let render fmt (r : report) =
             (if o.cached then "hit" else "miss")
       | Failed e ->
           Format.fprintf fmt "%-4d %-14s %-10s %-14s %-22s %-6s %s@." c.Spec.id
-            c.Spec.nf_name c.Spec.nic_name c.Spec.opt_name c.Spec.wl_label "FAILED" e)
+            c.Spec.nf_name c.Spec.nic_name c.Spec.opt_name c.Spec.wl_label "FAILED" e
+      | Pruned reason ->
+          Format.fprintf fmt "%-4d %-14s %-10s %-14s %-22s %-6s %s@." c.Spec.id
+            c.Spec.nf_name c.Spec.nic_name c.Spec.opt_name c.Spec.wl_label "PRUNED"
+            reason)
     r.outcomes;
   if r.frontier <> [] then
     Format.fprintf fmt "@.pareto frontier (p99 latency / throughput / energy): cells %s@."
@@ -355,8 +426,9 @@ let render fmt (r : report) =
     r.best;
   let s = r.stats in
   Format.fprintf fmt
-    "@.%d cells: %d ok, %d failed | cache: %d hit / %d miss | %d domain%s, wall %.2f s, utilization %.0f%%@."
-    s.cells (s.cells - s.failed) s.failed s.cache_hits s.cache_misses s.domains
+    "@.%d cells: %d ok, %d failed, %d pruned | cache: %d hit / %d miss | %d domain%s, wall %.2f s, utilization %.0f%%@."
+    s.cells (s.cells - s.failed - s.pruned) s.failed s.pruned s.cache_hits
+    s.cache_misses s.domains
     (if s.domains = 1 then "" else "s")
     (float_of_int s.wall_ns /. 1e9)
     (100. *. s.utilization)

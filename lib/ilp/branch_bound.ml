@@ -12,6 +12,9 @@ let c_incumbents =
 let c_best_bound =
   Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.best_bound_prunes"
 
+let c_cutoff =
+  Clara_obs.Registry.counter Clara_obs.Registry.default "ilp.bb.cutoff_prunes"
+
 type outcome = {
   status : status;
   objective : Rat.t;
@@ -28,7 +31,7 @@ let rat_abs x = if Rat.sign x < 0 then Rat.neg x else x
    with dual-simplex pivots instead of a phase-1 cold start.  Branching
    is expressed as bound-override arrays, so the model itself is never
    mutated. *)
-let solve ?(node_limit = 200_000) model =
+let solve ?(node_limit = 200_000) ?initial_bound model =
   let nv = Model.num_vars model in
   let dir, obj_expr = Model.objective model in
   (* [better a b]: is objective [a] strictly better than [b]? *)
@@ -36,6 +39,15 @@ let solve ?(node_limit = 200_000) model =
     match dir with
     | Model.Minimize -> Rat.( < ) a b
     | Model.Maximize -> Rat.( > ) a b
+  in
+  (* An externally supplied inclusive bound on the optimum (e.g. the
+     static cost interval's ceiling): any subtree whose relaxation is
+     strictly worse cannot contain an optimal point.  Strict, because a
+     solution exactly at the bound must survive. *)
+  let cutoff_prunes pb =
+    match initial_bound with
+    | Some ib -> better ib pb
+    | None -> false
   in
   let int_vars =
     List.filter
@@ -91,6 +103,8 @@ let solve ?(node_limit = 200_000) model =
           | Some (inc_obj, _) -> not (better objective inc_obj)
         in
         if dominated then Clara_obs.Metrics.incr c_pruned
+        else if cutoff_prunes (round_bound objective) then
+          Clara_obs.Metrics.incr c_cutoff
         else
           match
             List.find_opt (fun v -> not (Rat.is_integer values.(v))) int_vars
@@ -142,7 +156,12 @@ let solve ?(node_limit = 200_000) model =
                 | Some (inc_obj, _), Some pb -> not (better pb inc_obj)
                 | _ -> false
               in
+              let cut =
+                (not prune)
+                && match pbound with Some pb -> cutoff_prunes pb | None -> false
+              in
               if prune then Clara_obs.Metrics.incr c_best_bound
+              else if cut then Clara_obs.Metrics.incr c_cutoff
               else begin
                 (* Propagate the branched bound through the rows before
                    solving; a few passes catch the common implied-bound

@@ -35,10 +35,18 @@ type outcome = {
           [None] otherwise. *)
 }
 
-val solve : ?node_limit:int -> Model.t -> outcome
+val solve : ?node_limit:int -> ?initial_bound:Rat.t -> Model.t -> outcome
 (** Runs {!Presolve} first (tightened bounds shrink the tree; proven
     infeasibility skips the search entirely), then depth-first branch
     and bound on the LP relaxation, exploring the branch nearest each
     fractional relaxation value first.  [node_limit] defaults to
     200_000; exceeding it returns a [Node_limit] outcome instead of
-    raising. *)
+    raising.
+
+    [initial_bound] is an {e inclusive} bound on the optimum known
+    before the search (for Clara, the static cost interval's ceiling):
+    subtrees whose relaxation bound is strictly worse are closed
+    immediately (counter [ilp.bb.cutoff_prunes]) even before the first
+    incumbent exists.  A bound that does not actually admit an optimal
+    point makes the search report [Infeasible] — soundness of the bound
+    is the caller's contract. *)

@@ -211,10 +211,18 @@ let map_nf_exn ~(options : Mapping.options) ?dump_lp lnic (df : D.Graph.t) ~size
   (* For each node: list of (class idx, cost, var, mem option) *)
   let x_vars = Hashtbl.create 64 (* (node, class) -> var list (z's share class) *) in
   let objective = ref LE.zero in
+  (* Worst candidate cost per node.  Exactly one choice var per node is
+     set in any feasible assignment, so the sum of per-node maxima is an
+     inclusive upper bound on the optimum — handed to branch & bound as
+     an initial incumbent-style cutoff (static bounds made concrete in
+     the ILP's own rational arithmetic). *)
+  let node_worst : (int, I.Rat.t) Hashtbl.t = Hashtbl.create 64 in
   let add_obj n cost var =
-    objective :=
-      LE.add !objective
-        (LE.var ~coeff:(I.Rat.mul (rat_of_weight weights.(n)) (rat_of_cost cost)) var)
+    let r = I.Rat.mul (rat_of_weight weights.(n)) (rat_of_cost cost) in
+    (match Hashtbl.find_opt node_worst n with
+    | Some w when not (I.Rat.( < ) w r) -> ()
+    | _ -> Hashtbl.replace node_worst n r);
+    objective := LE.add !objective (LE.var ~coeff:r var)
   in
   Array.iter
     (fun (n : D.Node.t) ->
@@ -353,9 +361,13 @@ let map_nf_exn ~(options : Mapping.options) ?dump_lp lnic (df : D.Graph.t) ~size
       Clara_obs.Metrics.add c_vars (M.num_vars model);
       Clara_obs.Metrics.add c_constraints (M.num_constraints model);
       Option.iter (fun path -> I.Lp_format.write_file path model) dump_lp;
+      let initial_bound =
+        Hashtbl.fold (fun _ w acc -> I.Rat.add w acc) node_worst I.Rat.zero
+      in
       match
         Clara_obs.Registry.span obs "solve" (fun () ->
-            I.Branch_bound.solve ~node_limit:options.Mapping.node_limit model)
+            I.Branch_bound.solve ~node_limit:options.Mapping.node_limit
+              ~initial_bound model)
       with
       | { I.Branch_bound.status = I.Branch_bound.Infeasible; _ } ->
           Error "mapping ILP infeasible (pipeline ordering vs capacities)"

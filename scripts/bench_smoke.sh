@@ -1,8 +1,12 @@
 #!/bin/sh
-# Bench smoke: run the nicsim, offpath and tenants sections of the bench
-# harness.
+# Bench smoke: run the nicsim, offpath, tenants and bounds sections of
+# the bench harness.
 #
 # The sections always enforce correctness, regardless of environment:
+#   - static per-type latency intervals contain the simulated per-type
+#     means for every example NF on netronome/soc/bluefield, analyses
+#     stay under the 100 ms per-NF budget, and the SLO predicate prunes
+#     at least one (but not every) cell of the standard sweep grid;
 #   - fast path byte-identical to the event path on stateless NFs
 #     (latency summary, drops, hit rates), with >0 packets replayed;
 #   - zero replays on a stateful NF, results identical to Event_only;
@@ -33,7 +37,7 @@ set -eu
 cd "$(dirname "$0")/.."
 : "${CLARA_BENCH_JSON:=$(mktemp "${TMPDIR:-/tmp}/clara-bench-nicsim.XXXXXX")}"
 export CLARA_BENCH_JSON
-dune exec bench/main.exe -- nicsim offpath tenants
+dune exec bench/main.exe -- nicsim offpath tenants bounds
 
 # The snapshot must be valid JSON with a schema the readers accept.
 dune exec bin/clara_cli.exe -- json-check "$CLARA_BENCH_JSON"

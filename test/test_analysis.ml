@@ -174,7 +174,7 @@ let diamond_with_orphan =
 
 let test_dfa_forward () =
   let r =
-    BoolD.solve ~init:true ~transfer:(fun _ f -> f) diamond_with_orphan
+    BoolD.solve_exn ~init:true ~transfer:(fun _ f -> f) diamond_with_orphan
   in
   check "entry reached" true r.BoolD.input.(0);
   check "join block reached" true r.BoolD.output.(3);
@@ -183,7 +183,7 @@ let test_dfa_forward () =
 
 let test_dfa_backward () =
   let r =
-    BoolD.solve ~direction:A.Dfa.Backward ~init:true
+    BoolD.solve_exn ~direction:A.Dfa.Backward ~init:true
       ~transfer:(fun _ f -> f)
       diamond_with_orphan
   in
@@ -201,29 +201,55 @@ end
 
 module IntD = A.Dfa.Make (IntL)
 
+let looped =
+  mk_prog
+    [
+      mk 0 [] (Ir.Loop { body = 1; exit = 2; trip = Ir.S_const 4 });
+      mk 1 [] (Ir.Jump 0);
+      mk 2 [] Ir.Ret;
+    ]
+
 let test_dfa_budget () =
   (* A non-monotone transfer on a cyclic CFG must hit the iteration
-     budget and fail loudly rather than spin. *)
-  let looped =
-    mk_prog
-      [
-        mk 0 [] (Ir.Loop { body = 1; exit = 2; trip = Ir.S_const 4 });
-        mk 1 [] (Ir.Jump 0);
-        mk 2 [] Ir.Ret;
-      ]
-  in
+     budget and report it as a typed outcome rather than spin. *)
+  (match IntD.solve ~init:1 ~transfer:(fun _ x -> x + 1) looped with
+  | IntD.Fixpoint _ -> check "budget exhausted" true false
+  | IntD.Budget_exhausted { budget; prog; partial } ->
+      check "budget positive" true (budget > 0);
+      Alcotest.(check string) "prog name carried" "hand" prog;
+      check "partial facts usable" true (partial.IntD.input.(0) >= 1));
+  (* solve_exn keeps the old crash-loudly contract. *)
   let raised =
     try
-      ignore (IntD.solve ~init:1 ~transfer:(fun _ x -> x + 1) looped);
+      ignore (IntD.solve_exn ~init:1 ~transfer:(fun _ x -> x + 1) looped);
       false
     with Failure _ -> true
   in
-  check "budget exhausted raises" true raised
+  check "solve_exn raises" true raised
+
+module IvD = A.Dfa.Make (A.Interval)
+
+let test_dfa_widening () =
+  (* The same cyclic CFG with an incrementing interval transfer has an
+     infinite ascending chain; the widening hook must still converge to
+     a sound (infinite-ceiling) fixpoint within the budget. *)
+  let module I = A.Interval in
+  match
+    IvD.solve ~widen:I.widen ~init:(I.const 0.)
+      ~transfer:(fun _ x -> I.add x (I.const 1.))
+      looped
+  with
+  | IvD.Budget_exhausted _ -> check "widening converges" true false
+  | IvD.Fixpoint r ->
+      check "loop head widened to +inf" true
+        (I.hi r.IvD.input.(0) = Float.infinity);
+      check "lower bound stays finite" true
+        (I.lo r.IvD.input.(0) >= 0.)
 
 let test_dfa_edge () =
   (* The edge transfer distinguishes the two arms of a Cond. *)
   let r =
-    BoolD.solve ~init:true
+    BoolD.solve_exn ~init:true
       ~edge:(fun ~src ~dst f ->
         match src.Ir.term with
         | Ir.Cond { else_; _ } when dst = else_ -> false
@@ -314,7 +340,13 @@ let test_feasibility_oversized_state () =
 let test_feasibility_opaque_trip () =
   let r = lint ~lnic:L.Netronome.default while_src in
   check "un-coarsened while is flagged" true (has_code "CLARA103" r);
-  check "opaque trip is only a warning" false (A.Suite.has_errors r)
+  (* Since the bounds pass, an opaque trip is also CLARA401: its
+     worst-case latency is statically unbounded, which is an error. *)
+  check "unbounded loop is an error" true (has_code "CLARA401" r);
+  check "CLARA103 itself stays a warning" true
+    (List.for_all
+       (fun d -> d.A.Diag.code <> "CLARA103" || d.A.Diag.severity <> A.Diag.Error)
+       r.A.Suite.diagnostics)
 
 let test_feasibility_eswitch_demotion () =
   (* NAT's flow table needs table_update, which the eSwitch refuses:
@@ -535,6 +567,165 @@ let test_corpus_lints_clean () =
         = List.length (lower e.Clara_nfs.Corpus.source).Ir.states))
     Clara_nfs.Corpus.all
 
+(* ------------------------------------------------------------------ *)
+(* Paths lattice: set semantics + fact decomposition                   *)
+
+let test_paths_lattice_canonical () =
+  let f6 = (Ir.G_proto 6, true) and f17 = (Ir.G_proto 17, false) in
+  let fl2 = (Ir.G_flag 2, true) in
+  (* Order and duplicates must not distinguish equal fact sets... *)
+  check "equal ignores order" true
+    (A.Paths.L.equal (A.Paths.L.Facts [ f6; f17 ]) (A.Paths.L.Facts [ f17; f6 ]));
+  check "equal ignores duplicates" true
+    (A.Paths.L.equal
+       (A.Paths.L.Facts [ f6; f17; f6 ])
+       (A.Paths.L.Facts [ f17; f6 ]));
+  check "different sets differ" false
+    (A.Paths.L.equal (A.Paths.L.Facts [ f6 ]) (A.Paths.L.Facts [ f17 ]));
+  (* ...and join must intersect as sets, canonically. *)
+  (match
+     A.Paths.L.join
+       (A.Paths.L.Facts [ fl2; f6; f17 ])
+       (A.Paths.L.Facts [ f17; f6 ])
+   with
+  | A.Paths.L.Facts fs ->
+      check "join intersects" true (List.sort compare fs = List.sort compare [ f6; f17 ])
+  | A.Paths.L.Unreached -> Alcotest.fail "join of reached states unreached");
+  (* Regression: differently-ordered equal inputs must join to something
+     [equal] to both, or the fixpoint oscillates and burns the budget. *)
+  let a = A.Paths.L.Facts [ f6; f17; fl2 ] and b = A.Paths.L.Facts [ fl2; f17; f6 ] in
+  check "join of reorderings is equal to both" true
+    (A.Paths.L.equal (A.Paths.L.join a b) a && A.Paths.L.equal (A.Paths.L.join a b) b)
+
+let test_facts_de_morgan () =
+  let g6 = Ir.G_proto 6 and g17 = Ir.G_proto 17 in
+  let sorted l = List.sort compare l in
+  (* not (p6 || p17) = !p6 && !p17 *)
+  check "negated disjunction splits" true
+    (sorted (A.Paths.facts_of_guard (Ir.G_not (Ir.G_or (g6, g17))) true)
+    = sorted [ (g6, false); (g17, false) ]);
+  (* (p6 || p17) false — same thing reached through the polarity. *)
+  check "false disjunction splits" true
+    (sorted (A.Paths.facts_of_guard (Ir.G_or (g6, g17)) false)
+    = sorted [ (g6, false); (g17, false) ]);
+  (* not (not (p6 || p17)): double negation back to a true disjunction,
+     which pins down neither arm. *)
+  check "nested negation yields nothing" true
+    (A.Paths.facts_of_guard (Ir.G_not (Ir.G_not (Ir.G_or (g6, g17)))) true = []);
+  (* not ((not p6) || (not p17)) = p6 && p17. *)
+  check "negation of negated arms asserts both" true
+    (sorted (A.Paths.facts_of_guard (Ir.G_not (Ir.G_or (Ir.G_not g6, Ir.G_not g17))) true)
+    = sorted [ (g6, true); (g17, true) ]);
+  (* Mutually exclusive protocols conflict when both asserted... *)
+  check "p6 and p17 conflict" true
+    (A.Paths.conflicts (g6, true) (g17, true));
+  (* ...but not when either is negative. *)
+  check "p6 with not-p17 is consistent" false
+    (A.Paths.conflicts (g6, true) (g17, false));
+  check "same atom opposite polarity conflicts" true
+    (A.Paths.conflicts (g6, true) (g6, false));
+  (* assuming: a consistent extension keeps the set, a contradictory one
+     kills the branch. *)
+  check "assuming consistent" true
+    (A.Paths.assuming [ (g6, true) ] g17 false <> None);
+  check "assuming contradiction" true
+    (A.Paths.assuming [ (g6, true) ] g17 true = None)
+
+(* ------------------------------------------------------------------ *)
+(* Interval domain + bounds analysis                                   *)
+
+let test_interval_ops () =
+  let module I = A.Interval in
+  check "make inverted is bottom" true (I.is_bottom (I.make 2. 1.));
+  check "join hull" true (I.equal (I.join (I.const 1.) (I.const 5.)) (I.make 1. 5.));
+  check "meet overlap" true
+    (I.equal (I.meet (I.make 0. 3.) (I.make 2. 9.)) (I.make 2. 3.));
+  check "meet disjoint is bottom" true
+    (I.is_bottom (I.meet (I.make 0. 1.) (I.make 2. 3.)));
+  (* 0 * inf = 0: a never-executed block of unbounded cost is free. *)
+  check "zero times top" true
+    (I.equal (I.mul (I.const 0.) (I.make 1. Float.infinity)) (I.const 0.));
+  check "mul ranges" true
+    (I.equal (I.mul (I.make 0. 2.) (I.make 3. 4.)) (I.make 0. 8.));
+  (* Widening jumps grown endpoints to infinity; narrowing refines only
+     infinite ones back. *)
+  let w = I.widen (I.make 0. 4.) (I.make 0. 5.) in
+  check "widen hi to inf" true (I.hi w = Float.infinity && I.lo w = 0.);
+  check "widen stable when contained" true
+    (I.equal (I.widen (I.make 0. 4.) (I.make 1. 4.)) (I.make 0. 4.));
+  check "narrow refines inf endpoint" true
+    (I.equal (I.narrow w (I.make 0. 7.)) (I.make 0. 7.));
+  check "narrow keeps finite endpoint" true
+    (I.equal (I.narrow (I.make 0. 7.) (I.make 2. 5.)) (I.make 0. 7.))
+
+let nat_ir () =
+  fst (Pat.run (Low.lower_source (Clara_nfs.Nat.source ())))
+
+let test_bounds_finite_example () =
+  let module B = A.Bounds in
+  let module I = A.Interval in
+  let b = B.analyze ~lnic:L.Netronome.default (nat_ir ()) in
+  check "no unbounded loops" true (b.B.bt_unbounded_loops = []);
+  check "budget not exhausted" false b.B.bt_exhausted;
+  check_int "five type rows" 5 (List.length b.B.bt_per_type);
+  List.iter
+    (fun (row : B.type_bounds) ->
+      check ("finite total for " ^ row.B.tb_type) true (I.is_finite row.B.tb_total);
+      check ("positive lower for " ^ row.B.tb_type) true (I.lo row.B.tb_total > 0.);
+      check ("ordered endpoints for " ^ row.B.tb_type) true
+        (I.lo row.B.tb_total <= I.hi row.B.tb_total);
+      (* Axis means tile the service interval. *)
+      check ("service within total for " ^ row.B.tb_type) true
+        (I.lo row.B.tb_service >= I.lo row.B.tb_total -. 1e-9
+        && I.hi row.B.tb_service <= I.hi row.B.tb_total +. 1e-9))
+    b.B.bt_per_type;
+  (* A fixed-protocol class can never be looser than the union class. *)
+  let all = Option.get (B.find b "all") and udp = Option.get (B.find b "udp") in
+  check "udp upper <= all upper" true
+    (I.hi udp.B.tb_total <= I.hi all.B.tb_total +. 1e-9);
+  check "no CLARA401 on nat" true
+    (List.for_all
+       (fun d -> d.A.Diag.code <> "CLARA401")
+       (B.lint ~lnic:L.Netronome.default (nat_ir ())))
+
+let test_bounds_unbounded_loop () =
+  let module B = A.Bounds in
+  let module I = A.Interval in
+  let ir = fst (Pat.run (Low.lower_source while_src)) in
+  check "loop reported" true (B.unbounded_loops ir <> []);
+  let diags = B.lint ~lnic:L.Netronome.default ir in
+  check "CLARA401 fires" true
+    (List.exists
+       (fun d -> d.A.Diag.code = "CLARA401" && d.A.Diag.severity = A.Diag.Error)
+       diags);
+  let b = B.analyze ~lnic:L.Netronome.default ir in
+  let all = Option.get (B.find b "all") in
+  check "upper bound infinite" true (I.hi all.B.tb_total = Float.infinity);
+  check "lower bound finite and positive" true
+    (Float.is_finite (I.lo all.B.tb_total) && I.lo all.B.tb_total > 0.)
+
+let test_bounds_verdict () =
+  let module B = A.Bounds in
+  let module I = A.Interval in
+  let b = B.analyze ~lnic:L.Netronome.default (nat_ir ()) in
+  let all = Option.get (B.find b "all") in
+  let lo_us = B.us_of b (I.lo all.B.tb_total)
+  and hi_us = B.us_of b (I.hi all.B.tb_total) in
+  check "meets above upper" true
+    (B.verdict b ~slo_p99_us:(hi_us +. 1.) = B.Provably_meets);
+  check "violates below lower" true
+    (B.verdict b ~slo_p99_us:(lo_us /. 2.) = B.Provably_violates);
+  check "unclear inside the interval" true
+    (B.verdict b ~slo_p99_us:((lo_us +. hi_us) /. 2.) = B.Unclear);
+  (* CLARA403 tracks the provable violation only. *)
+  let has403 slo =
+    List.exists
+      (fun d -> d.A.Diag.code = "CLARA403")
+      (B.lint ~lnic:L.Netronome.default ~slo_p99_us:slo (nat_ir ()))
+  in
+  check "CLARA403 on violation" true (has403 (lo_us /. 2.));
+  check "no CLARA403 when unclear" false (has403 ((lo_us +. hi_us) /. 2.))
+
 let test_report_json_shape () =
   let r = lint ~lnic:L.Netronome.default racy_src in
   match A.Suite.to_json r with
@@ -553,6 +744,7 @@ let suite =
     Alcotest.test_case "dfa forward reachability" `Quick test_dfa_forward;
     Alcotest.test_case "dfa backward" `Quick test_dfa_backward;
     Alcotest.test_case "dfa iteration budget" `Quick test_dfa_budget;
+    Alcotest.test_case "dfa interval widening" `Quick test_dfa_widening;
     Alcotest.test_case "dfa edge transfer" `Quick test_dfa_edge;
     Alcotest.test_case "simplify_guard" `Quick test_simplify_guard;
     Alcotest.test_case "sharing: racy RMW" `Quick test_sharing_racy;
@@ -589,5 +781,16 @@ let suite =
     Alcotest.test_case "eliminate_dead_blocks" `Quick
       test_eliminate_dead_blocks;
     Alcotest.test_case "corpus lints clean" `Quick test_corpus_lints_clean;
+    Alcotest.test_case "paths lattice canonical sets" `Quick
+      test_paths_lattice_canonical;
+    Alcotest.test_case "guard facts De Morgan + conflicts" `Quick
+      test_facts_de_morgan;
+    Alcotest.test_case "interval domain ops" `Quick test_interval_ops;
+    Alcotest.test_case "bounds: finite on example NF" `Quick
+      test_bounds_finite_example;
+    Alcotest.test_case "bounds: unbounded loop" `Quick
+      test_bounds_unbounded_loop;
+    Alcotest.test_case "bounds: SLO verdict three-way" `Quick
+      test_bounds_verdict;
     Alcotest.test_case "report json shape" `Quick test_report_json_shape;
   ]

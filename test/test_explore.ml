@@ -357,10 +357,12 @@ let test_sweep_failure_isolation () =
   check_int "one failed cell" 1 r.E.Sweep.stats.E.Sweep.failed;
   (match r.E.Sweep.outcomes.(0).E.Sweep.status with
   | E.Sweep.Computed _ -> ()
-  | E.Sweep.Failed e -> Alcotest.fail ("healthy cell failed: " ^ e));
+  | E.Sweep.Failed e -> Alcotest.fail ("healthy cell failed: " ^ e)
+  | E.Sweep.Pruned _ -> Alcotest.fail "healthy cell pruned without an SLO");
   (match r.E.Sweep.outcomes.(1).E.Sweep.status with
   | E.Sweep.Failed _ -> ()
-  | E.Sweep.Computed _ -> Alcotest.fail "broken NF produced metrics");
+  | E.Sweep.Computed _ -> Alcotest.fail "broken NF produced metrics"
+  | E.Sweep.Pruned _ -> Alcotest.fail "broken NF pruned without an SLO");
   (* Failures are never cached: only the healthy cell is on disk, and a
      rerun recomputes (not hits) the broken one. *)
   check_int "only successes cached" 1 (E.Cache.entries cache);
@@ -370,6 +372,35 @@ let test_sweep_failure_isolation () =
     r2.E.Sweep.stats.E.Sweep.cache_misses;
   (* The report still ranks the healthy cell. *)
   check "frontier nonempty" true (r2.E.Sweep.frontier <> [])
+
+let test_sweep_slo_pruning () =
+  with_dir "prune" @@ fun dir ->
+  let spec = small_spec () in
+  let cache = E.Cache.create ~dir in
+  (* An absurdly tight SLO: every static lower bound exceeds it, so the
+     whole grid is pruned before simulation. *)
+  let r = E.Sweep.run ~domains:2 ~cache ~slo_p99_us:0.001 spec in
+  check_int "all cells pruned" 4 r.E.Sweep.stats.E.Sweep.pruned;
+  check_int "nothing computed" 0 r.E.Sweep.stats.E.Sweep.cache_misses;
+  Array.iter
+    (fun o ->
+      match o.E.Sweep.status with
+      | E.Sweep.Pruned reason ->
+          check "prune reason names the SLO" true
+            (contains ~needle:"SLO" reason)
+      | E.Sweep.Computed _ | E.Sweep.Failed _ ->
+          Alcotest.fail "cell escaped an impossible SLO")
+    r.E.Sweep.outcomes;
+  (* Pruned cells are never cached... *)
+  check_int "prunes leave no cache entries" 0 (E.Cache.entries cache);
+  (* ...so relaxing the SLO recomputes the full grid. *)
+  let relaxed = E.Sweep.run ~domains:1 ~cache ~slo_p99_us:1e9 spec in
+  check_int "relaxed: nothing pruned" 0 relaxed.E.Sweep.stats.E.Sweep.pruned;
+  check_int "relaxed: all computed" 4 relaxed.E.Sweep.stats.E.Sweep.cache_misses;
+  (* A pruning sweep is deterministic like any other. *)
+  let r2 = E.Sweep.run ~domains:1 ~slo_p99_us:0.001 spec in
+  check "pruned reports byte-identical across domain counts" true
+    (String.equal (report_string r) (report_string r2))
 
 let test_sweep_csv_and_render () =
   let spec = small_spec () in
@@ -405,4 +436,5 @@ let suite =
     Alcotest.test_case "sweep domain-count determinism" `Quick test_sweep_determinism;
     Alcotest.test_case "sweep cache cold/warm/salt" `Quick test_sweep_cache_cycle;
     Alcotest.test_case "sweep failure isolation" `Quick test_sweep_failure_isolation;
+    Alcotest.test_case "sweep SLO pruning" `Quick test_sweep_slo_pruning;
     Alcotest.test_case "sweep csv + text render" `Quick test_sweep_csv_and_render ]

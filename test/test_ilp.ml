@@ -354,6 +354,37 @@ let test_bb_integer_rounding () =
   let res = Bb.solve m in
   check "obj 3" true R.(equal res.Bb.objective (r 3))
 
+let test_bb_initial_bound () =
+  (* The knapsack again, seeded with a priori bounds of varying honesty
+     (for a maximization, [initial_bound] is a floor the optimum is
+     promised to reach). *)
+  let build () =
+    let m = M.create () in
+    let xs = List.init 3 (fun i -> M.add_var m ~name:(Printf.sprintf "item%d" i) M.Binary) in
+    let weights = [ 10; 20; 30 ] and values = [ 60; 100; 120 ] in
+    M.add_constraint m
+      (LE.sum (List.map2 (fun x w -> LE.var ~coeff:(r w) x) xs weights))
+      M.Le (r 50);
+    M.set_objective m M.Maximize
+      (LE.sum (List.map2 (fun x v -> LE.var ~coeff:(r v) x) xs values));
+    m
+  in
+  let free = Bb.solve (build ()) in
+  (* A loose bound changes nothing. *)
+  let loose = Bb.solve ~initial_bound:(r 100) (build ()) in
+  check "loose: optimal" true (loose.Bb.status = Bb.Optimal);
+  check "loose: obj 220" true R.(equal loose.Bb.objective (r 220));
+  (* The bound is inclusive: promising exactly the optimum must not cut
+     the optimal point, and can only shrink the tree. *)
+  let exact = Bb.solve ~initial_bound:(r 220) (build ()) in
+  check "exact: optimal" true (exact.Bb.status = Bb.Optimal);
+  check "exact: obj 220" true R.(equal exact.Bb.objective (r 220));
+  check "exact: tree no larger" true (exact.Bb.nodes <= free.Bb.nodes);
+  (* An unsound bound -- promising better than any feasible point --
+     empties the search; soundness is the caller's contract. *)
+  check "unsound bound reports infeasible" true
+    ((Bb.solve ~initial_bound:(r 221) (build ())).Bb.status = Bb.Infeasible)
+
 let test_bb_infeasible () =
   (* x binary, x >= 1, x <= 0 contradiction via rows *)
   let m = M.create () in
@@ -661,6 +692,7 @@ let suite =
     Alcotest.test_case "b&b knapsack" `Quick test_bb_knapsack;
     Alcotest.test_case "b&b integer rounding" `Quick test_bb_integer_rounding;
     Alcotest.test_case "b&b infeasible" `Quick test_bb_infeasible;
+    Alcotest.test_case "b&b initial bound cutoff" `Quick test_bb_initial_bound;
     Alcotest.test_case "simplex bounds only (m = 0)" `Quick test_simplex_bounds_only;
     Alcotest.test_case "simplex bound flip" `Quick test_simplex_bound_flip;
     Alcotest.test_case "simplex empty interval" `Quick test_simplex_empty_interval;
